@@ -1,0 +1,161 @@
+//! End-to-end protocol microbenchmarks: one full agreement round
+//! (request → consensus → execution on all replicas) in real time, for
+//! both SplitBFT and the PBFT baseline, unbatched and batched.
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use splitbft_app::CounterApp;
+use splitbft_core::{ReplicaEvent, SplitBftReplica};
+use splitbft_pbft::{make_request, Action, Replica as PbftReplica};
+use splitbft_tee::{CostModel, ExecMode};
+use splitbft_types::{ClientId, ClusterConfig, ConsensusMessage, ReplicaId, Request, Timestamp};
+use std::collections::VecDeque;
+
+const SEED: u64 = 99;
+
+fn requests(n: u64, start: u64) -> Vec<Request> {
+    (0..n)
+        .map(|i| make_request(SEED, ClientId(0), Timestamp(start + i), Bytes::from_static(b"inc")))
+        .collect()
+}
+
+fn splitbft_cluster() -> Vec<SplitBftReplica<CounterApp>> {
+    let cfg = ClusterConfig::new(4).unwrap();
+    (0..4u32)
+        .map(|i| {
+            SplitBftReplica::new(
+                cfg.clone(),
+                ReplicaId(i),
+                SEED,
+                CounterApp::new(),
+                ExecMode::Hardware,
+                CostModel::paper_calibrated(),
+            )
+        })
+        .collect()
+}
+
+fn pbft_cluster() -> Vec<PbftReplica<CounterApp>> {
+    let cfg = ClusterConfig::new(4).unwrap();
+    (0..4u32)
+        .map(|i| PbftReplica::new(cfg.clone(), ReplicaId(i), SEED, CounterApp::new()))
+        .collect()
+}
+
+fn pump_splitbft(replicas: &mut [SplitBftReplica<CounterApp>], reqs: Vec<Request>) -> usize {
+    let mut queues: Vec<VecDeque<ConsensusMessage>> = (0..4).map(|_| VecDeque::new()).collect();
+    let mut replies = 0usize;
+    let events = replicas[0].on_client_batch(reqs);
+    let route = |from: usize, events: Vec<ReplicaEvent>, queues: &mut Vec<VecDeque<ConsensusMessage>>, replies: &mut usize| {
+        for e in events {
+            match e {
+                ReplicaEvent::Broadcast(m) => {
+                    for (to, q) in queues.iter_mut().enumerate() {
+                        if to != from {
+                            q.push_back(m.clone());
+                        }
+                    }
+                }
+                ReplicaEvent::Reply { .. } => *replies += 1,
+                _ => {}
+            }
+        }
+    };
+    route(0, events, &mut queues, &mut replies);
+    loop {
+        let mut progressed = false;
+        for i in 0..4 {
+            while let Some(m) = queues[i].pop_front() {
+                progressed = true;
+                let events = replicas[i].on_network_message(m);
+                route(i, events, &mut queues, &mut replies);
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    replies
+}
+
+fn pump_pbft(replicas: &mut [PbftReplica<CounterApp>], reqs: Vec<Request>) -> usize {
+    let mut queues: Vec<VecDeque<ConsensusMessage>> = (0..4).map(|_| VecDeque::new()).collect();
+    let mut replies = 0usize;
+    let actions = replicas[0].on_client_batch(reqs);
+    let route = |from: usize, actions: Vec<Action>, queues: &mut Vec<VecDeque<ConsensusMessage>>, replies: &mut usize| {
+        for a in actions {
+            match a {
+                Action::Broadcast { msg } => {
+                    for (to, q) in queues.iter_mut().enumerate() {
+                        if to != from {
+                            q.push_back(msg.clone());
+                        }
+                    }
+                }
+                Action::SendReply { .. } => *replies += 1,
+                _ => {}
+            }
+        }
+    };
+    route(0, actions, &mut queues, &mut replies);
+    loop {
+        let mut progressed = false;
+        for i in 0..4 {
+            while let Some(m) = queues[i].pop_front() {
+                progressed = true;
+                let actions = replicas[i].on_message(m).unwrap_or_default();
+                route(i, actions, &mut queues, &mut replies);
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    replies
+}
+
+fn bench_protocol(c: &mut Criterion) {
+    let mut g = c.benchmark_group("agreement-round");
+    g.sample_size(10);
+
+    g.bench_function("splitbft/1-request", |b| {
+        let mut ts = 0u64;
+        b.iter_batched(
+            splitbft_cluster,
+            |mut cluster| {
+                ts += 1;
+                black_box(pump_splitbft(&mut cluster, requests(1, ts)))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("splitbft/200-request-batch", |b| {
+        b.iter_batched(
+            splitbft_cluster,
+            |mut cluster| black_box(pump_splitbft(&mut cluster, requests(200, 1))),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("pbft/1-request", |b| {
+        let mut ts = 0u64;
+        b.iter_batched(
+            pbft_cluster,
+            |mut cluster| {
+                ts += 1;
+                black_box(pump_pbft(&mut cluster, requests(1, ts)))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("pbft/200-request-batch", |b| {
+        b.iter_batched(
+            pbft_cluster,
+            |mut cluster| black_box(pump_pbft(&mut cluster, requests(200, 1))),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_protocol);
+criterion_main!(benches);

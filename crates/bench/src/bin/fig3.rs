@@ -1,0 +1,96 @@
+//! Regenerates **Figure 3**: throughput and latency versus the number of
+//! closed-loop clients, for SplitBFT and PBFT on the key-value store and
+//! blockchain applications.
+//!
+//! `--mode unbatched` reproduces Figure 3(a) — including the "SplitBFT
+//! Simulation" (SGX simulation mode) and "SplitBFT Single Thread" series;
+//! `--mode batched` reproduces Figure 3(b) (batch = 200 requests or
+//! 10 ms, 40 outstanding requests per client).
+
+use splitbft_bench::{print_row, print_sep};
+use splitbft_sim::{run_point, AppKind, SimConfig, SystemKind};
+
+fn series(mode: &str) -> Vec<(&'static str, SystemKind, AppKind)> {
+    let mut s = vec![
+        ("SplitBFT KVS", SystemKind::SplitBft, AppKind::Kvs),
+        ("PBFT KVS", SystemKind::Pbft, AppKind::Kvs),
+    ];
+    if mode == "unbatched" {
+        s.push(("SplitBFT KVS Simulation", SystemKind::SplitBftSimMode, AppKind::Kvs));
+        s.push(("SplitBFT KVS Single Thread", SystemKind::SplitBftSingleThread, AppKind::Kvs));
+    }
+    s.push(("SplitBFT Blockchain", SystemKind::SplitBft, AppKind::Blockchain));
+    s.push(("PBFT Blockchain", SystemKind::Pbft, AppKind::Blockchain));
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mode = args
+        .iter()
+        .position(|a| a == "--mode")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+        .unwrap_or("unbatched")
+        .to_string();
+    let quick = args.iter().any(|a| a == "--quick");
+
+    let clients: Vec<usize> = if quick {
+        vec![10, 40, 80, 150]
+    } else {
+        vec![1, 10, 20, 40, 60, 80, 100, 120, 150]
+    };
+
+    println!(
+        "Figure 3({}) — throughput (op/s) and mean latency (ms) vs number of clients",
+        if mode == "batched" { "b" } else { "a" }
+    );
+    println!("4 replicas, 10-byte payloads, closed-loop clients; virtual time.\n");
+
+    let widths = [28, 9, 12, 12];
+    print_row(
+        &["Series".into(), "Clients".into(), "Tput op/s".into(), "Latency ms".into()],
+        &widths,
+    );
+    print_sep(&widths);
+
+    for (label, system, app) in series(&mode) {
+        for &c in &clients {
+            let cfg = if mode == "batched" {
+                let mut cfg = SimConfig::batched(system, app, c);
+                if quick {
+                    cfg.duration_ns = 200_000_000;
+                    cfg.warmup_ns = 50_000_000;
+                }
+                cfg
+            } else {
+                let mut cfg = SimConfig::unbatched(system, app, c);
+                if quick {
+                    cfg.duration_ns = 200_000_000;
+                    cfg.warmup_ns = 50_000_000;
+                }
+                cfg
+            };
+            let r = run_point(&cfg);
+            print_row(
+                &[
+                    label.into(),
+                    c.to_string(),
+                    format!("{:.0}", r.throughput_ops),
+                    format!("{:.2}", r.mean_latency_ms),
+                ],
+                &widths,
+            );
+        }
+        print_sep(&widths);
+    }
+
+    println!();
+    println!("Shape checks against the paper:");
+    println!("  - PBFT outperforms SplitBFT (paper: SplitBFT reaches 43–74% of PBFT");
+    println!("    unbatched, ~64% batched for the KVS);");
+    println!("  - the KVS outperforms the blockchain application (extra sealed-block");
+    println!("    I/O in the Execution enclave);");
+    println!("  - single-threaded ecall dispatch degrades SplitBFT markedly;");
+    println!("  - simulation mode (free transitions) recovers part of the gap.");
+}

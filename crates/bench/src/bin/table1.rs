@@ -1,0 +1,74 @@
+//! Regenerates **Table 1**: the fault-model comparison of PBFT, hybrid
+//! protocols, and SplitBFT — by *running* each system under each attacker
+//! configuration and reporting the observed safety/progress verdicts next
+//! to the paper's claims.
+
+use splitbft_bench::{print_row, print_sep};
+use splitbft_model::{run_scenario, Scenario};
+
+fn main() {
+    println!("Table 1 — Fault models, observed experimentally");
+    println!("(paper: Messadi et al., MIDDLEWARE 2022, Table 1)\n");
+
+    println!("Static protocol parameters:");
+    let widths = [14, 10, 7, 12, 22];
+    print_row(
+        &["Work".into(), "#Replicas".into(), "TEE".into(), "Faulty TEE".into(), "Integrity claim".into()],
+        &widths,
+    );
+    print_sep(&widths);
+    print_row(
+        &["PBFT".into(), "3f + 1".into(), "no".into(), "-".into(), "f byzantine replicas".into()],
+        &widths,
+    );
+    print_row(
+        &["Hybrid".into(), "2f + 1".into(), "yes".into(), "crash only".into(), "f byzantine hosts".into()],
+        &widths,
+    );
+    print_row(
+        &[
+            "SplitBFT".into(),
+            "3f + 1".into(),
+            "yes".into(),
+            "byzantine".into(),
+            "f per compartment + n hosts".into(),
+        ],
+        &widths,
+    );
+
+    println!("\nScenario outcomes (safety = agreement among correct replicas):");
+    let widths = [52, 10, 10, 10];
+    print_row(
+        &["Scenario".into(), "Expected".into(), "Observed".into(), "Progress".into()],
+        &widths,
+    );
+    print_sep(&widths);
+
+    let mut all_match = true;
+    for scenario in Scenario::ALL {
+        let verdict = run_scenario(scenario, 42);
+        let expected = if scenario.expected_safe() { "SAFE" } else { "VIOLATED" };
+        let observed = if verdict.safety_held { "SAFE" } else { "VIOLATED" };
+        all_match &= verdict.safety_held == scenario.expected_safe();
+        print_row(
+            &[
+                scenario.describe().into(),
+                expected.into(),
+                observed.into(),
+                if verdict.made_progress { "yes" } else { "no" }.into(),
+            ],
+            &widths,
+        );
+    }
+    println!();
+    if all_match {
+        println!("All observed verdicts match the paper's fault-model claims.");
+    } else {
+        println!("MISMATCH: at least one verdict deviates from the paper's claims!");
+    }
+    println!();
+    println!("Liveness note: all three systems tolerate up to f fully-faulty");
+    println!("replicas liveness-wise; SplitBFT additionally separates liveness");
+    println!("from safety — hostile environments can stall it but never make");
+    println!("correct enclaves diverge (SplitBftHostileEnvironments row).");
+}

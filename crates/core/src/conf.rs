@@ -1,0 +1,348 @@
+//! The **Confirmation compartment**: confirms that a request was prepared
+//! by a quorum (paper §3.2).
+//!
+//! Event handlers hosted here: (3) prepare-certificate collection →
+//! `Commit`, (5) view-change initiation on primary suspicion — co-located
+//! with (3) per principle P3 because a `ViewChange` carries the prepare
+//! certificates from `in_conf` — plus the duplicated checkpoint handler
+//! (9) and the `NewView` checkpoint/view application (7').
+//!
+//! Per principle P5, this compartment changes state only on a *quorum*:
+//! one `PrePrepare` and `2f` matching `Prepare`s, all signed by distinct
+//! Preparation enclaves. A single faulty Preparation enclave (even the
+//! primary's) cannot make it commit to anything.
+
+use crate::ecall::{CompartmentInput, CompartmentOutput};
+use crate::scheme::{enclave_signer, SPLITBFT_SCHEME};
+use splitbft_crypto::{KeyPair, KeyRegistry};
+use splitbft_pbft::verify::verify_signed_from;
+use splitbft_pbft::CheckpointTracker;
+use splitbft_types::{
+    Checkpoint, ClusterConfig, CompartmentKind, Commit, ConsensusMessage, Digest, NewView,
+    PrePrepare, Prepare, PrepareCertificate, ProtocolError, ReplicaId, SeqNum, Signed, SignerId,
+    View, ViewChange,
+};
+use std::collections::BTreeMap;
+
+/// One agreement slot as Confirmation sees it. A byzantine primary
+/// Preparation enclave may equivocate, so multiple candidate proposals
+/// (by digest) are retained; only a quorum of matching prepares elevates
+/// one of them.
+#[derive(Debug, Default)]
+struct ConfSlot {
+    /// Candidate proposals by digest (forwarded `PrePrepare`s).
+    proposals: BTreeMap<Digest, Signed<PrePrepare>>,
+    /// Prepare votes by sender.
+    prepares: BTreeMap<ReplicaId, Signed<Prepare>>,
+    /// This compartment already emitted its `Commit` for the slot.
+    commit_sent: bool,
+}
+
+/// The Confirmation compartment state machine.
+pub struct ConfirmationCompartment {
+    config: ClusterConfig,
+    replica: ReplicaId,
+    signer: SignerId,
+    keypair: KeyPair,
+    registry: KeyRegistry,
+
+    /// This compartment's copy of the replicated view variable. Advanced
+    /// when *sending* a `ViewChange` (handler 5) and when applying a
+    /// `NewView` (7').
+    view: View,
+    /// The `in_conf` log.
+    slots: BTreeMap<SeqNum, ConfSlot>,
+    /// Private checkpoint tracker.
+    checkpoints: CheckpointTracker,
+    /// Prepare certificates formed here, carried into `ViewChange`s.
+    prepared_certs: BTreeMap<SeqNum, PrepareCertificate>,
+    /// `true` between sending a `ViewChange` for `view` and applying the
+    /// matching `NewView`.
+    awaiting_new_view: bool,
+}
+
+impl ConfirmationCompartment {
+    /// Creates the Confirmation enclave logic for `replica`.
+    pub fn new(config: ClusterConfig, replica: ReplicaId, master_seed: u64) -> Self {
+        let signer = enclave_signer(replica, CompartmentKind::Confirmation);
+        let registry =
+            KeyRegistry::with_signers(master_seed, crate::scheme::all_enclave_signers(config.n()));
+        let keypair = KeyPair::for_signer(master_seed, signer);
+        ConfirmationCompartment {
+            config,
+            replica,
+            signer,
+            keypair,
+            registry,
+            view: View::initial(),
+            slots: BTreeMap::new(),
+            checkpoints: CheckpointTracker::new(),
+            prepared_certs: BTreeMap::new(),
+            awaiting_new_view: false,
+        }
+    }
+
+    /// This compartment's current view.
+    pub fn view(&self) -> View {
+        self.view
+    }
+
+    /// Approximate heap usage for EPC accounting.
+    pub fn memory_usage(&self) -> usize {
+        self.slots.len() * 768 + self.prepared_certs.len() * 1024
+    }
+
+    fn in_window(&self, seq: SeqNum) -> bool {
+        let low = self.checkpoints.stable_seq();
+        seq > low && seq.0 <= low.0 + self.config.window
+    }
+
+    /// The single event-handler entry point.
+    pub fn handle(&mut self, input: CompartmentInput) -> Vec<CompartmentOutput> {
+        let result = match input {
+            CompartmentInput::Message(ConsensusMessage::PrePrepare(pp)) => {
+                self.on_pre_prepare(pp)
+            }
+            CompartmentInput::Message(ConsensusMessage::Prepare(p)) => self.on_prepare(p),
+            CompartmentInput::Message(ConsensusMessage::Checkpoint(c)) => self.on_checkpoint(c),
+            CompartmentInput::Message(ConsensusMessage::NewView(nv)) => self.on_new_view(nv),
+            CompartmentInput::ViewTimeout => Ok(self.on_view_timeout()),
+            other => Err(ProtocolError::Other(format!("not a Confirmation event: {other:?}"))),
+        };
+        match result {
+            Ok(outputs) => outputs,
+            Err(e) => vec![CompartmentOutput::Rejected { reason: e.to_string() }],
+        }
+    }
+
+    /// The broker forwards every `PrePrepare` here (§3.2: duplicated into
+    /// `in_conf`). Only the signature and window are checked — the batch
+    /// contents are the Preparation compartment's business; a quorum of
+    /// prepares is what gives the digest authority (P5).
+    fn on_pre_prepare(
+        &mut self,
+        pp: Signed<PrePrepare>,
+    ) -> Result<Vec<CompartmentOutput>, ProtocolError> {
+        let view = pp.payload.view;
+        let seq = pp.payload.seq;
+        if view != self.view {
+            return Err(ProtocolError::WrongView { got: view, current: self.view });
+        }
+        let primary = view.primary(&self.config);
+        verify_signed_from(&self.registry, &pp, (SPLITBFT_SCHEME.proposer)(primary))?;
+        if !self.in_window(seq) {
+            let low = self.checkpoints.stable_seq();
+            return Err(ProtocolError::OutOfWindow {
+                seq,
+                low,
+                high: SeqNum(low.0 + self.config.window),
+            });
+        }
+        let digest = pp.payload.digest;
+        self.slots.entry(seq).or_default().proposals.insert(digest, pp);
+        Ok(self.maybe_commit(seq))
+    }
+
+    /// Handler (3): collect prepares toward the certificate.
+    fn on_prepare(&mut self, p: Signed<Prepare>) -> Result<Vec<CompartmentOutput>, ProtocolError> {
+        let view = p.payload.view;
+        let seq = p.payload.seq;
+        if view != self.view {
+            return Err(ProtocolError::WrongView { got: view, current: self.view });
+        }
+        // Early drop: once this slot's Commit is out, further prepares are
+        // redundant — skip the (expensive) signature verification. This is
+        // the optimization that keeps Confirmation ecalls short.
+        if self.slots.get(&seq).map_or(false, |s| s.commit_sent) {
+            return Ok(Vec::new());
+        }
+        verify_signed_from(&self.registry, &p, (SPLITBFT_SCHEME.preparer)(p.payload.replica))?;
+        if !self.config.contains(p.payload.replica) {
+            return Err(ProtocolError::UnknownReplica(p.payload.replica));
+        }
+        if !self.in_window(seq) {
+            let low = self.checkpoints.stable_seq();
+            return Err(ProtocolError::OutOfWindow {
+                seq,
+                low,
+                high: SeqNum(low.0 + self.config.window),
+            });
+        }
+        self.slots.entry(seq).or_default().prepares.insert(p.payload.replica, p);
+        Ok(self.maybe_commit(seq))
+    }
+
+    fn maybe_commit(&mut self, seq: SeqNum) -> Vec<CompartmentOutput> {
+        let view = self.view;
+        let prepare_quorum = self.config.prepare_quorum();
+        let Some(slot) = self.slots.get(&seq) else { return Vec::new() };
+        if slot.commit_sent {
+            return Vec::new();
+        }
+        // Find a proposal whose digest gathered 2f matching prepares from
+        // distinct non-primary Preparation enclaves.
+        let primary = view.primary(&self.config);
+        let mut chosen: Option<(Digest, PrepareCertificate)> = None;
+        for (digest, pp) in &slot.proposals {
+            if pp.payload.view != view {
+                continue;
+            }
+            let matching: Vec<_> = slot
+                .prepares
+                .values()
+                .filter(|p| {
+                    p.payload.view == view
+                        && p.payload.digest == *digest
+                        && p.payload.replica != primary
+                })
+                .take(prepare_quorum)
+                .cloned()
+                .collect();
+            if matching.len() >= prepare_quorum {
+                chosen = Some((
+                    *digest,
+                    PrepareCertificate { pre_prepare: pp.clone(), prepares: matching },
+                ));
+                break;
+            }
+        }
+        let Some((digest, cert)) = chosen else { return Vec::new() };
+
+        self.prepared_certs.insert(seq, cert);
+        let slot = self.slots.get_mut(&seq).expect("slot exists");
+        slot.commit_sent = true;
+        let commit = self
+            .keypair
+            .sign_payload(Commit { view, seq, digest, replica: self.replica }, self.signer);
+        vec![
+            CompartmentOutput::Committed { seq, digest },
+            CompartmentOutput::Broadcast(ConsensusMessage::Commit(commit)),
+        ]
+    }
+
+    /// Handler (5): the environment suspects the primary; this
+    /// compartment emits the `ViewChange` and advances its view, after
+    /// which it "will no longer process Prepares or send commits in the
+    /// old view" (§4).
+    fn on_view_timeout(&mut self) -> Vec<CompartmentOutput> {
+        let target = self.view.next();
+        let vc = ViewChange {
+            new_view: target,
+            stable_seq: self.checkpoints.stable_seq(),
+            checkpoint_proof: self.checkpoints.stable_proof().clone(),
+            prepared: self
+                .prepared_certs
+                .range(SeqNum(self.checkpoints.stable_seq().0 + 1)..)
+                .map(|(_, c)| c.clone())
+                .collect(),
+            replica: self.replica,
+        };
+        let signed = self.keypair.sign_payload(vc, self.signer);
+        self.view = target;
+        self.awaiting_new_view = true;
+        // Old-view agreement state is void in the new view.
+        for slot in self.slots.values_mut() {
+            slot.commit_sent = false;
+        }
+        vec![
+            CompartmentOutput::EnteredView(target),
+            CompartmentOutput::Broadcast(ConsensusMessage::ViewChange(signed)),
+        ]
+    }
+
+    /// Handler (7'): Confirmation applies only the checkpoint and the
+    /// view from a `NewView` — it does *not* re-validate the re-issued
+    /// `PrePrepare`s (§4); their digests have no authority here until 2f
+    /// prepares confirm them.
+    fn on_new_view(
+        &mut self,
+        nv: Signed<NewView>,
+    ) -> Result<Vec<CompartmentOutput>, ProtocolError> {
+        let target = nv.payload.view;
+        if target < self.view || (target == self.view && !self.awaiting_new_view) {
+            return Err(ProtocolError::WrongView { got: target, current: self.view });
+        }
+        let primary = target.primary(&self.config);
+        verify_signed_from(&self.registry, &nv, (SPLITBFT_SCHEME.proposer)(primary))?;
+
+        // Quorum of authentic view-change votes (outer signatures only).
+        let mut voters = std::collections::BTreeSet::new();
+        for vc in &nv.payload.view_changes {
+            if vc.payload.new_view != target {
+                continue;
+            }
+            if verify_signed_from(
+                &self.registry,
+                vc,
+                (SPLITBFT_SCHEME.confirmer)(vc.payload.replica),
+            )
+            .is_ok()
+            {
+                voters.insert(vc.payload.replica);
+            }
+        }
+        if voters.len() < self.config.quorum() {
+            return Err(ProtocolError::BadCertificate { kind: "NewView view-change quorum" });
+        }
+
+        // Validate and apply the checkpoint.
+        if let Some(ckpt) = nv.payload.max_checkpoint() {
+            splitbft_pbft::verify::verify_checkpoint_certificate(
+                &self.registry,
+                ckpt,
+                &self.config,
+                &SPLITBFT_SCHEME,
+            )?;
+            if self.checkpoints.install_certificate(ckpt.clone()) {
+                let stable = self.checkpoints.stable_seq();
+                self.slots = self.slots.split_off(&SeqNum(stable.0 + 1));
+                self.prepared_certs = self.prepared_certs.split_off(&SeqNum(stable.0 + 1));
+            }
+        }
+
+        self.view = target;
+        self.awaiting_new_view = false;
+        // Fresh view: old candidate proposals and votes are view-bound
+        // and dead; drop them, then adopt the re-issued proposals.
+        self.slots.clear();
+        for pp in nv.payload.pre_prepares {
+            if pp.payload.view == target && self.in_window(pp.payload.seq) {
+                self.slots
+                    .entry(pp.payload.seq)
+                    .or_default()
+                    .proposals
+                    .insert(pp.payload.digest, pp);
+            }
+        }
+        Ok(vec![CompartmentOutput::EnteredView(target)])
+    }
+
+    /// Duplicated handler (9).
+    fn on_checkpoint(
+        &mut self,
+        c: Signed<Checkpoint>,
+    ) -> Result<Vec<CompartmentOutput>, ProtocolError> {
+        verify_signed_from(&self.registry, &c, (SPLITBFT_SCHEME.executor)(c.payload.replica))?;
+        if !self.config.contains(c.payload.replica) {
+            return Err(ProtocolError::UnknownReplica(c.payload.replica));
+        }
+        let mut outputs = Vec::new();
+        if let Some(cert) = self.checkpoints.insert(c, &self.config) {
+            let seq = cert.seq();
+            self.slots = self.slots.split_off(&SeqNum(seq.0 + 1));
+            self.prepared_certs = self.prepared_certs.split_off(&SeqNum(seq.0 + 1));
+            outputs.push(CompartmentOutput::StableCheckpoint { seq });
+        }
+        Ok(outputs)
+    }
+}
+
+impl std::fmt::Debug for ConfirmationCompartment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConfirmationCompartment")
+            .field("replica", &self.replica)
+            .field("view", &self.view)
+            .field("slots", &self.slots.len())
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,226 @@
+//! The typed ecall/ocall protocol between the untrusted broker and the
+//! compartments.
+//!
+//! Everything crossing the enclave boundary is *serialized* — the paper:
+//! "The broker expects the data that it needs to send over the network
+//! serialized" — so inputs and outputs have canonical wire encodings, and
+//! the host charges copy costs for the real byte counts.
+
+use bytes::Bytes;
+use splitbft_types::wire::{Decode, Encode, Reader, WireError};
+use splitbft_types::{ClientId, ConsensusMessage, Digest, Reply, Request, RequestId, SeqNum, View};
+
+/// The single ecall entry point id used by all compartments.
+pub const ECALL_HANDLE: u32 = 1;
+/// The single ocall id: one serialized [`CompartmentOutput`] per ocall.
+pub const OCALL_OUTPUT: u32 = 1;
+
+/// An event delivered into a compartment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompartmentInput {
+    /// A protocol message routed to this compartment by the broker.
+    Message(ConsensusMessage),
+    /// A batch of client requests (Preparation on the primary).
+    ClientBatch(Vec<Request>),
+    /// The environment's view-change timer fired (Confirmation).
+    ViewTimeout,
+    /// A client installs its session key (Execution), wrapped under the
+    /// Diffie–Hellman secret established during attestation.
+    InstallSessionKey {
+        /// The installing client.
+        client: ClientId,
+        /// The client's DH public value.
+        client_dh_public: u64,
+        /// The session key, sealed under the DH shared secret.
+        wrapped_key: Vec<u8>,
+    },
+}
+
+impl Encode for CompartmentInput {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            CompartmentInput::Message(m) => {
+                buf.push(1);
+                m.encode(buf);
+            }
+            CompartmentInput::ClientBatch(reqs) => {
+                buf.push(2);
+                reqs.encode(buf);
+            }
+            CompartmentInput::ViewTimeout => buf.push(3),
+            CompartmentInput::InstallSessionKey { client, client_dh_public, wrapped_key } => {
+                buf.push(4);
+                client.encode(buf);
+                client_dh_public.encode(buf);
+                Bytes::copy_from_slice(wrapped_key).encode(buf);
+            }
+        }
+    }
+}
+impl Decode for CompartmentInput {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            1 => Ok(CompartmentInput::Message(ConsensusMessage::decode(r)?)),
+            2 => Ok(CompartmentInput::ClientBatch(Vec::decode(r)?)),
+            3 => Ok(CompartmentInput::ViewTimeout),
+            4 => Ok(CompartmentInput::InstallSessionKey {
+                client: ClientId::decode(r)?,
+                client_dh_public: u64::decode(r)?,
+                wrapped_key: Bytes::decode(r)?.to_vec(),
+            }),
+            tag => Err(WireError::InvalidTag { ty: "CompartmentInput", tag }),
+        }
+    }
+}
+
+/// An effect posted by a compartment through the ocall queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompartmentOutput {
+    /// Send to every other replica (the broker handles fan-out and also
+    /// loops the message back into this replica's *other* compartments).
+    Broadcast(ConsensusMessage),
+    /// Deliver an (authenticated, possibly encrypted) reply to a client.
+    SendReply {
+        /// The destination client.
+        to: ClientId,
+        /// The reply.
+        reply: Reply,
+    },
+    /// Persist a sealed blob (blockchain blocks) to untrusted storage.
+    Persist(Bytes),
+    /// Observability: a batch committed at this slot.
+    Committed {
+        /// The slot.
+        seq: SeqNum,
+        /// The committed batch digest.
+        digest: Digest,
+    },
+    /// Observability: a request finished executing.
+    Executed {
+        /// The slot.
+        seq: SeqNum,
+        /// The request.
+        request: RequestId,
+    },
+    /// Observability: the checkpoint at `seq` became stable here.
+    StableCheckpoint {
+        /// The stable slot.
+        seq: SeqNum,
+    },
+    /// Observability: this compartment moved to a new view.
+    EnteredView(View),
+    /// Observability: the input was rejected (normal under byzantine
+    /// peers; surfaced for diagnostics and tests).
+    Rejected {
+        /// A short reason string.
+        reason: String,
+    },
+}
+
+impl Encode for CompartmentOutput {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            CompartmentOutput::Broadcast(m) => {
+                buf.push(1);
+                m.encode(buf);
+            }
+            CompartmentOutput::SendReply { to, reply } => {
+                buf.push(2);
+                to.encode(buf);
+                reply.encode(buf);
+            }
+            CompartmentOutput::Persist(b) => {
+                buf.push(3);
+                b.encode(buf);
+            }
+            CompartmentOutput::Committed { seq, digest } => {
+                buf.push(4);
+                seq.encode(buf);
+                digest.encode(buf);
+            }
+            CompartmentOutput::Executed { seq, request } => {
+                buf.push(5);
+                seq.encode(buf);
+                request.encode(buf);
+            }
+            CompartmentOutput::StableCheckpoint { seq } => {
+                buf.push(6);
+                seq.encode(buf);
+            }
+            CompartmentOutput::EnteredView(v) => {
+                buf.push(7);
+                v.encode(buf);
+            }
+            CompartmentOutput::Rejected { reason } => {
+                buf.push(8);
+                reason.encode(buf);
+            }
+        }
+    }
+}
+impl Decode for CompartmentOutput {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            1 => Ok(CompartmentOutput::Broadcast(ConsensusMessage::decode(r)?)),
+            2 => Ok(CompartmentOutput::SendReply {
+                to: ClientId::decode(r)?,
+                reply: Reply::decode(r)?,
+            }),
+            3 => Ok(CompartmentOutput::Persist(Bytes::decode(r)?)),
+            4 => Ok(CompartmentOutput::Committed {
+                seq: SeqNum::decode(r)?,
+                digest: Digest::decode(r)?,
+            }),
+            5 => Ok(CompartmentOutput::Executed {
+                seq: SeqNum::decode(r)?,
+                request: RequestId::decode(r)?,
+            }),
+            6 => Ok(CompartmentOutput::StableCheckpoint { seq: SeqNum::decode(r)? }),
+            7 => Ok(CompartmentOutput::EnteredView(View::decode(r)?)),
+            8 => Ok(CompartmentOutput::Rejected { reason: String::decode(r)? }),
+            tag => Err(WireError::InvalidTag { ty: "CompartmentOutput", tag }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splitbft_types::wire::roundtrip;
+    use splitbft_types::{ReplicaId, Signature, Signed, SignerId, Timestamp};
+
+    #[test]
+    fn inputs_roundtrip() {
+        roundtrip(&CompartmentInput::ViewTimeout);
+        roundtrip(&CompartmentInput::ClientBatch(vec![]));
+        roundtrip(&CompartmentInput::InstallSessionKey {
+            client: ClientId(3),
+            client_dh_public: 12345,
+            wrapped_key: vec![1, 2, 3],
+        });
+        let prep = splitbft_types::Prepare {
+            view: View(0),
+            seq: SeqNum(1),
+            digest: Digest::ZERO,
+            replica: ReplicaId(1),
+        };
+        roundtrip(&CompartmentInput::Message(ConsensusMessage::Prepare(Signed::new(
+            prep,
+            SignerId::Replica(ReplicaId(1)),
+            Signature::ZERO,
+        ))));
+    }
+
+    #[test]
+    fn outputs_roundtrip() {
+        roundtrip(&CompartmentOutput::Persist(Bytes::from_static(b"block")));
+        roundtrip(&CompartmentOutput::Committed { seq: SeqNum(4), digest: Digest::ZERO });
+        roundtrip(&CompartmentOutput::Executed {
+            seq: SeqNum(4),
+            request: RequestId { client: ClientId(0), timestamp: Timestamp(9) },
+        });
+        roundtrip(&CompartmentOutput::StableCheckpoint { seq: SeqNum(128) });
+        roundtrip(&CompartmentOutput::EnteredView(View(2)));
+        roundtrip(&CompartmentOutput::Rejected { reason: "bad signature".into() });
+    }
+}

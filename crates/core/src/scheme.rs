@@ -1,0 +1,87 @@
+//! SplitBFT's signer scheme and enclave measurements.
+//!
+//! In SplitBFT every protocol message is signed by an individual
+//! *enclave*, not by a replica: a `Prepare` must come from a Preparation
+//! enclave, a `Commit` from a Confirmation enclave, a `Checkpoint` from an
+//! Execution enclave. Binding message types to compartment types is what
+//! lets a receiving compartment ignore a compromised sibling enclave on
+//! the same replica — its key simply cannot produce the messages this
+//! compartment consumes.
+
+use splitbft_crypto::digest_bytes;
+use splitbft_pbft::SignerScheme;
+use splitbft_types::{CompartmentKind, EnclaveId, ReplicaId, SignerId};
+
+/// The expected signer of each message type under SplitBFT.
+pub const SPLITBFT_SCHEME: SignerScheme = SignerScheme {
+    proposer: |r: ReplicaId| SignerId::Enclave(EnclaveId::new(r, CompartmentKind::Preparation)),
+    preparer: |r: ReplicaId| SignerId::Enclave(EnclaveId::new(r, CompartmentKind::Preparation)),
+    confirmer: |r: ReplicaId| SignerId::Enclave(EnclaveId::new(r, CompartmentKind::Confirmation)),
+    executor: |r: ReplicaId| SignerId::Enclave(EnclaveId::new(r, CompartmentKind::Execution)),
+};
+
+/// The signer identity of one enclave.
+pub fn enclave_signer(replica: ReplicaId, kind: CompartmentKind) -> SignerId {
+    SignerId::Enclave(EnclaveId::new(replica, kind))
+}
+
+/// All enclave signer identities of a cluster plus nothing else — the
+/// registry population for a SplitBFT deployment.
+pub fn all_enclave_signers(n: usize) -> impl Iterator<Item = SignerId> {
+    (0..n as u32).flat_map(|r| {
+        CompartmentKind::ALL
+            .into_iter()
+            .map(move |kind| enclave_signer(ReplicaId(r), kind))
+    })
+}
+
+/// The enclave *measurement* of a compartment type. Enclaves of the same
+/// compartment share code and hence a measurement; different compartments
+/// share nothing (the paper's diversity argument), so their measurements
+/// differ.
+pub fn compartment_measurement(kind: CompartmentKind) -> [u8; 32] {
+    let label: &[u8] = match kind {
+        CompartmentKind::Preparation => b"splitbft-preparation-enclave-v1",
+        CompartmentKind::Confirmation => b"splitbft-confirmation-enclave-v1",
+        CompartmentKind::Execution => b"splitbft-execution-enclave-v1",
+    };
+    digest_bytes(label).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_routes_to_the_right_compartment() {
+        let r = ReplicaId(2);
+        assert_eq!(
+            (SPLITBFT_SCHEME.preparer)(r),
+            enclave_signer(r, CompartmentKind::Preparation)
+        );
+        assert_eq!(
+            (SPLITBFT_SCHEME.confirmer)(r),
+            enclave_signer(r, CompartmentKind::Confirmation)
+        );
+        assert_eq!(
+            (SPLITBFT_SCHEME.executor)(r),
+            enclave_signer(r, CompartmentKind::Execution)
+        );
+    }
+
+    #[test]
+    fn all_signers_enumerates_3n_enclaves() {
+        let signers: Vec<_> = all_enclave_signers(4).collect();
+        assert_eq!(signers.len(), 12);
+        let unique: std::collections::BTreeSet<_> = signers.iter().collect();
+        assert_eq!(unique.len(), 12);
+    }
+
+    #[test]
+    fn measurements_differ_per_compartment() {
+        let m: Vec<_> = CompartmentKind::ALL.iter().map(|k| compartment_measurement(*k)).collect();
+        assert_ne!(m[0], m[1]);
+        assert_ne!(m[1], m[2]);
+        assert_ne!(m[0], m[2]);
+    }
+}

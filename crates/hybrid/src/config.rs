@@ -1,0 +1,103 @@
+//! Configuration for the hybrid (2f + 1) fault model.
+
+use splitbft_types::{ProtocolError, ReplicaId, View};
+
+/// Cluster configuration under the hybrid fault model: `n = 2f + 1`
+/// replicas tolerate `f` byzantine *hosts* as long as every trusted
+/// counter is correct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HybridConfig {
+    n: usize,
+}
+
+impl HybridConfig {
+    /// Creates a configuration for `n` replicas.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::InvalidConfig`] if `n < 3` (hybrid BFT needs
+    /// `n >= 2f + 1` with `f >= 1`).
+    pub fn new(n: usize) -> Result<Self, ProtocolError> {
+        if n < 3 {
+            return Err(ProtocolError::InvalidConfig(format!(
+                "hybrid BFT requires at least 3 replicas, got {n}"
+            )));
+        }
+        Ok(HybridConfig { n })
+    }
+
+    /// Total number of replicas.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Tolerated byzantine hosts: `f = ⌊(n − 1) / 2⌋`.
+    #[inline]
+    pub fn f(&self) -> usize {
+        (self.n - 1) / 2
+    }
+
+    /// Commit quorum: `f + 1` matching commits (each backed by a unique
+    /// sequential identifier).
+    #[inline]
+    pub fn commit_quorum(&self) -> usize {
+        self.f() + 1
+    }
+
+    /// Matching replies a client needs: `f + 1`.
+    #[inline]
+    pub fn reply_quorum(&self) -> usize {
+        self.f() + 1
+    }
+
+    /// The primary of `view`.
+    #[inline]
+    pub fn primary(&self, view: View) -> ReplicaId {
+        ReplicaId((view.0 % self.n as u64) as u32)
+    }
+
+    /// Iterator over all replica ids.
+    pub fn replicas(&self) -> impl Iterator<Item = ReplicaId> + '_ {
+        (0..self.n as u32).map(ReplicaId)
+    }
+
+    /// `true` if `id` belongs to the cluster.
+    pub fn contains(&self, id: ReplicaId) -> bool {
+        (id.0 as usize) < self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quorum_arithmetic() {
+        let c3 = HybridConfig::new(3).unwrap();
+        assert_eq!((c3.f(), c3.commit_quorum(), c3.reply_quorum()), (1, 2, 2));
+        let c5 = HybridConfig::new(5).unwrap();
+        assert_eq!((c5.f(), c5.commit_quorum()), (2, 3));
+    }
+
+    #[test]
+    fn fewer_replicas_than_pbft_for_same_f() {
+        // The headline hybrid benefit: f=1 needs 3 replicas, not 4.
+        let hybrid = HybridConfig::new(3).unwrap();
+        let pbft = splitbft_types::ClusterConfig::new(4).unwrap();
+        assert_eq!(hybrid.f(), pbft.f());
+        assert!(hybrid.n() < pbft.n());
+    }
+
+    #[test]
+    fn too_small_rejected() {
+        assert!(HybridConfig::new(2).is_err());
+    }
+
+    #[test]
+    fn primary_rotation() {
+        let c = HybridConfig::new(3).unwrap();
+        assert_eq!(c.primary(View(0)), ReplicaId(0));
+        assert_eq!(c.primary(View(4)), ReplicaId(1));
+    }
+}

@@ -1,0 +1,466 @@
+//! The hybrid replica state machine (normal-case MinBFT).
+
+use crate::config::HybridConfig;
+use crate::message::{HybridCommit, HybridMessage, HybridPrepare};
+use crate::usig::{UsigTrait, UsigVerifier};
+use splitbft_app::Application;
+use splitbft_crypto::{client_mac_key, digest_of};
+use splitbft_types::{
+    ClientId, Digest, ProtocolError, ReplicaId, Reply, Request, RequestBatch, View,
+};
+use std::collections::BTreeMap;
+
+/// Effects requested by a [`HybridReplica`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HybridAction {
+    /// Send to every other replica.
+    Broadcast(HybridMessage),
+    /// Deliver a reply to a client.
+    SendReply {
+        /// Destination client.
+        to: ClientId,
+        /// The authenticated reply.
+        reply: Reply,
+    },
+    /// Persist an application blob.
+    Persist(bytes::Bytes),
+    /// Observability: the batch at this primary counter executed.
+    Executed {
+        /// The agreement slot (primary counter value).
+        counter: u64,
+    },
+}
+
+#[derive(Debug, Default)]
+struct HybridSlot {
+    batch: Option<RequestBatch>,
+    digest: Option<Digest>,
+    /// Committing replicas (the primary's prepare counts as its commit).
+    committers: BTreeMap<ReplicaId, ()>,
+}
+
+/// A replica of the hybrid protocol.
+///
+/// Generic over the trusted counter so the fault-model experiments can
+/// swap in a [`crate::usig::FaultyUsig`].
+pub struct HybridReplica<A, U> {
+    config: HybridConfig,
+    id: ReplicaId,
+    view: View,
+    usig: U,
+    verifier: UsigVerifier,
+    auth_seed: u64,
+    slots: BTreeMap<u64, HybridSlot>,
+    last_exec: u64,
+    app: A,
+    last_replies: BTreeMap<ClientId, Reply>,
+}
+
+impl<A: Application, U: UsigTrait> HybridReplica<A, U> {
+    /// Creates replica `id` with its trusted counter `usig`.
+    pub fn new(config: HybridConfig, id: ReplicaId, master_seed: u64, usig: U, app: A) -> Self {
+        let verifier = UsigVerifier::new(master_seed, config.replicas());
+        HybridReplica {
+            config,
+            id,
+            view: View::initial(),
+            usig,
+            verifier,
+            auth_seed: master_seed,
+            slots: BTreeMap::new(),
+            last_exec: 0,
+            app,
+            last_replies: BTreeMap::new(),
+        }
+    }
+
+    /// This replica's id.
+    pub fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    /// `true` if this replica is the primary.
+    pub fn is_primary(&self) -> bool {
+        self.config.primary(self.view) == self.id
+    }
+
+    /// Highest executed slot (primary counter value).
+    pub fn last_executed(&self) -> u64 {
+        self.last_exec
+    }
+
+    /// Read access to the application.
+    pub fn app(&self) -> &A {
+        &self.app
+    }
+
+    /// Mutable access to the trusted counter — used by the fault-model
+    /// experiments to compromise it (e.g. roll a
+    /// [`crate::usig::FaultyUsig`] back).
+    pub fn usig_mut(&mut self) -> &mut U {
+        &mut self.usig
+    }
+
+    /// Digest of the application state, for divergence checks in tests
+    /// and experiments.
+    pub fn state_digest(&self) -> Digest {
+        splitbft_crypto::digest_bytes(&self.app.snapshot())
+    }
+
+    fn verify_request(&self, req: &Request) -> bool {
+        let key = client_mac_key(self.auth_seed, req.client());
+        key.verify(&Request::auth_bytes(req.id, &req.op, req.encrypted), &req.auth)
+    }
+
+    /// Primary: order a batch of client requests.
+    pub fn on_client_batch(&mut self, requests: Vec<Request>) -> Vec<HybridAction> {
+        let mut actions = Vec::new();
+        if !self.is_primary() {
+            return actions;
+        }
+        let fresh: Vec<Request> = requests
+            .into_iter()
+            .filter(|r| self.verify_request(r))
+            .filter(|r| {
+                self.last_replies
+                    .get(&r.client())
+                    .map_or(true, |cached| cached.request.timestamp < r.id.timestamp)
+            })
+            .collect();
+        if fresh.is_empty() {
+            return actions;
+        }
+        let batch = RequestBatch::new(fresh);
+        let digest = digest_of(&batch);
+        let ui = self.usig.create_ui(&digest);
+        let counter = ui.counter;
+
+        let slot = self.slots.entry(counter).or_default();
+        slot.batch = Some(batch.clone());
+        slot.digest = Some(digest);
+        slot.committers.insert(self.id, ());
+
+        actions.push(HybridAction::Broadcast(HybridMessage::Prepare(HybridPrepare {
+            view: self.view,
+            batch,
+            ui,
+        })));
+        actions.extend(self.try_execute());
+        actions
+    }
+
+    /// Handles one protocol message.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ProtocolError`]; USIG violations surface as
+    /// [`ProtocolError::BadAuthenticator`].
+    pub fn on_message(&mut self, msg: HybridMessage) -> Result<Vec<HybridAction>, ProtocolError> {
+        match msg {
+            HybridMessage::Prepare(p) => self.handle_prepare(p),
+            HybridMessage::Commit(c) => self.handle_commit(c),
+        }
+    }
+
+    fn handle_prepare(&mut self, p: HybridPrepare) -> Result<Vec<HybridAction>, ProtocolError> {
+        if p.view != self.view {
+            return Err(ProtocolError::WrongView { got: p.view, current: self.view });
+        }
+        let primary = self.config.primary(p.view);
+        if primary == self.id {
+            return Err(ProtocolError::Other("primary received its own prepare".into()));
+        }
+        let digest = p.batch_digest();
+        self.verifier
+            .verify(primary, &digest, &p.ui)
+            .map_err(|_| ProtocolError::BadAuthenticator { kind: "USIG on prepare" })?;
+        if !p.batch.requests.iter().all(|r| self.verify_request(r)) {
+            return Err(ProtocolError::BadAuthenticator { kind: "request in hybrid batch" });
+        }
+
+        let counter = p.ui.counter;
+        let slot = self.slots.entry(counter).or_default();
+        slot.batch = Some(p.batch);
+        slot.digest = Some(digest);
+        slot.committers.insert(primary, ());
+
+        // This backup's commit, sealed by its own counter.
+        let mut commit = HybridCommit {
+            view: self.view,
+            replica: self.id,
+            primary_counter: counter,
+            batch_digest: digest,
+            ui: crate::usig::UsigUi { counter: 0, signature: splitbft_types::Signature::ZERO },
+        };
+        commit.ui = self.usig.create_ui(&commit.commit_digest());
+        self.slots.entry(counter).or_default().committers.insert(self.id, ());
+
+        let mut actions = vec![HybridAction::Broadcast(HybridMessage::Commit(commit))];
+        actions.extend(self.try_execute());
+        Ok(actions)
+    }
+
+    fn handle_commit(&mut self, c: HybridCommit) -> Result<Vec<HybridAction>, ProtocolError> {
+        if c.view != self.view {
+            return Err(ProtocolError::WrongView { got: c.view, current: self.view });
+        }
+        if !self.config.contains(c.replica) {
+            return Err(ProtocolError::UnknownReplica(c.replica));
+        }
+        self.verifier
+            .verify(c.replica, &c.commit_digest(), &c.ui)
+            .map_err(|_| ProtocolError::BadAuthenticator { kind: "USIG on commit" })?;
+
+        let slot = self.slots.entry(c.primary_counter).or_default();
+        // A commit only counts toward slots whose digest it matches;
+        // commits for unknown slots park the digest for later comparison.
+        match slot.digest {
+            Some(d) if d != c.batch_digest => {
+                return Err(ProtocolError::BadCertificate { kind: "hybrid commit digest" })
+            }
+            _ => {}
+        }
+        slot.committers.insert(c.replica, ());
+        Ok(self.try_execute())
+    }
+
+    fn try_execute(&mut self) -> Vec<HybridAction> {
+        let mut actions = Vec::new();
+        loop {
+            let next = self.last_exec + 1;
+            let ready = self.slots.get(&next).map_or(false, |s| {
+                s.batch.is_some() && s.committers.len() >= self.config.commit_quorum()
+            });
+            if !ready {
+                break;
+            }
+            let batch = self.slots.get(&next).and_then(|s| s.batch.clone()).expect("checked");
+            for req in &batch.requests {
+                let client = req.client();
+                match self.last_replies.get(&client) {
+                    Some(cached) if cached.request.timestamp == req.id.timestamp => {
+                        actions.push(HybridAction::SendReply { to: client, reply: cached.clone() });
+                        continue;
+                    }
+                    Some(cached) if cached.request.timestamp > req.id.timestamp => continue,
+                    _ => {}
+                }
+                let result = self.app.execute(&req.op);
+                let key = client_mac_key(self.auth_seed, client);
+                let auth =
+                    key.tag(&Reply::auth_bytes(self.view, req.id, self.id, &result, false));
+                let reply = Reply {
+                    view: self.view,
+                    request: req.id,
+                    replica: self.id,
+                    result,
+                    encrypted: false,
+                    auth,
+                };
+                self.last_replies.insert(client, reply.clone());
+                actions.push(HybridAction::SendReply { to: client, reply });
+            }
+            for blob in self.app.drain_persist() {
+                actions.push(HybridAction::Persist(blob));
+            }
+            self.slots.remove(&next);
+            self.last_exec = next;
+            actions.push(HybridAction::Executed { counter: next });
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::usig::{FaultyUsig, Usig};
+    use bytes::Bytes;
+    use splitbft_app::CounterApp;
+    use splitbft_types::Timestamp;
+
+    const SEED: u64 = 77;
+
+    type R = HybridReplica<CounterApp, Usig>;
+
+    fn cluster(n: usize) -> Vec<R> {
+        let cfg = HybridConfig::new(n).unwrap();
+        (0..n as u32)
+            .map(|i| {
+                HybridReplica::new(
+                    cfg.clone(),
+                    ReplicaId(i),
+                    SEED,
+                    Usig::new(SEED, ReplicaId(i)),
+                    CounterApp::new(),
+                )
+            })
+            .collect()
+    }
+
+    fn request(client: u32, ts: u64) -> Request {
+        let id = splitbft_types::RequestId { client: ClientId(client), timestamp: Timestamp(ts) };
+        let op = Bytes::from_static(b"inc");
+        let key = client_mac_key(SEED, ClientId(client));
+        let auth = key.tag(&Request::auth_bytes(id, &op, false));
+        Request { id, op, encrypted: false, auth }
+    }
+
+    fn pump(replicas: &mut [R], mut inbox: Vec<(usize, HybridMessage)>) -> Vec<Reply> {
+        let mut replies = Vec::new();
+        while let Some((to, msg)) = inbox.pop() {
+            let actions = replicas[to].on_message(msg).unwrap_or_default();
+            for a in actions {
+                match a {
+                    HybridAction::Broadcast(m) => {
+                        for (i, _) in replicas.iter().enumerate() {
+                            if i != to {
+                                inbox.push((i, m.clone()));
+                            }
+                        }
+                    }
+                    HybridAction::SendReply { reply, .. } => replies.push(reply),
+                    _ => {}
+                }
+            }
+        }
+        replies
+    }
+
+    #[test]
+    fn three_replicas_commit_and_execute() {
+        let mut replicas = cluster(3);
+        let actions = replicas[0].on_client_batch(vec![request(0, 1)]);
+        let prepare = actions
+            .iter()
+            .find_map(|a| match a {
+                HybridAction::Broadcast(m) => Some(m.clone()),
+                _ => None,
+            })
+            .expect("prepare broadcast");
+        let replies = pump(&mut replicas, vec![(1, prepare.clone()), (2, prepare)]);
+
+        for r in &replicas {
+            assert_eq!(r.last_executed(), 1, "replica {} executed", r.id());
+            assert_eq!(r.app().value(), 1);
+        }
+        // Replies from all three replicas (primary executes on quorum of
+        // commits arriving back).
+        assert!(replies.len() >= 2);
+    }
+
+    #[test]
+    fn forged_request_rejected() {
+        let mut replicas = cluster(3);
+        let mut req = request(0, 1);
+        req.auth = [0; 32];
+        let actions = replicas[0].on_client_batch(vec![req]);
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn equivocation_blocked_by_genuine_usig() {
+        // With a genuine counter, the primary physically cannot produce
+        // two prepares with the same counter: the second create_ui call
+        // advances the counter, and backups reject the gap/out-of-order.
+        let mut replicas = cluster(3);
+        let a1 = replicas[0].on_client_batch(vec![request(0, 1)]);
+        let p1 = a1.iter().find_map(|a| match a {
+            HybridAction::Broadcast(HybridMessage::Prepare(p)) => Some(p.clone()),
+            _ => None,
+        }).unwrap();
+        let a2 = replicas[0].on_client_batch(vec![request(1, 1)]);
+        let p2 = a2.iter().find_map(|a| match a {
+            HybridAction::Broadcast(HybridMessage::Prepare(p)) => Some(p.clone()),
+            _ => None,
+        }).unwrap();
+        assert_ne!(p1.ui.counter, p2.ui.counter, "counters are unique");
+
+        // Delivering p2 before p1 is rejected (gap); p1 then p2 is fine.
+        assert!(replicas[1].on_message(HybridMessage::Prepare(p2.clone())).is_err());
+        assert!(replicas[1].on_message(HybridMessage::Prepare(p1)).is_ok());
+        assert!(replicas[1].on_message(HybridMessage::Prepare(p2)).is_ok());
+    }
+
+    #[test]
+    fn compromised_usig_breaks_safety() {
+        // The Table 1 scenario: the primary's "trusted" counter is
+        // compromised and rolled back, producing two conflicting batches
+        // under the same counter. Disjoint backups each accept one —
+        // divergent execution, a safety violation PBFT-with-3f+1 would
+        // have prevented.
+        let cfg = HybridConfig::new(3).unwrap();
+        let mut evil_primary = HybridReplica::new(
+            cfg.clone(),
+            ReplicaId(0),
+            SEED,
+            FaultyUsig::new(SEED, ReplicaId(0)),
+            CounterApp::new(),
+        );
+        let mk_backup = |i: u32| {
+            HybridReplica::new(
+                cfg.clone(),
+                ReplicaId(i),
+                SEED,
+                Usig::new(SEED, ReplicaId(i)),
+                CounterApp::new(),
+            )
+        };
+        let mut r1 = mk_backup(1);
+        let mut r2 = mk_backup(2);
+
+        let a1 = evil_primary.on_client_batch(vec![request(0, 1)]);
+        let p_a = a1.iter().find_map(|a| match a {
+            HybridAction::Broadcast(HybridMessage::Prepare(p)) => Some(p.clone()),
+            _ => None,
+        }).unwrap();
+
+        // Roll the counter back and order a *different* batch under the
+        // same counter value.
+        evil_primary.usig.rollback(1);
+        let a2 = evil_primary.on_client_batch(vec![request(1, 1)]);
+        let p_b = a2.iter().find_map(|a| match a {
+            HybridAction::Broadcast(HybridMessage::Prepare(p)) => Some(p.clone()),
+            _ => None,
+        }).unwrap();
+        assert_eq!(p_a.ui.counter, p_b.ui.counter);
+        assert_ne!(p_a.batch_digest(), p_b.batch_digest());
+
+        // r1 sees batch A, r2 sees batch B; both execute immediately
+        // (own commit + primary's prepare = f+1 = 2).
+        r1.on_message(HybridMessage::Prepare(p_a)).unwrap();
+        r2.on_message(HybridMessage::Prepare(p_b)).unwrap();
+        assert_eq!(r1.last_executed(), 1);
+        assert_eq!(r2.last_executed(), 1);
+        // Divergent state at the same slot: safety violated.
+        // (Both executed "inc" from different clients here, so check the
+        // reply bindings rather than the counter value: the slot's batch
+        // digests differed.)
+        assert_ne!(
+            r1.last_replies.keys().collect::<Vec<_>>(),
+            r2.last_replies.keys().collect::<Vec<_>>(),
+            "replicas executed different requests at the same slot"
+        );
+    }
+
+    #[test]
+    fn five_replica_cluster_needs_three_commits() {
+        let mut replicas = cluster(5);
+        let actions = replicas[0].on_client_batch(vec![request(0, 1)]);
+        let prepare = actions.iter().find_map(|a| match a {
+            HybridAction::Broadcast(m) => Some(m.clone()),
+            _ => None,
+        }).unwrap();
+
+        // Deliver the prepare to one backup only: primary+r1 = 2 < 3.
+        let HybridMessage::Prepare(_) = &prepare else { panic!() };
+        let acts = replicas[1].on_message(prepare.clone()).unwrap();
+        assert_eq!(replicas[1].last_executed(), 0, "2 of 3 commits is not enough");
+
+        // Deliver r1's commit to nobody; give the prepare to r2: now r2
+        // has primary+own = 2 < 3 as well.
+        let _ = acts;
+        replicas[2].on_message(prepare).unwrap();
+        assert_eq!(replicas[2].last_executed(), 0);
+    }
+}

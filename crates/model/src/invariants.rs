@@ -1,0 +1,177 @@
+//! The safety invariants and the ledger that checks them.
+
+use splitbft_types::{Digest, ReplicaId, SeqNum};
+use std::collections::BTreeMap;
+
+/// A detected safety violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SafetyViolation {
+    /// Two correct replicas committed different batches at one slot.
+    Disagreement {
+        /// The slot.
+        seq: SeqNum,
+        /// First replica and its digest.
+        a: (ReplicaId, Digest),
+        /// Second replica and its conflicting digest.
+        b: (ReplicaId, Digest),
+    },
+    /// A replica executed an operation no client submitted.
+    ForgedExecution {
+        /// The executing replica.
+        replica: ReplicaId,
+        /// The slot.
+        seq: SeqNum,
+    },
+}
+
+impl std::fmt::Display for SafetyViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SafetyViolation::Disagreement { seq, a, b } => write!(
+                f,
+                "disagreement at {seq}: {} committed {} but {} committed {}",
+                a.0,
+                a.1.short(),
+                b.0,
+                b.1.short()
+            ),
+            SafetyViolation::ForgedExecution { replica, seq } => {
+                write!(f, "{replica} executed a forged operation at {seq}")
+            }
+        }
+    }
+}
+
+/// Collects per-replica commit records and checks agreement.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionLedger {
+    /// `(seq → (replica → digest))` over *correct* replicas only.
+    commits: BTreeMap<SeqNum, BTreeMap<ReplicaId, Digest>>,
+    /// Digests of batches legitimately submitted by clients.
+    legitimate: std::collections::BTreeSet<Digest>,
+    violations: Vec<SafetyViolation>,
+}
+
+impl ExecutionLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a batch digest as legitimately submitted (for the
+    /// validity check).
+    pub fn register_legitimate(&mut self, digest: Digest) {
+        self.legitimate.insert(digest);
+    }
+
+    /// Records that correct replica `replica` committed `digest` at
+    /// `seq` (as observed at its Execution stage), checking agreement
+    /// and validity on the fly.
+    pub fn record_commit(&mut self, replica: ReplicaId, seq: SeqNum, digest: Digest) {
+        let slot = self.commits.entry(seq).or_default();
+        for (&other, &other_digest) in slot.iter() {
+            if other_digest != digest {
+                self.violations.push(SafetyViolation::Disagreement {
+                    seq,
+                    a: (other, other_digest),
+                    b: (replica, digest),
+                });
+            }
+        }
+        slot.insert(replica, digest);
+        if !self.legitimate.is_empty() && !self.legitimate.contains(&digest) {
+            self.violations.push(SafetyViolation::ForgedExecution { replica, seq });
+        }
+    }
+
+    /// All violations detected so far.
+    pub fn violations(&self) -> &[SafetyViolation] {
+        &self.violations
+    }
+
+    /// `true` if the run stayed safe.
+    pub fn is_safe(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Number of slots with at least one recorded commit.
+    pub fn committed_slots(&self) -> usize {
+        self.commits.len()
+    }
+
+    /// The highest slot every recorded replica agrees on (progress
+    /// indicator for liveness checks).
+    pub fn agreed_prefix(&self) -> usize {
+        self.commits
+            .values()
+            .filter(|slot| {
+                let mut digests = slot.values();
+                let first = digests.next();
+                digests.all(|d| Some(d) == first)
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest(x: u8) -> Digest {
+        Digest::from_bytes([x; 32])
+    }
+
+    #[test]
+    fn agreement_holds_on_matching_commits() {
+        let mut ledger = ExecutionLedger::new();
+        ledger.record_commit(ReplicaId(0), SeqNum(1), digest(1));
+        ledger.record_commit(ReplicaId(1), SeqNum(1), digest(1));
+        ledger.record_commit(ReplicaId(0), SeqNum(2), digest(2));
+        assert!(ledger.is_safe());
+        assert_eq!(ledger.committed_slots(), 2);
+    }
+
+    #[test]
+    fn disagreement_detected() {
+        let mut ledger = ExecutionLedger::new();
+        ledger.record_commit(ReplicaId(0), SeqNum(1), digest(1));
+        ledger.record_commit(ReplicaId(2), SeqNum(1), digest(9));
+        assert!(!ledger.is_safe());
+        assert!(matches!(
+            ledger.violations()[0],
+            SafetyViolation::Disagreement { seq: SeqNum(1), .. }
+        ));
+    }
+
+    #[test]
+    fn forged_execution_detected() {
+        let mut ledger = ExecutionLedger::new();
+        ledger.register_legitimate(digest(1));
+        ledger.record_commit(ReplicaId(0), SeqNum(1), digest(1));
+        assert!(ledger.is_safe());
+        ledger.record_commit(ReplicaId(1), SeqNum(2), digest(66));
+        assert!(matches!(
+            ledger.violations()[0],
+            SafetyViolation::ForgedExecution { .. }
+        ));
+    }
+
+    #[test]
+    fn validity_disabled_without_registrations() {
+        let mut ledger = ExecutionLedger::new();
+        ledger.record_commit(ReplicaId(0), SeqNum(1), digest(1));
+        assert!(ledger.is_safe());
+    }
+
+    #[test]
+    fn violation_display_is_readable() {
+        let v = SafetyViolation::Disagreement {
+            seq: SeqNum(3),
+            a: (ReplicaId(0), digest(1)),
+            b: (ReplicaId(1), digest(2)),
+        };
+        let s = v.to_string();
+        assert!(s.contains("s3"));
+        assert!(s.contains("r0"));
+    }
+}

@@ -1,0 +1,515 @@
+//! Canned fault-model scenarios regenerating the paper's Table 1.
+//!
+//! Each scenario sets up one system (PBFT / hybrid / SplitBFT) under one
+//! attacker configuration and reports whether safety held and whether
+//! the correct replicas made progress. The *beyond-model* scenarios
+//! double as mutation tests: they prove the checker really detects
+//! violations when the fault assumptions are exceeded.
+
+use crate::adversary::Adversary;
+use crate::explorer::{ExplorerConfig, ScheduleExplorer};
+use crate::invariants::ExecutionLedger;
+use bytes::Bytes;
+use splitbft_app::CounterApp;
+use splitbft_core::{ReplicaEvent, SplitBftReplica};
+use splitbft_crypto::digest_of;
+use splitbft_hybrid::{FaultyUsig, HybridAction, HybridConfig, HybridMessage, HybridReplica, Usig};
+use splitbft_pbft::{Action, Replica as PbftReplica};
+use splitbft_tee::{CostModel, ExecMode};
+use splitbft_types::{
+    ClientId, ClusterConfig, CompartmentKind, ConsensusMessage, EnclaveId, ReplicaId,
+    RequestBatch, SeqNum, SignerId, Timestamp, View,
+};
+
+const SEED: u64 = 0x7AB1E_1;
+
+/// The fault-model scenarios of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// PBFT with `f` byzantine replicas (its design point).
+    PbftFByzantine,
+    /// PBFT with `f + 1` compromised replicas — beyond its model.
+    PbftBeyondF,
+    /// Hybrid protocol, `f` byzantine *hosts*, all trusted counters
+    /// correct (its design point).
+    HybridFByzantineHosts,
+    /// Hybrid protocol with one compromised trusted counter — the TEE
+    /// failure hybrid protocols assume away.
+    HybridCompromisedTee,
+    /// SplitBFT with a hostile environment on *every* replica (drops,
+    /// reorders, duplicates) and correct enclaves.
+    SplitBftHostileEnvironments,
+    /// SplitBFT with `f` compromised enclaves *per compartment type*, on
+    /// different replicas, actively forging messages (paper Figure 1).
+    SplitBftFEnclavesPerType,
+    /// SplitBFT with `2f + 1` compromised Confirmation enclaves — beyond
+    /// its model.
+    SplitBftBeyondModel,
+}
+
+impl Scenario {
+    /// All scenarios, in Table 1 presentation order.
+    pub const ALL: [Scenario; 7] = [
+        Scenario::PbftFByzantine,
+        Scenario::PbftBeyondF,
+        Scenario::HybridFByzantineHosts,
+        Scenario::HybridCompromisedTee,
+        Scenario::SplitBftHostileEnvironments,
+        Scenario::SplitBftFEnclavesPerType,
+        Scenario::SplitBftBeyondModel,
+    ];
+
+    /// A short human-readable description.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            Scenario::PbftFByzantine => "PBFT, f byzantine replicas",
+            Scenario::PbftBeyondF => "PBFT, f+1 compromised replicas",
+            Scenario::HybridFByzantineHosts => "Hybrid (2f+1), f byzantine hosts, TEEs correct",
+            Scenario::HybridCompromisedTee => "Hybrid (2f+1), one compromised trusted counter",
+            Scenario::SplitBftHostileEnvironments => {
+                "SplitBFT, hostile environment on all n replicas"
+            }
+            Scenario::SplitBftFEnclavesPerType => {
+                "SplitBFT, f faulty enclaves per compartment type"
+            }
+            Scenario::SplitBftBeyondModel => "SplitBFT, 2f+1 compromised Confirmation enclaves",
+        }
+    }
+
+    /// Whether the protocol's fault model claims to tolerate this
+    /// scenario (the paper's Table 1 expectation).
+    pub fn expected_safe(&self) -> bool {
+        !matches!(
+            self,
+            Scenario::PbftBeyondF
+                | Scenario::HybridCompromisedTee
+                | Scenario::SplitBftBeyondModel
+        )
+    }
+}
+
+/// The observed outcome of a scenario run.
+#[derive(Debug, Clone)]
+pub struct Verdict {
+    /// No two correct replicas committed divergent batches.
+    pub safety_held: bool,
+    /// Correct replicas executed at least one request.
+    pub made_progress: bool,
+    /// Free-text detail for the report.
+    pub detail: String,
+}
+
+/// Runs one scenario and reports the verdict.
+pub fn run_scenario(scenario: Scenario, seed: u64) -> Verdict {
+    match scenario {
+        Scenario::PbftFByzantine => pbft_scenario(seed, 1),
+        Scenario::PbftBeyondF => pbft_scenario(seed, 2),
+        Scenario::HybridFByzantineHosts => hybrid_honest_tee(),
+        Scenario::HybridCompromisedTee => hybrid_compromised_tee(),
+        Scenario::SplitBftHostileEnvironments => splitbft_hostile_envs(seed),
+        Scenario::SplitBftFEnclavesPerType => splitbft_f_per_type(seed),
+        Scenario::SplitBftBeyondModel => splitbft_beyond_model(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PBFT scenarios
+// ---------------------------------------------------------------------------
+
+/// Runs PBFT (n = 4) with the adversary holding `compromised` replica
+/// keys, including the primary's.
+///
+/// With one compromised key (the byzantine primary, `f = 1`) the attacker
+/// can equivocate, but quorum intersection keeps the correct replicas
+/// consistent: at most one of the conflicting proposals can gather a
+/// commit quorum. With two compromised keys (`f + 1`) the attacker forges
+/// a full vote set for a *different* batch per victim and the two correct
+/// replicas commit divergent state.
+fn pbft_scenario(seed: u64, compromised: usize) -> Verdict {
+    let cluster = ClusterConfig::new(4).expect("n = 4");
+    let signers: Vec<SignerId> =
+        (0..compromised as u32).map(|i| SignerId::Replica(ReplicaId(i))).collect();
+    let adversary = Adversary::new(seed, signers.clone());
+    let mut ledger = ExecutionLedger::new();
+
+    let victims: Vec<u32> = (compromised as u32..4).collect();
+    let mut replicas: Vec<PbftReplica<CounterApp>> = victims
+        .iter()
+        .map(|&i| PbftReplica::new(cluster.clone(), ReplicaId(i), seed, CounterApp::new()))
+        .collect();
+
+    let batch_a = adversary.evil_batch(0xA0);
+    let batch_b = adversary.evil_batch(0xB0);
+    let digest_a = digest_of(&batch_a);
+    let digest_b = digest_of(&batch_b);
+    let primary_key = SignerId::Replica(ReplicaId(0));
+
+    // The equivocation: proposal A to the first victim, proposal B to the
+    // rest, plus forged votes from every *other* compromised key.
+    let mut inboxes: Vec<Vec<ConsensusMessage>> = Vec::new();
+    for (vi, _) in victims.iter().enumerate() {
+        let (batch, digest) =
+            if vi == 0 { (batch_a.clone(), digest_a) } else { (batch_b.clone(), digest_b) };
+        let mut inbox =
+            vec![adversary.forge_pre_prepare(primary_key, View(0), SeqNum(1), batch)];
+        for signer in &signers {
+            let SignerId::Replica(r) = signer else { unreachable!() };
+            if *r != ReplicaId(0) {
+                inbox.push(adversary.forge_prepare(*signer, *r, View(0), SeqNum(1), digest));
+            }
+            inbox.push(adversary.forge_commit(*signer, *r, View(0), SeqNum(1), digest));
+        }
+        inboxes.push(inbox);
+    }
+
+    // Message pump. Victims talk to each other freely except that the
+    // hostile network partitions victim 0 from the rest when the attacker
+    // holds f + 1 keys (it controls scheduling and wants the divergence
+    // to stick).
+    let partition_first = compromised >= 2;
+    let mut pending: Vec<(usize, ConsensusMessage)> = Vec::new();
+    for (vi, inbox) in inboxes.into_iter().enumerate() {
+        for msg in inbox {
+            pending.push((vi, msg));
+        }
+    }
+    let mut steps = 0;
+    while let Some((vi, msg)) = pending.pop() {
+        steps += 1;
+        if steps > 10_000 {
+            break;
+        }
+        let actions = replicas[vi].on_message(msg).unwrap_or_default();
+        for action in actions {
+            match action {
+                Action::CommittedBatch { seq, digest } => {
+                    ledger.record_commit(ReplicaId(victims[vi]), seq, digest);
+                }
+                Action::Broadcast { msg } => {
+                    for peer in 0..victims.len() {
+                        if peer == vi {
+                            continue;
+                        }
+                        let severed =
+                            partition_first && (peer == 0) != (vi == 0) && peer != vi;
+                        if !severed {
+                            pending.push((peer, msg.clone()));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    Verdict {
+        safety_held: ledger.is_safe(),
+        made_progress: ledger.committed_slots() > 0,
+        detail: format!(
+            "{} compromised key(s); {} slot(s) committed; violations: {}",
+            compromised,
+            ledger.committed_slots(),
+            ledger.violations().len()
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hybrid scenarios
+// ---------------------------------------------------------------------------
+
+fn hybrid_request(client: u32, ts: u64) -> splitbft_types::Request {
+    splitbft_pbft::make_request(SEED, ClientId(client), Timestamp(ts), Bytes::from_static(b"inc"))
+}
+
+fn hybrid_honest_tee() -> Verdict {
+    // f = 1 byzantine host: it suppresses and replays messages but the
+    // genuine USIG prevents equivocation; the two correct replicas stay
+    // consistent.
+    let cfg = HybridConfig::new(3).expect("n = 3");
+    let mut primary = HybridReplica::new(
+        cfg.clone(),
+        ReplicaId(0),
+        SEED,
+        Usig::new(SEED, ReplicaId(0)),
+        CounterApp::new(),
+    );
+    let mut r1 = HybridReplica::new(
+        cfg.clone(),
+        ReplicaId(1),
+        SEED,
+        Usig::new(SEED, ReplicaId(1)),
+        CounterApp::new(),
+    );
+    // Replica 2 is the byzantine host: it receives everything but sends
+    // nothing useful (and cannot forge UIs).
+    for ts in 1..=3u64 {
+        let actions = primary.on_client_batch(vec![hybrid_request(0, ts)]);
+        let prepare = actions.iter().find_map(|a| match a {
+            HybridAction::Broadcast(m) => Some(m.clone()),
+            _ => None,
+        });
+        if let Some(prepare) = prepare {
+            // Replay attack by the byzantine host: deliver twice; the
+            // USIG counter window rejects the duplicate.
+            let replies = r1.on_message(prepare.clone()).expect("first delivery accepted");
+            assert!(r1.on_message(prepare).is_err(), "replay must be rejected");
+            // Deliver r1's commit back to the primary (that link is
+            // honest).
+            for a in replies {
+                if let HybridAction::Broadcast(commit) = a {
+                    let _ = primary.on_message(commit);
+                }
+            }
+        }
+    }
+    let safety_held = primary.state_digest() == r1.state_digest()
+        && primary.last_executed() == r1.last_executed();
+    Verdict {
+        safety_held,
+        made_progress: r1.last_executed() > 0,
+        detail: format!("correct replicas executed {} slots in lockstep", r1.last_executed()),
+    }
+}
+
+fn hybrid_compromised_tee() -> Verdict {
+    // The paper's motivating failure: the primary's "trusted" counter is
+    // rolled back and signs two conflicting prepares under one counter
+    // value. Each correct replica accepts one — divergence.
+    let cfg = HybridConfig::new(3).expect("n = 3");
+    let mut evil_primary = HybridReplica::new(
+        cfg.clone(),
+        ReplicaId(0),
+        SEED,
+        FaultyUsig::new(SEED, ReplicaId(0)),
+        CounterApp::new(),
+    );
+    let mk = |i: u32| {
+        HybridReplica::new(
+            cfg.clone(),
+            ReplicaId(i),
+            SEED,
+            Usig::new(SEED, ReplicaId(i)),
+            CounterApp::new(),
+        )
+    };
+    let (mut r1, mut r2) = (mk(1), mk(2));
+
+    let grab = |actions: &[HybridAction]| {
+        actions.iter().find_map(|a| match a {
+            HybridAction::Broadcast(HybridMessage::Prepare(p)) => Some(p.clone()),
+            _ => None,
+        })
+    };
+    let a1 = evil_primary.on_client_batch(vec![hybrid_request(0, 1)]);
+    let p_a = grab(&a1).expect("prepare A");
+    evil_primary.usig_mut().rollback(1);
+    let a2 = evil_primary.on_client_batch(vec![hybrid_request(1, 1)]);
+    let p_b = grab(&a2).expect("prepare B");
+
+    let digest_a = p_a.batch_digest();
+    let digest_b = p_b.batch_digest();
+    let _ = r1.on_message(HybridMessage::Prepare(p_a));
+    let _ = r2.on_message(HybridMessage::Prepare(p_b));
+
+    let mut ledger = ExecutionLedger::new();
+    if r1.last_executed() >= 1 {
+        ledger.record_commit(ReplicaId(1), SeqNum(1), digest_a);
+    }
+    if r2.last_executed() >= 1 {
+        ledger.record_commit(ReplicaId(2), SeqNum(1), digest_b);
+    }
+    Verdict {
+        safety_held: ledger.is_safe(),
+        made_progress: ledger.committed_slots() > 0,
+        detail: format!(
+            "counter rollback produced {} violation(s) at slot 1",
+            ledger.violations().len()
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SplitBFT scenarios
+// ---------------------------------------------------------------------------
+
+fn splitbft_hostile_envs(seed: u64) -> Verdict {
+    let report = ScheduleExplorer::new(ExplorerConfig {
+        schedules: 10,
+        requests: 6,
+        drop_probability: 0.25,
+        duplicate_probability: 0.15,
+        seed,
+        ..Default::default()
+    })
+    .run();
+    Verdict {
+        safety_held: report.is_safe(),
+        made_progress: report.total_commits > 0,
+        detail: format!(
+            "{} schedules, {} commits, {} violations",
+            report.schedules,
+            report.total_commits,
+            report.violations.len()
+        ),
+    }
+}
+
+fn splitbft_f_per_type(seed: u64) -> Verdict {
+    let compromised = vec![
+        SignerId::Enclave(EnclaveId::new(ReplicaId(0), CompartmentKind::Preparation)),
+        SignerId::Enclave(EnclaveId::new(ReplicaId(1), CompartmentKind::Confirmation)),
+        SignerId::Enclave(EnclaveId::new(ReplicaId(2), CompartmentKind::Execution)),
+    ];
+    let report = ScheduleExplorer::new(ExplorerConfig {
+        schedules: 10,
+        requests: 5,
+        compromised,
+        injection_probability: 0.25,
+        drop_probability: 0.1,
+        duplicate_probability: 0.1,
+        seed,
+        ..Default::default()
+    })
+    .run();
+    Verdict {
+        safety_held: report.is_safe(),
+        made_progress: report.total_commits > 0,
+        detail: format!(
+            "{} schedules with active forgery, {} commits, {} violations",
+            report.schedules,
+            report.total_commits,
+            report.violations.len()
+        ),
+    }
+}
+
+fn splitbft_beyond_model() -> Verdict {
+    // 2f + 1 = 3 compromised Confirmation enclaves can fabricate a full
+    // commit certificate for a batch that never prepared. The victim's
+    // correct Execution enclave executes it while the rest of the
+    // cluster executes the legitimate batch: disagreement.
+    let cluster = ClusterConfig::new(4).expect("n = 4");
+    let conf = |r: u32| {
+        SignerId::Enclave(EnclaveId::new(ReplicaId(r), CompartmentKind::Confirmation))
+    };
+    let adversary = Adversary::new(SEED, [conf(0), conf(1), conf(2)]);
+    let mut ledger = ExecutionLedger::new();
+
+    let mut replicas: Vec<SplitBftReplica<CounterApp>> = (0..4u32)
+        .map(|i| {
+            SplitBftReplica::new(
+                cluster.clone(),
+                ReplicaId(i),
+                SEED,
+                CounterApp::new(),
+                ExecMode::Simulation,
+                CostModel::simulation_mode(),
+            )
+        })
+        .collect();
+
+    // Honest run on replicas 0..3 (victim r3 is partitioned off by the
+    // hostile environment).
+    let request =
+        splitbft_pbft::make_request(SEED, ClientId(0), Timestamp(1), Bytes::from_static(b"inc"));
+    let legit_batch = RequestBatch::single(request.clone());
+    let legit_digest = digest_of(&legit_batch);
+    let mut pending: Vec<(usize, ConsensusMessage)> = Vec::new();
+    let events = replicas[0].on_client_batch(vec![request]);
+    for e in events {
+        if let ReplicaEvent::Broadcast(m) = e {
+            for to in 1..3usize {
+                pending.push((to, m.clone()));
+            }
+        }
+    }
+    while let Some((to, msg)) = pending.pop() {
+        for e in replicas[to].on_network_message(msg) {
+            match e {
+                ReplicaEvent::Broadcast(m) => {
+                    for peer in 0..3usize {
+                        if peer != to {
+                            pending.push((peer, m.clone()));
+                        }
+                    }
+                }
+                ReplicaEvent::Committed { kind: CompartmentKind::Execution, seq, digest } => {
+                    ledger.record_commit(ReplicaId(to as u32), seq, digest);
+                }
+                _ => {}
+            }
+        }
+    }
+    // (Replica 0's own Execution commit.)
+    ledger.record_commit(ReplicaId(0), SeqNum(1), legit_digest);
+
+    // The attack on victim r3: a forged proposal (Execution accepts any
+    // digest-consistent proposal — P5 says only commit quorums carry
+    // authority) plus a fabricated commit certificate from the three
+    // compromised Confirmation enclaves.
+    let evil_batch = adversary.evil_batch(0xBA);
+    let evil_digest = digest_of(&evil_batch);
+    // The pre-prepare needs no valid Preparation signature for the
+    // Execution path; craft one with a bogus signer — the broker of the
+    // victim is hostile and routes it straight to Execution, which
+    // validates only the digest binding.
+    let fake_pp = ConsensusMessage::PrePrepare(splitbft_types::Signed::new(
+        splitbft_types::PrePrepare {
+            view: View(0),
+            seq: SeqNum(1),
+            digest: evil_digest,
+            batch: evil_batch,
+        },
+        conf(0),
+        splitbft_types::Signature::ZERO,
+    ));
+    let mut attack = vec![fake_pp];
+    for r in 0..3u32 {
+        attack.push(adversary.forge_commit(conf(r), ReplicaId(r), View(0), SeqNum(1), evil_digest));
+    }
+    for msg in attack {
+        for e in replicas[3].on_network_message(msg) {
+            if let ReplicaEvent::Committed { kind: CompartmentKind::Execution, seq, digest } = e {
+                ledger.record_commit(ReplicaId(3), seq, digest);
+            }
+        }
+    }
+
+    Verdict {
+        safety_held: ledger.is_safe(),
+        made_progress: ledger.committed_slots() > 0,
+        detail: format!(
+            "forged commit certificate accepted: {} violation(s)",
+            ledger.violations().len()
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdicts_match_the_fault_models() {
+        for scenario in Scenario::ALL {
+            let verdict = run_scenario(scenario, 11);
+            assert_eq!(
+                verdict.safety_held,
+                scenario.expected_safe(),
+                "{scenario:?}: {}",
+                verdict.detail
+            );
+        }
+    }
+
+    #[test]
+    fn in_model_scenarios_make_progress() {
+        for scenario in Scenario::ALL {
+            if scenario.expected_safe() {
+                let verdict = run_scenario(scenario, 13);
+                assert!(verdict.made_progress, "{scenario:?} made no progress");
+            }
+        }
+    }
+}

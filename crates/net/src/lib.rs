@@ -1,0 +1,22 @@
+//! Network substrate for the SplitBFT reproduction.
+//!
+//! The paper's system model assumes an unreliable network that "may
+//! discard, reorder, and delay messages but not indefinitely". This crate
+//! provides that substrate twice:
+//!
+//! - [`link`] — a deterministic, seeded *link model* ([`link::LinkModel`])
+//!   deciding per-message fate (deliver after latency / drop / reorder),
+//!   used by the discrete-event simulator and by adversarial tests;
+//! - [`runtime`] — a threaded in-process cluster
+//!   ([`runtime::ThreadedCluster`]) where every replica runs on its own
+//!   OS thread and messages travel over crossbeam channels, used by the
+//!   runnable examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod link;
+pub mod runtime;
+
+pub use link::{LinkFate, LinkModel, NetConfig};
+pub use runtime::{NodeHandle, NodeLogic, NodeOutput, ThreadedCluster};

@@ -1,0 +1,180 @@
+//! A deterministic lossy-link model.
+//!
+//! Every message send consults the model for its *fate*: delivered after
+//! some latency, delayed (reordered), or dropped. Fates are drawn from a
+//! seeded PRNG, so a simulation run is exactly reproducible from its
+//! seed — the property the determinism tests and the benchmark harness
+//! rely on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of a (homogeneous) network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetConfig {
+    /// Base one-way latency in nanoseconds.
+    pub base_latency_ns: u64,
+    /// Per-byte serialization delay (bandwidth term), ns/byte.
+    pub ns_per_byte: f64,
+    /// Uniform jitter added on top, `0..jitter_ns`.
+    pub jitter_ns: u64,
+    /// Probability a message is dropped entirely.
+    pub drop_probability: f64,
+    /// Probability a message is held back and delivered with extra delay
+    /// (reordering).
+    pub reorder_probability: f64,
+    /// Extra delay applied to reordered messages.
+    pub reorder_extra_ns: u64,
+}
+
+impl NetConfig {
+    /// The paper's testbed: same-region Azure VMs on 40 Gb Ethernet —
+    /// low latency, effectively loss-free.
+    pub fn datacenter() -> Self {
+        NetConfig {
+            base_latency_ns: 60_000,
+            ns_per_byte: 0.25,
+            jitter_ns: 20_000,
+            drop_probability: 0.0,
+            reorder_probability: 0.0,
+            reorder_extra_ns: 0,
+        }
+    }
+
+    /// An adversarial network for robustness tests: drops and reorders.
+    pub fn lossy(drop_probability: f64, reorder_probability: f64) -> Self {
+        NetConfig {
+            drop_probability,
+            reorder_probability,
+            reorder_extra_ns: 2_000_000,
+            ..Self::datacenter()
+        }
+    }
+
+    /// A perfect instantaneous network (unit tests).
+    pub fn ideal() -> Self {
+        NetConfig {
+            base_latency_ns: 0,
+            ns_per_byte: 0.0,
+            jitter_ns: 0,
+            drop_probability: 0.0,
+            reorder_probability: 0.0,
+            reorder_extra_ns: 0,
+        }
+    }
+}
+
+/// The fate of one message on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkFate {
+    /// Deliver after this many nanoseconds.
+    Deliver {
+        /// One-way delay.
+        delay_ns: u64,
+    },
+    /// The network ate it.
+    Drop,
+}
+
+/// A seeded link model shared by all links of a simulated network.
+#[derive(Debug)]
+pub struct LinkModel {
+    config: NetConfig,
+    rng: StdRng,
+    sent: u64,
+    dropped: u64,
+}
+
+impl LinkModel {
+    /// Creates the model with a deterministic seed.
+    pub fn new(config: NetConfig, seed: u64) -> Self {
+        LinkModel { config, rng: StdRng::seed_from_u64(seed), sent: 0, dropped: 0 }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &NetConfig {
+        &self.config
+    }
+
+    /// Draws the fate of a message of `len` bytes.
+    pub fn fate(&mut self, len: usize) -> LinkFate {
+        self.sent += 1;
+        if self.config.drop_probability > 0.0
+            && self.rng.gen_bool(self.config.drop_probability.clamp(0.0, 1.0))
+        {
+            self.dropped += 1;
+            return LinkFate::Drop;
+        }
+        let mut delay = self.config.base_latency_ns
+            + (len as f64 * self.config.ns_per_byte) as u64;
+        if self.config.jitter_ns > 0 {
+            delay += self.rng.gen_range(0..self.config.jitter_ns);
+        }
+        if self.config.reorder_probability > 0.0
+            && self.rng.gen_bool(self.config.reorder_probability.clamp(0.0, 1.0))
+        {
+            delay += self.config.reorder_extra_ns;
+        }
+        LinkFate::Deliver { delay_ns: delay }
+    }
+
+    /// `(sent, dropped)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.sent, self.dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_network_delivers_instantly() {
+        let mut link = LinkModel::new(NetConfig::ideal(), 1);
+        for len in [0usize, 10, 10_000] {
+            assert_eq!(link.fate(len), LinkFate::Deliver { delay_ns: 0 });
+        }
+    }
+
+    #[test]
+    fn datacenter_latency_scales_with_size() {
+        let cfg = NetConfig { jitter_ns: 0, ..NetConfig::datacenter() };
+        let mut link = LinkModel::new(cfg, 1);
+        let LinkFate::Deliver { delay_ns: small } = link.fate(10) else { panic!() };
+        let LinkFate::Deliver { delay_ns: large } = link.fate(1_000_000) else { panic!() };
+        assert!(large > small);
+        assert!(small >= cfg.base_latency_ns);
+    }
+
+    #[test]
+    fn same_seed_same_fates() {
+        let cfg = NetConfig::lossy(0.3, 0.2);
+        let mut a = LinkModel::new(cfg, 42);
+        let mut b = LinkModel::new(cfg, 42);
+        for len in 0..200 {
+            assert_eq!(a.fate(len), b.fate(len));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = NetConfig::lossy(0.5, 0.0);
+        let mut a = LinkModel::new(cfg, 1);
+        let mut b = LinkModel::new(cfg, 2);
+        let fates_a: Vec<_> = (0..64).map(|_| a.fate(10)).collect();
+        let fates_b: Vec<_> = (0..64).map(|_| b.fate(10)).collect();
+        assert_ne!(fates_a, fates_b);
+    }
+
+    #[test]
+    fn drop_rate_approximates_configuration() {
+        let mut link = LinkModel::new(NetConfig::lossy(0.25, 0.0), 7);
+        for _ in 0..10_000 {
+            let _ = link.fate(10);
+        }
+        let (sent, dropped) = link.stats();
+        assert_eq!(sent, 10_000);
+        let rate = dropped as f64 / sent as f64;
+        assert!((0.2..0.3).contains(&rate), "observed drop rate {rate}");
+    }
+}

@@ -1,0 +1,117 @@
+//! Request batching, performed by the untrusted environment.
+//!
+//! Per principle P1, "batching of requests [is placed] into the untrusted
+//! environment" — batching affects only liveness, never safety, so it
+//! stays outside the enclaves. The paper's batched configuration closes a
+//! batch "on either receiving 200 requests or expiration of a 10 ms
+//! timeout"; see [`BatchConfig::paper_batched`].
+
+use splitbft_types::{BatchConfig, Request};
+
+/// Accumulates client requests into batches by size or age.
+#[derive(Debug, Clone)]
+pub struct Batcher {
+    config: BatchConfig,
+    pending: Vec<Request>,
+    /// Virtual time (µs) at which the oldest pending request arrived.
+    oldest_us: Option<u64>,
+}
+
+impl Batcher {
+    /// Creates a batcher with the given policy.
+    pub fn new(config: BatchConfig) -> Self {
+        Batcher { config, pending: Vec::new(), oldest_us: None }
+    }
+
+    /// Number of pending requests.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Adds a request at time `now_us`; returns a full batch if the size
+    /// threshold was reached.
+    pub fn push(&mut self, request: Request, now_us: u64) -> Option<Vec<Request>> {
+        if self.pending.is_empty() {
+            self.oldest_us = Some(now_us);
+        }
+        self.pending.push(request);
+        if self.pending.len() >= self.config.max_batch {
+            return Some(self.flush());
+        }
+        None
+    }
+
+    /// Checks the timeout at `now_us`; returns the batch if the oldest
+    /// pending request has waited long enough.
+    pub fn poll(&mut self, now_us: u64) -> Option<Vec<Request>> {
+        let oldest = self.oldest_us?;
+        if now_us.saturating_sub(oldest) >= self.config.timeout_us {
+            Some(self.flush())
+        } else {
+            None
+        }
+    }
+
+    /// The time at which [`Batcher::poll`] will next release a batch, if
+    /// any requests are pending — runtimes use this to arm their timers.
+    pub fn next_deadline_us(&self) -> Option<u64> {
+        self.oldest_us.map(|t| t + self.config.timeout_us)
+    }
+
+    /// Removes and returns everything pending.
+    pub fn flush(&mut self) -> Vec<Request> {
+        self.oldest_us = None;
+        std::mem::take(&mut self.pending)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replica::make_request;
+    use bytes::Bytes;
+    use splitbft_types::{ClientId, Timestamp};
+
+    fn req(ts: u64) -> Request {
+        make_request(1, ClientId(0), Timestamp(ts), Bytes::from_static(b"op"))
+    }
+
+    #[test]
+    fn size_threshold_releases_batch() {
+        let mut b = Batcher::new(BatchConfig { max_batch: 3, timeout_us: 1_000 });
+        assert!(b.push(req(1), 0).is_none());
+        assert!(b.push(req(2), 10).is_none());
+        let batch = b.push(req(3), 20).expect("third request fills the batch");
+        assert_eq!(batch.len(), 3);
+        assert_eq!(b.pending(), 0);
+        assert_eq!(b.next_deadline_us(), None);
+    }
+
+    #[test]
+    fn timeout_releases_partial_batch() {
+        let mut b = Batcher::new(BatchConfig { max_batch: 100, timeout_us: 1_000 });
+        b.push(req(1), 500);
+        assert!(b.poll(1_000).is_none()); // only 500 µs old
+        assert_eq!(b.next_deadline_us(), Some(1_500));
+        let batch = b.poll(1_500).expect("timeout reached");
+        assert_eq!(batch.len(), 1);
+        assert!(b.poll(10_000).is_none(), "nothing pending");
+    }
+
+    #[test]
+    fn timeout_measured_from_oldest_request() {
+        let mut b = Batcher::new(BatchConfig { max_batch: 100, timeout_us: 1_000 });
+        b.push(req(1), 0);
+        b.push(req(2), 900);
+        // Deadline derives from the first request, not the last.
+        assert_eq!(b.next_deadline_us(), Some(1_000));
+        assert_eq!(b.poll(1_000).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn unbatched_config_releases_immediately() {
+        let mut b = Batcher::new(BatchConfig::unbatched());
+        let batch = b.push(req(1), 0).expect("batch of one");
+        assert_eq!(batch.len(), 1);
+    }
+}

@@ -1,0 +1,327 @@
+//! Deep cryptographic verification of protocol messages.
+//!
+//! Structural certificate checks live in `splitbft-types`; this module
+//! adds the cryptographic layer: every signature — including those nested
+//! inside certificates inside `ViewChange`s inside `NewView`s — is checked
+//! against the key registry, and every signer is checked to be the
+//! *expected principal* for its message type.
+//!
+//! Who that expected principal is differs between protocols: in plain PBFT
+//! every message is signed by a replica; in SplitBFT a `Prepare` is signed
+//! by a *Preparation enclave*, a `Commit` by a *Confirmation enclave*, a
+//! `Checkpoint` by an *Execution enclave*. The [`SignerScheme`] table
+//! abstracts that, so both protocol cores share this verifier.
+
+use splitbft_crypto::{digest_bytes, KeyRegistry};
+use splitbft_types::{
+    CheckpointCertificate, ClusterConfig, NewView, PrepareCertificate, ProtocolError, ReplicaId,
+    Signed, SignerId, ViewChange,
+};
+
+/// Maps a replica to the principal expected to sign each message type.
+#[derive(Debug, Clone, Copy)]
+pub struct SignerScheme {
+    /// Signer of `PrePrepare` and `NewView` (the ordering role).
+    pub proposer: fn(ReplicaId) -> SignerId,
+    /// Signer of `Prepare`.
+    pub preparer: fn(ReplicaId) -> SignerId,
+    /// Signer of `Commit` and `ViewChange` (the confirmation role).
+    pub confirmer: fn(ReplicaId) -> SignerId,
+    /// Signer of `Checkpoint` (the execution role).
+    pub executor: fn(ReplicaId) -> SignerId,
+}
+
+fn replica_signer(r: ReplicaId) -> SignerId {
+    SignerId::Replica(r)
+}
+
+/// The plain-PBFT scheme: the whole replica signs everything.
+pub const REPLICA_SCHEME: SignerScheme = SignerScheme {
+    proposer: replica_signer,
+    preparer: replica_signer,
+    confirmer: replica_signer,
+    executor: replica_signer,
+};
+
+/// Verifies the signature on `msg` and that it was produced by exactly
+/// `expected`.
+///
+/// # Errors
+///
+/// [`ProtocolError::BadAuthenticator`] on signer mismatch or bad
+/// signature.
+pub fn verify_signed_from<T: splitbft_types::message::MessagePayload>(
+    registry: &KeyRegistry,
+    msg: &Signed<T>,
+    expected: SignerId,
+) -> Result<(), ProtocolError> {
+    if msg.signer != expected {
+        return Err(ProtocolError::BadAuthenticator { kind: std::any::type_name::<T>() });
+    }
+    registry.verify_signed(msg)
+}
+
+/// Deep-verifies a prepare certificate: structure, every signature, and
+/// that the `PrePrepare` was signed by the primary of the certificate's
+/// view.
+pub fn verify_prepare_certificate(
+    registry: &KeyRegistry,
+    cert: &PrepareCertificate,
+    config: &ClusterConfig,
+    scheme: &SignerScheme,
+) -> Result<(), ProtocolError> {
+    if !cert.is_structurally_valid(config.f()) {
+        return Err(ProtocolError::BadCertificate { kind: "prepare" });
+    }
+    let primary = cert.view().primary(config);
+    verify_signed_from(registry, &cert.pre_prepare, (scheme.proposer)(primary))?;
+    for p in &cert.prepares {
+        verify_signed_from(registry, p, (scheme.preparer)(p.payload.replica))?;
+    }
+    Ok(())
+}
+
+/// Deep-verifies a checkpoint certificate: structure plus every
+/// signature. Genesis (empty) certificates verify trivially.
+pub fn verify_checkpoint_certificate(
+    registry: &KeyRegistry,
+    cert: &CheckpointCertificate,
+    config: &ClusterConfig,
+    scheme: &SignerScheme,
+) -> Result<(), ProtocolError> {
+    if !cert.is_structurally_valid(config.f()) {
+        return Err(ProtocolError::BadCertificate { kind: "checkpoint" });
+    }
+    for c in &cert.checkpoints {
+        verify_signed_from(registry, c, (scheme.executor)(c.payload.replica))?;
+    }
+    Ok(())
+}
+
+/// Deep-verifies a `ViewChange`: outer signature, embedded checkpoint
+/// proof, and every embedded prepare certificate.
+pub fn verify_view_change(
+    registry: &KeyRegistry,
+    vc: &Signed<ViewChange>,
+    config: &ClusterConfig,
+    scheme: &SignerScheme,
+) -> Result<(), ProtocolError> {
+    if !config.contains(vc.payload.replica) {
+        return Err(ProtocolError::UnknownReplica(vc.payload.replica));
+    }
+    verify_signed_from(registry, vc, (scheme.confirmer)(vc.payload.replica))?;
+    if !vc.payload.is_structurally_valid(config.f()) {
+        return Err(ProtocolError::BadCertificate { kind: "view-change" });
+    }
+    verify_checkpoint_certificate(registry, &vc.payload.checkpoint_proof, config, scheme)?;
+    for cert in &vc.payload.prepared {
+        verify_prepare_certificate(registry, cert, config, scheme)?;
+    }
+    Ok(())
+}
+
+/// Deep-verifies the contents of a `NewView` (the outer signature is the
+/// caller's job since `NewView` arrives wrapped): every embedded view
+/// change and every embedded `PrePrepare`'s signature by the new primary.
+pub fn verify_new_view_contents(
+    registry: &KeyRegistry,
+    nv: &NewView,
+    config: &ClusterConfig,
+    scheme: &SignerScheme,
+) -> Result<(), ProtocolError> {
+    for vc in &nv.view_changes {
+        verify_view_change(registry, vc, config, scheme)?;
+    }
+    let primary = nv.view.primary(config);
+    for pp in &nv.pre_prepares {
+        verify_signed_from(registry, pp, (scheme.proposer)(primary))?;
+    }
+    Ok(())
+}
+
+/// Validates that a checkpoint certificate's embedded snapshot really
+/// hashes to the certified digest, and returns the snapshot bytes to
+/// restore. Byzantine senders can attach arbitrary snapshot bytes to an
+/// otherwise-valid vote, so receivers must scan for one matching copy.
+pub fn certified_snapshot(cert: &CheckpointCertificate) -> Option<&[u8]> {
+    let digest = cert.state_digest()?;
+    cert.checkpoints
+        .iter()
+        .map(|c| &c.payload.snapshot)
+        .find(|snap| digest_bytes(snap) == digest)
+        .map(|b| b.as_ref())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use splitbft_crypto::KeyPair;
+    use splitbft_types::{
+        Checkpoint, Digest, Prepare, PrePrepare, RequestBatch, SeqNum, View,
+    };
+
+    const SEED: u64 = 42;
+
+    fn cfg() -> ClusterConfig {
+        ClusterConfig::new(4).unwrap()
+    }
+
+    fn registry() -> KeyRegistry {
+        KeyRegistry::with_signers(SEED, (0..4).map(|i| SignerId::Replica(ReplicaId(i))))
+    }
+
+    fn kp(r: u32) -> KeyPair {
+        KeyPair::for_signer(SEED, SignerId::Replica(ReplicaId(r)))
+    }
+
+    fn good_cert(view: u64, seq: u64) -> PrepareCertificate {
+        let c = cfg();
+        let primary = View(view).primary(&c);
+        let batch = RequestBatch::null();
+        let digest = splitbft_crypto::digest_of(&batch);
+        let pp = kp(primary.0).sign_payload(
+            PrePrepare { view: View(view), seq: SeqNum(seq), digest, batch },
+            SignerId::Replica(primary),
+        );
+        let prepares = (0..4u32)
+            .filter(|&r| ReplicaId(r) != primary)
+            .take(2)
+            .map(|r| {
+                kp(r).sign_payload(
+                    Prepare {
+                        view: View(view),
+                        seq: SeqNum(seq),
+                        digest,
+                        replica: ReplicaId(r),
+                    },
+                    SignerId::Replica(ReplicaId(r)),
+                )
+            })
+            .collect();
+        PrepareCertificate { pre_prepare: pp, prepares }
+    }
+
+    #[test]
+    fn genuine_certificate_verifies() {
+        let cert = good_cert(0, 1);
+        assert!(verify_prepare_certificate(&registry(), &cert, &cfg(), &REPLICA_SCHEME).is_ok());
+    }
+
+    #[test]
+    fn forged_prepare_in_certificate_rejected() {
+        let mut cert = good_cert(0, 1);
+        cert.prepares[0].payload.seq = SeqNum(2);
+        assert!(verify_prepare_certificate(&registry(), &cert, &cfg(), &REPLICA_SCHEME).is_err());
+    }
+
+    #[test]
+    fn pre_prepare_not_from_primary_rejected() {
+        // Build a certificate whose PrePrepare is signed by replica 2 but
+        // the view's primary is replica 0.
+        let c = cfg();
+        let batch = RequestBatch::null();
+        let digest = splitbft_crypto::digest_of(&batch);
+        let pp = kp(2).sign_payload(
+            PrePrepare { view: View(0), seq: SeqNum(1), digest, batch },
+            SignerId::Replica(ReplicaId(2)),
+        );
+        let prepares = [0u32, 1]
+            .iter()
+            .map(|&r| {
+                kp(r).sign_payload(
+                    Prepare { view: View(0), seq: SeqNum(1), digest, replica: ReplicaId(r) },
+                    SignerId::Replica(ReplicaId(r)),
+                )
+            })
+            .collect();
+        let cert = PrepareCertificate { pre_prepare: pp, prepares };
+        assert!(verify_prepare_certificate(&registry(), &cert, &c, &REPLICA_SCHEME).is_err());
+    }
+
+    fn good_checkpoint_cert(seq: u64) -> CheckpointCertificate {
+        let snapshot = Bytes::from_static(b"state");
+        let digest = digest_bytes(&snapshot);
+        let checkpoints = (0..3u32)
+            .map(|r| {
+                kp(r).sign_payload(
+                    Checkpoint {
+                        seq: SeqNum(seq),
+                        state_digest: digest,
+                        replica: ReplicaId(r),
+                        snapshot: snapshot.clone(),
+                    },
+                    SignerId::Replica(ReplicaId(r)),
+                )
+            })
+            .collect();
+        CheckpointCertificate { checkpoints }
+    }
+
+    #[test]
+    fn checkpoint_certificate_verifies_and_snapshot_extracted() {
+        let cert = good_checkpoint_cert(10);
+        assert!(
+            verify_checkpoint_certificate(&registry(), &cert, &cfg(), &REPLICA_SCHEME).is_ok()
+        );
+        assert_eq!(certified_snapshot(&cert), Some(&b"state"[..]));
+    }
+
+    #[test]
+    fn snapshot_not_matching_digest_is_skipped() {
+        let mut cert = good_checkpoint_cert(10);
+        // First sender attaches garbage bytes; its *vote* stays valid
+        // (signature covers the garbage) but the snapshot must be taken
+        // from another copy... here we corrupt after signing, so the vote
+        // signature breaks — emulate instead a certificate where all
+        // snapshots are garbage.
+        for c in &mut cert.checkpoints {
+            c.payload.snapshot = Bytes::from_static(b"garbage");
+        }
+        assert_eq!(certified_snapshot(&cert), None);
+    }
+
+    #[test]
+    fn genesis_checkpoint_cert_verifies() {
+        let cert = CheckpointCertificate::genesis();
+        assert!(
+            verify_checkpoint_certificate(&registry(), &cert, &cfg(), &REPLICA_SCHEME).is_ok()
+        );
+        assert_eq!(certified_snapshot(&cert), None);
+    }
+
+    #[test]
+    fn view_change_with_nested_certs_verifies() {
+        let vc_payload = ViewChange {
+            new_view: View(1),
+            stable_seq: SeqNum(0),
+            checkpoint_proof: CheckpointCertificate::genesis(),
+            prepared: vec![good_cert(0, 1)],
+            replica: ReplicaId(2),
+        };
+        let vc = kp(2).sign_payload(vc_payload, SignerId::Replica(ReplicaId(2)));
+        assert!(verify_view_change(&registry(), &vc, &cfg(), &REPLICA_SCHEME).is_ok());
+
+        // Corrupt the nested certificate: rejected.
+        let mut bad = vc.clone();
+        bad.payload.prepared[0].prepares[0].payload.digest = Digest::from_bytes([9; 32]);
+        assert!(verify_view_change(&registry(), &bad, &cfg(), &REPLICA_SCHEME).is_err());
+    }
+
+    #[test]
+    fn unknown_replica_view_change_rejected() {
+        let vc_payload = ViewChange {
+            new_view: View(1),
+            stable_seq: SeqNum(0),
+            checkpoint_proof: CheckpointCertificate::genesis(),
+            prepared: vec![],
+            replica: ReplicaId(17),
+        };
+        let kp17 = KeyPair::for_signer(SEED, SignerId::Replica(ReplicaId(17)));
+        let vc = kp17.sign_payload(vc_payload, SignerId::Replica(ReplicaId(17)));
+        assert!(matches!(
+            verify_view_change(&registry(), &vc, &cfg(), &REPLICA_SCHEME),
+            Err(ProtocolError::UnknownReplica(_))
+        ));
+    }
+}

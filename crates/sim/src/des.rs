@@ -1,0 +1,135 @@
+//! The discrete-event core: virtual time and the event queue.
+
+use splitbft_types::{ConsensusMessage, Reply, Request};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Virtual time in nanoseconds.
+pub type Ns = u64;
+
+/// A simulation event.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A protocol message arrives at a replica.
+    Deliver {
+        /// Destination replica index.
+        node: usize,
+        /// The message.
+        msg: ConsensusMessage,
+    },
+    /// A client request arrives at the primary's broker.
+    RequestArrival {
+        /// Destination replica index (the primary).
+        node: usize,
+        /// The request.
+        request: Request,
+    },
+    /// The primary's batcher timeout fires.
+    BatchFlush {
+        /// Replica index.
+        node: usize,
+    },
+    /// A reply arrives at a client.
+    ReplyArrival {
+        /// Client index.
+        client: usize,
+        /// The reply.
+        reply: Reply,
+    },
+    /// A client issues its next request (closed loop).
+    ClientIssue {
+        /// Client index.
+        client: usize,
+    },
+}
+
+#[derive(Debug)]
+struct QueuedEvent {
+    time: Ns,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.seq) == (other.time, other.seq)
+    }
+}
+impl Eq for QueuedEvent {}
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A time-ordered event queue with deterministic FIFO tie-breaking.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<QueuedEvent>>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    pub fn push(&mut self, time: Ns, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(QueuedEvent { time, seq, event }));
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<(Ns, Event)> {
+        self.heap.pop().map(|Reverse(q)| (q.time, q.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, Event::ClientIssue { client: 3 });
+        q.push(10, Event::ClientIssue { client: 1 });
+        q.push(20, Event::ClientIssue { client: 2 });
+        let order: Vec<Ns> = std::iter::from_fn(|| q.pop().map(|(t, _)| t)).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_in_fifo_order() {
+        let mut q = EventQueue::new();
+        for i in 0..10usize {
+            q.push(5, Event::ClientIssue { client: i });
+        }
+        let clients: Vec<usize> = std::iter::from_fn(|| {
+            q.pop().map(|(_, e)| match e {
+                Event::ClientIssue { client } => client,
+                _ => unreachable!(),
+            })
+        })
+        .collect();
+        assert_eq!(clients, (0..10).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,279 @@
+//! Compute-cost estimation for protocol steps.
+//!
+//! The DES drives the real protocol implementations, but wall-clock time
+//! on the simulation host says nothing about the paper's testbed. Instead,
+//! every handler invocation is charged *virtual* nanoseconds assembled
+//! from the [`CostModel`]'s primitives (signature create/verify, HMAC,
+//! AEAD, per-event bookkeeping, execution) according to what the handler
+//! actually did. The constants are calibrated in
+//! [`CostModel::paper_calibrated`] so that the emergent per-compartment
+//! ecall totals land in the regime the paper reports (≈ 0.84 ms summed
+//! ecalls per unbatched request; Preparation ≈ 0.9 ms per 200-request
+//! batch, bounding batched throughput near 227k op/s).
+
+use splitbft_core::ReplicaEvent;
+use splitbft_tee::CostModel;
+use splitbft_types::{CompartmentKind, ConsensusMessage, Request};
+
+/// Approximate encoded size of a request on the wire.
+pub fn request_wire_len(req: &Request) -> usize {
+    req.op.len() + 56
+}
+
+fn batch_len(msg: &ConsensusMessage) -> (usize, usize) {
+    // (number of requests, total op bytes)
+    match msg {
+        ConsensusMessage::PrePrepare(pp) => (
+            pp.payload.batch.len(),
+            pp.payload.batch.requests.iter().map(|r| r.op.len()).sum(),
+        ),
+        _ => (0, 0),
+    }
+}
+
+/// Virtual compute charged to one SplitBFT compartment for one delivered
+/// message (excluding the boundary cost, which the enclave host already
+/// charged from real byte counts).
+pub fn splitbft_compute(
+    kind: CompartmentKind,
+    msg: &ConsensusMessage,
+    events: &[ReplicaEvent],
+    cost: &CostModel,
+) -> u64 {
+    let executed = events
+        .iter()
+        .filter(|e| matches!(e, ReplicaEvent::Executed { .. }))
+        .count() as u64;
+    let persisted =
+        events.iter().filter(|e| matches!(e, ReplicaEvent::Persist(_))).count() as u64;
+    let committed = events
+        .iter()
+        .any(|e| matches!(e, ReplicaEvent::Committed { kind: k, .. } if *k == CompartmentKind::Confirmation));
+
+    let base = cost.handler_ns;
+    match (kind, msg) {
+        // Preparation, handler (2): verify the primary's signature,
+        // admit (copy, unmarshal, authenticate) every client request in
+        // the batch, sign a Prepare.
+        (CompartmentKind::Preparation, ConsensusMessage::PrePrepare(_)) => {
+            let (k, bytes) = batch_len(msg);
+            base + cost.verify_ns
+                + (k as u64) * cost.request_admission_ns
+                + (bytes as f64 * cost.serialize_ns_per_byte) as u64
+                + cost.sign_ns
+        }
+        // Confirmation: verify the forwarded proposal header.
+        (CompartmentKind::Confirmation, ConsensusMessage::PrePrepare(_)) => base + cost.verify_ns,
+        // Execution: hash the batch to bind it to future commits.
+        (CompartmentKind::Execution, ConsensusMessage::PrePrepare(_)) => {
+            let (_, bytes) = batch_len(msg);
+            base + cost.hmac_ns(bytes)
+        }
+        // Confirmation, handler (3): verify the prepare; if the quorum
+        // completed, sign the Commit.
+        (CompartmentKind::Confirmation, ConsensusMessage::Prepare(_)) => {
+            base + cost.verify_ns + if committed { cost.sign_ns } else { 0 }
+        }
+        // Execution, handler (4): verify the commit; on execution, per
+        // request: re-authenticate, decrypt, execute, encrypt + MAC the
+        // reply; per block: seal + ocall.
+        (CompartmentKind::Execution, ConsensusMessage::Commit(_)) => {
+            base + cost.verify_ns
+                + executed * cost.exec_request_ns
+                + persisted * cost.block_seal_ns
+        }
+        // Checkpoints: verify the vote; on emission the snapshot hash and
+        // signature are charged where the Broadcast(Checkpoint) appears.
+        (_, ConsensusMessage::Checkpoint(c)) => {
+            let emits = events.iter().any(|e| {
+                matches!(e, ReplicaEvent::Broadcast(ConsensusMessage::Checkpoint(_)))
+            });
+            base + cost.verify_ns
+                + if emits && kind == CompartmentKind::Execution {
+                    cost.hmac_ns(c.payload.snapshot.len()) + cost.sign_ns
+                } else {
+                    0
+                }
+        }
+        // View changes and new views are off the performance path; a flat
+        // signature-heavy estimate suffices.
+        (_, ConsensusMessage::ViewChange(vc)) => {
+            base + cost.verify_ns * (2 + vc.payload.prepared.len() as u64 * 3) + cost.sign_ns
+        }
+        (_, ConsensusMessage::NewView(nv)) => {
+            base + cost.verify_ns * (1 + nv.payload.view_changes.len() as u64)
+                + cost.sign_ns
+        }
+        // Anything else (e.g. a commit reaching Preparation under a
+        // hostile broker) just pays the bookkeeping.
+        _ => base,
+    }
+}
+
+/// Virtual compute charged to the Preparation compartment for ordering a
+/// client batch (handler 1): authenticate each request, serialize the
+/// batch, sign the `PrePrepare`.
+pub fn splitbft_client_batch_compute(requests: &[Request], cost: &CostModel) -> u64 {
+    let bytes: usize = requests.iter().map(request_wire_len).sum();
+    cost.handler_ns
+        + requests.len() as u64 * cost.request_admission_ns
+        + (bytes as f64 * cost.serialize_ns_per_byte) as u64
+        + cost.sign_ns
+}
+
+/// Virtual compute of one PBFT step, split into the parallelizable
+/// authentication share (worker pool) and the serial protocol share
+/// (core thread). `executed` is the number of requests executed during
+/// the step and `handled` the number of protocol messages processed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PbftCompute {
+    /// Work offloadable to the 4-worker auth pool.
+    pub auth_ns: u64,
+    /// Serial protocol-core work.
+    pub core_ns: u64,
+}
+
+/// Estimates the PBFT baseline's cost for one delivered message.
+pub fn pbft_compute(
+    msg: &ConsensusMessage,
+    actions: &[splitbft_pbft::Action],
+    cost: &CostModel,
+) -> PbftCompute {
+    use splitbft_pbft::Action;
+    let executed =
+        actions.iter().filter(|a| matches!(a, Action::Executed { .. })).count() as u64;
+    let signs = actions
+        .iter()
+        .filter(|a| matches!(a, Action::Broadcast { .. } | Action::Send { .. }))
+        .count() as u64;
+    let replies =
+        actions.iter().filter(|a| matches!(a, Action::SendReply { .. })).count() as u64;
+    let persisted =
+        actions.iter().filter(|a| matches!(a, Action::Persist { .. })).count() as u64;
+
+    let verify = match msg {
+        ConsensusMessage::PrePrepare(pp) => {
+            let k = pp.payload.batch.len() as u64;
+            let per_req: u64 = pp
+                .payload
+                .batch
+                .requests
+                .iter()
+                .map(|r| cost.hmac_ns(r.op.len()))
+                .sum();
+            cost.verify_ns + per_req + k * (cost.serialize_ns_per_byte * 60.0) as u64
+        }
+        ConsensusMessage::Checkpoint(c) => cost.verify_ns + cost.hmac_ns(c.payload.snapshot.len() / 8),
+        _ => cost.verify_ns,
+    };
+    let auth_ns = verify + signs * cost.sign_ns + replies * cost.hmac_ns(16);
+    // Block persistence costs PBFT too (plain file I/O: roughly half the
+    // sealed-write cost SplitBFT pays inside the enclave).
+    let core_ns =
+        cost.handler_ns + executed * cost.exec_ns_per_op + persisted * cost.block_seal_ns / 2;
+    PbftCompute { auth_ns, core_ns }
+}
+
+/// PBFT primary cost for ordering a client batch.
+pub fn pbft_client_batch_compute(requests: &[Request], cost: &CostModel) -> PbftCompute {
+    let auth: u64 = requests.iter().map(|r| cost.hmac_ns(r.op.len())).sum();
+    PbftCompute { auth_ns: auth + cost.sign_ns, core_ns: cost.handler_ns }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use splitbft_types::{
+        ClientId, Digest, PrePrepare, RequestBatch, RequestId, SeqNum, Signature, Signed,
+        SignerId, Timestamp, View,
+    };
+
+    fn request(bytes: usize) -> Request {
+        Request {
+            id: RequestId { client: ClientId(0), timestamp: Timestamp(1) },
+            op: Bytes::from(vec![0u8; bytes]),
+            encrypted: false,
+            auth: [0u8; 32],
+        }
+    }
+
+    fn pre_prepare(k: usize) -> ConsensusMessage {
+        let batch = RequestBatch::new((0..k).map(|_| request(10)).collect());
+        ConsensusMessage::PrePrepare(Signed::new(
+            PrePrepare { view: View(0), seq: SeqNum(1), digest: Digest::ZERO, batch },
+            SignerId::Replica(splitbft_types::ReplicaId(0)),
+            Signature::ZERO,
+        ))
+    }
+
+    #[test]
+    fn preparation_cost_scales_with_batch_size() {
+        let cost = CostModel::paper_calibrated();
+        let small = splitbft_compute(CompartmentKind::Preparation, &pre_prepare(1), &[], &cost);
+        let large = splitbft_compute(CompartmentKind::Preparation, &pre_prepare(200), &[], &cost);
+        // Per-request authentication makes the 200-request ecall several
+        // times the single-request one (it cannot be 200× — the signature
+        // verification is paid once either way).
+        assert!(large > small * 3, "large {large} vs small {small}");
+    }
+
+    #[test]
+    fn confirmation_cost_is_batch_size_independent() {
+        // "Ecalls to the Confirmation compartment are similar to the
+        // unbatched mode since this compartment only handles a hash."
+        let cost = CostModel::paper_calibrated();
+        let small = splitbft_compute(CompartmentKind::Confirmation, &pre_prepare(1), &[], &cost);
+        let large = splitbft_compute(CompartmentKind::Confirmation, &pre_prepare(200), &[], &cost);
+        assert_eq!(small, large);
+    }
+
+    #[test]
+    fn unbatched_ecall_totals_match_paper_regime() {
+        // Per unbatched request on the leader, summed compartment compute
+        // should land in the high-hundreds of microseconds (the paper
+        // reports 841 µs including boundary costs).
+        let cost = CostModel::paper_calibrated();
+        let pp = pre_prepare(1);
+        let prep = splitbft_client_batch_compute(&[request(10)], &cost);
+        let conf_pp = splitbft_compute(CompartmentKind::Confirmation, &pp, &[], &cost);
+        let prepare = ConsensusMessage::Prepare(Signed::new(
+            splitbft_types::Prepare {
+                view: View(0),
+                seq: SeqNum(1),
+                digest: Digest::ZERO,
+                replica: splitbft_types::ReplicaId(1),
+            },
+            SignerId::Replica(splitbft_types::ReplicaId(1)),
+            Signature::ZERO,
+        ));
+        let conf_prep =
+            2 * splitbft_compute(CompartmentKind::Confirmation, &prepare, &[], &cost);
+        let commit = ConsensusMessage::Commit(Signed::new(
+            splitbft_types::Commit {
+                view: View(0),
+                seq: SeqNum(1),
+                digest: Digest::ZERO,
+                replica: splitbft_types::ReplicaId(1),
+            },
+            SignerId::Replica(splitbft_types::ReplicaId(1)),
+            Signature::ZERO,
+        ));
+        let exec = 3 * splitbft_compute(CompartmentKind::Execution, &commit, &[], &cost)
+            + splitbft_compute(CompartmentKind::Execution, &pp, &[], &cost);
+        let total = prep + conf_pp + conf_prep + exec;
+        assert!(
+            (500_000..1_200_000).contains(&total),
+            "summed per-request ecall compute {total} ns outside the paper's regime"
+        );
+        // Execution is the heaviest compartment without batching.
+        assert!(exec > conf_pp + conf_prep);
+    }
+
+    #[test]
+    fn pbft_core_work_is_much_smaller_than_auth_work() {
+        let cost = CostModel::paper_calibrated();
+        let c = pbft_compute(&pre_prepare(1), &[], &cost);
+        assert!(c.auth_ns > c.core_ns, "auth dominates and is parallelized");
+    }
+}

@@ -1,0 +1,210 @@
+//! Closed-loop client workloads.
+//!
+//! "Clients constantly issue synchronous requests in all our measurements
+//! and measure the time it takes to collect the replies." Unbatched runs
+//! give every client one outstanding request; the batched experiment
+//! "allows each client to have 40 outstanding requests in parallel."
+
+use crate::des::Ns;
+use bytes::Bytes;
+use splitbft_app::KvOp;
+use splitbft_pbft::make_request;
+use splitbft_types::{ClientId, ClusterConfig, Reply, Request, Timestamp};
+use std::collections::HashMap;
+
+/// Which application the workload targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppKind {
+    /// The key-value store: PUT operations updating entries.
+    Kvs,
+    /// The blockchain: opaque transactions batched into blocks of five.
+    Blockchain,
+}
+
+/// A closed-loop client with a fixed number of outstanding slots.
+#[derive(Debug)]
+pub struct SimClient {
+    id: ClientId,
+    master_seed: u64,
+    app: AppKind,
+    payload: usize,
+    next_ts: u64,
+    reply_quorum: usize,
+    in_flight: HashMap<Timestamp, InFlight>,
+}
+
+#[derive(Debug)]
+struct InFlight {
+    issued_at: Ns,
+    first_result: Option<Bytes>,
+    matching: usize,
+    replied: std::collections::BTreeSet<splitbft_types::ReplicaId>,
+}
+
+impl SimClient {
+    /// Creates client `index` of the workload.
+    pub fn new(
+        config: &ClusterConfig,
+        index: usize,
+        master_seed: u64,
+        app: AppKind,
+        payload: usize,
+    ) -> Self {
+        SimClient {
+            id: ClientId(index as u32),
+            master_seed,
+            app,
+            payload,
+            next_ts: 1,
+            reply_quorum: config.reply_quorum(),
+            in_flight: HashMap::new(),
+        }
+    }
+
+    /// The client id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Requests currently awaiting their reply quorum.
+    pub fn outstanding(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    fn op_bytes(&self, ts: u64) -> Bytes {
+        match self.app {
+            // "Our throughput and latency measurements evaluate a PUT
+            // operation that updates the entries": each client hammers
+            // its own key with a payload-sized value.
+            AppKind::Kvs => {
+                let key = self.id.0.to_le_bytes();
+                let value = vec![(ts % 251) as u8; self.payload];
+                KvOp::put(&key, &value).encode_op()
+            }
+            // Blockchain transactions are opaque payload bytes.
+            AppKind::Blockchain => {
+                let mut tx = vec![(ts % 251) as u8; self.payload.max(1)];
+                tx[0] = self.id.0 as u8; // non-empty, client-tagged
+                Bytes::from(tx)
+            }
+        }
+    }
+
+    /// Issues the next request at virtual time `now`.
+    pub fn issue(&mut self, now: Ns) -> Request {
+        let ts = Timestamp(self.next_ts);
+        self.next_ts += 1;
+        self.in_flight.insert(
+            ts,
+            InFlight {
+                issued_at: now,
+                first_result: None,
+                matching: 0,
+                replied: Default::default(),
+            },
+        );
+        make_request(self.master_seed, self.id, ts, self.op_bytes(ts.0))
+    }
+
+    /// Delivers one reply; returns the request latency when the reply
+    /// quorum completes.
+    pub fn on_reply(&mut self, now: Ns, reply: &Reply) -> Option<Ns> {
+        let flight = self.in_flight.get_mut(&reply.request.timestamp)?;
+        if !flight.replied.insert(reply.replica) {
+            return None;
+        }
+        match &flight.first_result {
+            None => {
+                flight.first_result = Some(reply.result.clone());
+                flight.matching = 1;
+            }
+            Some(first) if *first == reply.result => flight.matching += 1,
+            Some(_) => {}
+        }
+        if flight.matching >= self.reply_quorum {
+            let issued = flight.issued_at;
+            self.in_flight.remove(&reply.request.timestamp);
+            Some(now - issued)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splitbft_types::{ReplicaId, RequestId, View};
+
+    fn cfg() -> ClusterConfig {
+        ClusterConfig::new(4).unwrap()
+    }
+
+    fn reply(request: RequestId, replica: u32, result: &'static [u8]) -> Reply {
+        Reply {
+            view: View(0),
+            request,
+            replica: ReplicaId(replica),
+            result: Bytes::from_static(result),
+            encrypted: false,
+            auth: [0u8; 32],
+        }
+    }
+
+    #[test]
+    fn completes_on_reply_quorum() {
+        let c = cfg();
+        let mut client = SimClient::new(&c, 0, 1, AppKind::Kvs, 10);
+        let req = client.issue(1_000);
+        assert_eq!(client.outstanding(), 1);
+        assert_eq!(client.on_reply(2_000, &reply(req.id, 0, b"ok")), None);
+        assert_eq!(client.on_reply(3_000, &reply(req.id, 1, b"ok")), Some(2_000));
+        assert_eq!(client.outstanding(), 0);
+    }
+
+    #[test]
+    fn mismatched_results_do_not_complete() {
+        let c = cfg();
+        let mut client = SimClient::new(&c, 0, 1, AppKind::Kvs, 10);
+        let req = client.issue(0);
+        assert_eq!(client.on_reply(1, &reply(req.id, 0, b"a")), None);
+        assert_eq!(client.on_reply(2, &reply(req.id, 1, b"b")), None);
+        assert_eq!(client.on_reply(3, &reply(req.id, 2, b"a")), Some(3));
+    }
+
+    #[test]
+    fn duplicate_replicas_ignored() {
+        let c = cfg();
+        let mut client = SimClient::new(&c, 0, 1, AppKind::Kvs, 10);
+        let req = client.issue(0);
+        assert_eq!(client.on_reply(1, &reply(req.id, 0, b"ok")), None);
+        assert_eq!(client.on_reply(2, &reply(req.id, 0, b"ok")), None);
+    }
+
+    #[test]
+    fn multiple_outstanding_requests_tracked_independently() {
+        let c = cfg();
+        let mut client = SimClient::new(&c, 0, 1, AppKind::Blockchain, 10);
+        let r1 = client.issue(0);
+        let r2 = client.issue(10);
+        assert_eq!(client.outstanding(), 2);
+        assert_ne!(r1.id.timestamp, r2.id.timestamp);
+        client.on_reply(20, &reply(r2.id, 0, b"x"));
+        assert_eq!(client.on_reply(30, &reply(r2.id, 1, b"x")), Some(20));
+        assert_eq!(client.outstanding(), 1);
+    }
+
+    #[test]
+    fn requests_are_authentic() {
+        // The real replicas will verify these MACs, so the workload must
+        // produce verifiable requests.
+        let c = cfg();
+        let mut client = SimClient::new(&c, 3, 77, AppKind::Kvs, 10);
+        let req = client.issue(0);
+        let key = splitbft_crypto::client_mac_key(77, req.client());
+        assert!(key.verify(
+            &Request::auth_bytes(req.id, &req.op, req.encrypted),
+            &req.auth
+        ));
+    }
+}

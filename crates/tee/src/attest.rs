@@ -1,0 +1,165 @@
+//! Simulated remote attestation.
+//!
+//! In the paper, "at the start of the service, the client first attests to
+//! the execution and preparation enclave verifying their genuineness and
+//! SGX support", then installs a session key in the Execution enclave. We
+//! reproduce the flow with a simulated platform certification authority
+//! (standing in for Intel's quoting infrastructure): the authority signs
+//! *quotes* binding an enclave measurement to enclave-chosen report data
+//! (which carries the enclave's public keys), and verifiers check quotes
+//! against the authority's public key and the expected measurement.
+
+use splitbft_crypto::keys::KeyPair;
+use splitbft_types::{PublicKey, Signature};
+
+/// A signed attestation quote: "an enclave with this measurement, on a
+/// genuine platform, presented this report data".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quote {
+    /// The attested enclave's measurement (MRENCLAVE).
+    pub measurement: [u8; 32],
+    /// Enclave-chosen data bound into the quote — SplitBFT enclaves put
+    /// their signing and key-exchange public keys here.
+    pub report_data: Vec<u8>,
+    /// The platform authority's signature over measurement ‖ report data.
+    pub signature: Signature,
+}
+
+/// Why a quote was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttestationError {
+    /// The signature does not verify against the authority key.
+    BadSignature,
+    /// The quote is genuine but attests a different enclave than expected.
+    WrongMeasurement,
+}
+
+impl std::fmt::Display for AttestationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttestationError::BadSignature => f.write_str("quote signature invalid"),
+            AttestationError::WrongMeasurement => {
+                f.write_str("quote attests an unexpected enclave measurement")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AttestationError {}
+
+/// The simulated platform certification authority (Intel's quoting enclave
+/// + attestation service, collapsed into one signer).
+#[derive(Debug, Clone)]
+pub struct PlatformAuthority {
+    keypair: KeyPair,
+}
+
+impl PlatformAuthority {
+    /// Creates the authority from a seed. All replicas in a simulated
+    /// deployment share one authority, as all Azure SGX machines share
+    /// Intel's.
+    pub fn from_seed(seed: u64) -> Self {
+        PlatformAuthority { keypair: KeyPair::from_seed(seed ^ 0xA77E57A77E57) }
+    }
+
+    /// The authority's public key, known to all verifiers.
+    pub fn public_key(&self) -> PublicKey {
+        self.keypair.public_key()
+    }
+
+    fn quote_bytes(measurement: &[u8; 32], report_data: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(40 + report_data.len());
+        buf.extend_from_slice(b"quote:");
+        buf.extend_from_slice(measurement);
+        buf.extend_from_slice(report_data);
+        buf
+    }
+
+    /// Issues a quote for an enclave. In real SGX the hardware guarantees
+    /// that `measurement` is the actual loaded code; the simulation trusts
+    /// its caller (the `EnclaveHost`) for that.
+    pub fn quote(&self, measurement: [u8; 32], report_data: Vec<u8>) -> Quote {
+        let bytes = Self::quote_bytes(&measurement, &report_data);
+        Quote { measurement, report_data, signature: self.keypair.sign(&bytes) }
+    }
+
+    /// Verifies a quote against the authority's public key and the
+    /// verifier's expected measurement.
+    ///
+    /// # Errors
+    ///
+    /// [`AttestationError::BadSignature`] for forged quotes,
+    /// [`AttestationError::WrongMeasurement`] for genuine quotes of the
+    /// wrong enclave.
+    pub fn verify(
+        authority_key: &PublicKey,
+        expected_measurement: &[u8; 32],
+        quote: &Quote,
+    ) -> Result<(), AttestationError> {
+        let bytes = Self::quote_bytes(&quote.measurement, &quote.report_data);
+        if !KeyPair::verify(authority_key, &bytes, &quote.signature) {
+            return Err(AttestationError::BadSignature);
+        }
+        if &quote.measurement != expected_measurement {
+            return Err(AttestationError::WrongMeasurement);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quote_verifies() {
+        let authority = PlatformAuthority::from_seed(1);
+        let quote = authority.quote([7u8; 32], b"exec-enclave-pk".to_vec());
+        assert!(PlatformAuthority::verify(&authority.public_key(), &[7u8; 32], &quote).is_ok());
+    }
+
+    #[test]
+    fn wrong_measurement_rejected() {
+        let authority = PlatformAuthority::from_seed(1);
+        let quote = authority.quote([7u8; 32], vec![]);
+        assert_eq!(
+            PlatformAuthority::verify(&authority.public_key(), &[8u8; 32], &quote),
+            Err(AttestationError::WrongMeasurement)
+        );
+    }
+
+    #[test]
+    fn tampered_report_data_rejected() {
+        let authority = PlatformAuthority::from_seed(1);
+        let mut quote = authority.quote([7u8; 32], b"real-key".to_vec());
+        quote.report_data = b"evil-key".to_vec();
+        assert_eq!(
+            PlatformAuthority::verify(&authority.public_key(), &[7u8; 32], &quote),
+            Err(AttestationError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn quote_from_other_authority_rejected() {
+        let real = PlatformAuthority::from_seed(1);
+        let fake = PlatformAuthority::from_seed(2);
+        let quote = fake.quote([7u8; 32], vec![]);
+        assert_eq!(
+            PlatformAuthority::verify(&real.public_key(), &[7u8; 32], &quote),
+            Err(AttestationError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn measurement_swap_rejected() {
+        // A genuine quote cannot be replayed for a different measurement:
+        // the measurement is inside the signed bytes.
+        let authority = PlatformAuthority::from_seed(1);
+        let mut quote = authority.quote([7u8; 32], vec![1, 2, 3]);
+        quote.measurement = [9u8; 32];
+        assert_eq!(
+            PlatformAuthority::verify(&authority.public_key(), &[9u8; 32], &quote),
+            Err(AttestationError::BadSignature)
+        );
+    }
+}

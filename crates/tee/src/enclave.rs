@@ -1,0 +1,150 @@
+//! The enclave abstraction: code that runs inside the trusted boundary.
+
+use std::fmt;
+
+/// An ocall: a request from enclave code to the untrusted environment
+/// (send a message, persist a block, arm a timer, …).
+///
+/// Ocalls carry opaque bytes; the broker in `splitbft-core` defines the
+/// typed protocol on top. Keeping the boundary byte-oriented mirrors the
+/// SGX SDK (and lets the host charge copy costs accurately).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ocall {
+    /// Which untrusted service is being invoked.
+    pub id: u32,
+    /// The marshalled argument, copied out of the enclave.
+    pub data: Vec<u8>,
+}
+
+/// The enclave side's handle to the untrusted world during an ecall.
+///
+/// Real SGX ocalls are synchronous; SplitBFT deliberately queues them
+/// ("enclave handlers request I/O from the broker by posting ocalls into
+/// its queue") so an ecall runs to completion without re-entering the
+/// environment — principle P2. This trait models that queue.
+pub trait OcallSink {
+    /// Posts an ocall to the environment's queue.
+    fn ocall(&mut self, id: u32, data: &[u8]);
+}
+
+/// Code loaded into a (simulated) enclave.
+///
+/// Implementations hold the compartment's safety-critical state. They are
+/// entered only through [`handle_ecall`](Enclave::handle_ecall), one call
+/// at a time — the host owns the enclave exclusively, reproducing the
+/// paper's single-threaded enclave configuration.
+pub trait Enclave: Send {
+    /// The enclave *measurement* (SGX `MRENCLAVE`): a digest identifying
+    /// the code loaded into the enclave. Sealing keys and attestation
+    /// quotes are bound to it. Enclaves of the same compartment type share
+    /// a measurement; different compartments have different ones.
+    fn measurement(&self) -> [u8; 32];
+
+    /// Handles one ecall: `id` selects the entry point, `input` is the
+    /// marshalled argument (copied into the enclave), the return value is
+    /// copied back out. Outbound work is posted through `env`.
+    fn handle_ecall(&mut self, id: u32, input: &[u8], env: &mut dyn OcallSink) -> Vec<u8>;
+
+    /// Approximate bytes of enclave heap in use, for EPC accounting.
+    /// Defaults to 0 for enclaves that do not track memory.
+    fn memory_usage(&self) -> usize {
+        0
+    }
+}
+
+/// Errors surfaced by the host when an enclave cannot serve an ecall.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnclaveError {
+    /// The enclave has crashed (e.g. fault injection, or a previous panic)
+    /// and must be rebuilt/recovered before further use.
+    Crashed,
+    /// The enclave was destroyed by the host.
+    Destroyed,
+}
+
+impl fmt::Display for EnclaveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnclaveError::Crashed => f.write_str("enclave has crashed"),
+            EnclaveError::Destroyed => f.write_str("enclave was destroyed"),
+        }
+    }
+}
+
+impl std::error::Error for EnclaveError {}
+
+/// A buffering [`OcallSink`] collecting posted ocalls, used by hosts and
+/// tests.
+#[derive(Debug, Default)]
+pub struct OcallQueue {
+    calls: Vec<Ocall>,
+}
+
+impl OcallQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drains the queued ocalls in posting order.
+    pub fn drain(&mut self) -> Vec<Ocall> {
+        std::mem::take(&mut self.calls)
+    }
+
+    /// Number of queued ocalls.
+    pub fn len(&self) -> usize {
+        self.calls.len()
+    }
+
+    /// `true` if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.calls.is_empty()
+    }
+}
+
+impl OcallSink for OcallQueue {
+    fn ocall(&mut self, id: u32, data: &[u8]) {
+        self.calls.push(Ocall { id, data: data.to_vec() });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Doubler;
+    impl Enclave for Doubler {
+        fn measurement(&self) -> [u8; 32] {
+            [1u8; 32]
+        }
+        fn handle_ecall(&mut self, _id: u32, input: &[u8], env: &mut dyn OcallSink) -> Vec<u8> {
+            env.ocall(1, input);
+            env.ocall(2, input);
+            input.repeat(2)
+        }
+    }
+
+    #[test]
+    fn ocall_queue_preserves_order() {
+        let mut q = OcallQueue::new();
+        let mut e = Doubler;
+        let out = e.handle_ecall(0, b"ab", &mut q);
+        assert_eq!(out, b"abab");
+        assert_eq!(q.len(), 2);
+        let calls = q.drain();
+        assert_eq!(calls[0], Ocall { id: 1, data: b"ab".to_vec() });
+        assert_eq!(calls[1], Ocall { id: 2, data: b"ab".to_vec() });
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn default_memory_usage_is_zero() {
+        assert_eq!(Doubler.memory_usage(), 0);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(EnclaveError::Crashed.to_string(), "enclave has crashed");
+        assert_eq!(EnclaveError::Destroyed.to_string(), "enclave was destroyed");
+    }
+}

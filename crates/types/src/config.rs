@@ -1,0 +1,209 @@
+//! Cluster, batching and timer configuration.
+
+use crate::error::ProtocolError;
+use crate::ids::ReplicaId;
+
+/// Static cluster configuration shared by every replica and compartment.
+///
+/// Per the paper's system model this is one of the constant configuration
+/// parameters that "can be safely loaded into enclaves" at startup.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ClusterConfig {
+    n: usize,
+    /// Sequence-number window above the last stable checkpoint within which
+    /// a replica accepts proposals (the PBFT high-watermark window).
+    pub window: u64,
+    /// Take a checkpoint every `checkpoint_interval` sequence numbers.
+    pub checkpoint_interval: u64,
+}
+
+impl ClusterConfig {
+    /// Creates a configuration for `n` replicas.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::InvalidConfig`] if `n < 4`: byzantine
+    /// agreement needs `n >= 3f + 1` with `f >= 1`.
+    pub fn new(n: usize) -> Result<Self, ProtocolError> {
+        if n < 4 {
+            return Err(ProtocolError::InvalidConfig(format!(
+                "BFT requires at least 4 replicas, got {n}"
+            )));
+        }
+        Ok(ClusterConfig { n, window: 256, checkpoint_interval: 128 })
+    }
+
+    /// Overrides the checkpoint interval (and keeps the window at twice the
+    /// interval, the usual PBFT setting).
+    #[must_use]
+    pub fn with_checkpoint_interval(mut self, interval: u64) -> Self {
+        assert!(interval > 0, "checkpoint interval must be positive");
+        self.checkpoint_interval = interval;
+        self.window = interval * 2;
+        self
+    }
+
+    /// Total number of replicas `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Maximum number of tolerated faulty replicas: `f = ⌊(n − 1) / 3⌋`.
+    #[inline]
+    pub fn f(&self) -> usize {
+        (self.n - 1) / 3
+    }
+
+    /// The byzantine quorum size `2f + 1`.
+    #[inline]
+    pub fn quorum(&self) -> usize {
+        2 * self.f() + 1
+    }
+
+    /// Votes needed from *other* replicas for a prepare certificate (`2f`,
+    /// the pre-prepare supplies the primary's vote).
+    #[inline]
+    pub fn prepare_quorum(&self) -> usize {
+        2 * self.f()
+    }
+
+    /// Matching replies a client needs before accepting a result (`f + 1`).
+    #[inline]
+    pub fn reply_quorum(&self) -> usize {
+        self.f() + 1
+    }
+
+    /// Iterator over all replica identifiers.
+    pub fn replicas(&self) -> impl Iterator<Item = ReplicaId> + '_ {
+        (0..self.n as u32).map(ReplicaId)
+    }
+
+    /// `true` if `id` is a member of this cluster.
+    pub fn contains(&self, id: ReplicaId) -> bool {
+        (id.0 as usize) < self.n
+    }
+}
+
+/// Request batching configuration, applied by the untrusted environment.
+///
+/// Mirrors the paper's evaluation setup: "we create batches on either
+/// receiving 200 requests or expiration of a 10 ms timeout".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct BatchConfig {
+    /// Maximum requests per batch.
+    pub max_batch: usize,
+    /// Close a non-empty batch after this many microseconds even if it is
+    /// not full.
+    pub timeout_us: u64,
+}
+
+impl BatchConfig {
+    /// The paper's batched configuration: 200 requests or 10 ms.
+    pub fn paper_batched() -> Self {
+        BatchConfig { max_batch: 200, timeout_us: 10_000 }
+    }
+
+    /// Unbatched operation: every request forms its own batch.
+    pub fn unbatched() -> Self {
+        BatchConfig { max_batch: 1, timeout_us: 0 }
+    }
+
+    /// `true` if batching is effectively disabled.
+    pub fn is_unbatched(&self) -> bool {
+        self.max_batch <= 1
+    }
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig::unbatched()
+    }
+}
+
+/// Timer configuration for the untrusted environment (P1: timers are
+/// liveness-only and stay outside the enclaves).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TimerConfig {
+    /// View-change timeout: how long a replica waits for a request it has
+    /// seen to be executed before suspecting the primary (microseconds).
+    pub view_change_timeout_us: u64,
+    /// Multiplier applied to the timeout after each failed view change,
+    /// PBFT's exponential back-off.
+    pub backoff_factor: u32,
+}
+
+impl Default for TimerConfig {
+    fn default() -> Self {
+        TimerConfig { view_change_timeout_us: 500_000, backoff_factor: 2 }
+    }
+}
+
+impl TimerConfig {
+    /// The timeout for attempt number `attempt` (0-based), with exponential
+    /// back-off, saturating at `u64::MAX`.
+    pub fn timeout_for_attempt(&self, attempt: u32) -> u64 {
+        let factor = (self.backoff_factor as u64).saturating_pow(attempt);
+        self.view_change_timeout_us.saturating_mul(factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quorum_arithmetic() {
+        let c4 = ClusterConfig::new(4).unwrap();
+        assert_eq!((c4.n(), c4.f(), c4.quorum(), c4.prepare_quorum(), c4.reply_quorum()),
+                   (4, 1, 3, 2, 2));
+
+        let c7 = ClusterConfig::new(7).unwrap();
+        assert_eq!((c7.f(), c7.quorum()), (2, 5));
+
+        let c10 = ClusterConfig::new(10).unwrap();
+        assert_eq!((c10.f(), c10.quorum()), (3, 7));
+    }
+
+    #[test]
+    fn too_small_cluster_rejected() {
+        for n in 0..4 {
+            assert!(ClusterConfig::new(n).is_err());
+        }
+    }
+
+    #[test]
+    fn replica_iteration_and_membership() {
+        let c = ClusterConfig::new(4).unwrap();
+        let ids: Vec<_> = c.replicas().collect();
+        assert_eq!(ids, vec![ReplicaId(0), ReplicaId(1), ReplicaId(2), ReplicaId(3)]);
+        assert!(c.contains(ReplicaId(3)));
+        assert!(!c.contains(ReplicaId(4)));
+    }
+
+    #[test]
+    fn checkpoint_interval_builder() {
+        let c = ClusterConfig::new(4).unwrap().with_checkpoint_interval(10);
+        assert_eq!(c.checkpoint_interval, 10);
+        assert_eq!(c.window, 20);
+    }
+
+    #[test]
+    fn batch_config_presets() {
+        assert!(BatchConfig::unbatched().is_unbatched());
+        let b = BatchConfig::paper_batched();
+        assert_eq!(b.max_batch, 200);
+        assert_eq!(b.timeout_us, 10_000);
+        assert!(!b.is_unbatched());
+    }
+
+    #[test]
+    fn timer_backoff() {
+        let t = TimerConfig { view_change_timeout_us: 100, backoff_factor: 2 };
+        assert_eq!(t.timeout_for_attempt(0), 100);
+        assert_eq!(t.timeout_for_attempt(1), 200);
+        assert_eq!(t.timeout_for_attempt(3), 800);
+        // Saturation rather than overflow.
+        assert_eq!(t.timeout_for_attempt(200), u64::MAX);
+    }
+}

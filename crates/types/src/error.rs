@@ -1,0 +1,130 @@
+//! Protocol-level error type shared by the agreement cores.
+
+use crate::ids::{ReplicaId, SeqNum, View};
+use crate::wire::WireError;
+use std::fmt;
+
+/// Why a message or configuration was rejected by a protocol core.
+///
+/// Rejections are normal-case events in a byzantine setting (a faulty peer
+/// *will* send garbage), so this type is cheap to construct and carries
+/// enough context to attribute the fault in logs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A configuration parameter was invalid.
+    InvalidConfig(String),
+    /// The message failed to decode.
+    Malformed(WireError),
+    /// The signature or MAC did not verify.
+    BadAuthenticator {
+        /// The kind of message rejected.
+        kind: &'static str,
+    },
+    /// The message's view did not match the receiver's current view.
+    WrongView {
+        /// View carried by the message.
+        got: View,
+        /// The receiver's current view.
+        current: View,
+    },
+    /// The sequence number was outside the watermark window.
+    OutOfWindow {
+        /// Sequence number carried by the message.
+        seq: SeqNum,
+        /// Low watermark (last stable checkpoint).
+        low: SeqNum,
+        /// High watermark.
+        high: SeqNum,
+    },
+    /// A message claimed to come from a replica outside the cluster.
+    UnknownReplica(ReplicaId),
+    /// The sender is not the primary of the indicated view.
+    NotPrimary {
+        /// The claimed sender.
+        sender: ReplicaId,
+        /// The view in question.
+        view: View,
+    },
+    /// A second, conflicting proposal for the same view/sequence slot —
+    /// evidence of equivocation.
+    Equivocation {
+        /// The view of the conflicting proposals.
+        view: View,
+        /// The slot of the conflicting proposals.
+        seq: SeqNum,
+    },
+    /// A quorum certificate failed structural validation.
+    BadCertificate {
+        /// The kind of certificate rejected.
+        kind: &'static str,
+    },
+    /// Anything else worth reporting.
+    Other(String),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            ProtocolError::Malformed(e) => write!(f, "malformed message: {e}"),
+            ProtocolError::BadAuthenticator { kind } => {
+                write!(f, "bad authenticator on {kind}")
+            }
+            ProtocolError::WrongView { got, current } => {
+                write!(f, "message for {got} but replica is in {current}")
+            }
+            ProtocolError::OutOfWindow { seq, low, high } => {
+                write!(f, "{seq} outside watermark window ({low}, {high}]")
+            }
+            ProtocolError::UnknownReplica(r) => write!(f, "unknown replica {r}"),
+            ProtocolError::NotPrimary { sender, view } => {
+                write!(f, "{sender} is not the primary of {view}")
+            }
+            ProtocolError::Equivocation { view, seq } => {
+                write!(f, "equivocating proposals detected at {view}/{seq}")
+            }
+            ProtocolError::BadCertificate { kind } => {
+                write!(f, "structurally invalid {kind} certificate")
+            }
+            ProtocolError::Other(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Malformed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for ProtocolError {
+    fn from(e: WireError) -> Self {
+        ProtocolError::Malformed(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ProtocolError::WrongView { got: View(3), current: View(5) };
+        assert!(e.to_string().contains("v3"));
+        assert!(e.to_string().contains("v5"));
+
+        let e = ProtocolError::OutOfWindow { seq: SeqNum(300), low: SeqNum(0), high: SeqNum(256) };
+        assert!(e.to_string().contains("s300"));
+    }
+
+    #[test]
+    fn wire_error_converts_and_chains() {
+        use std::error::Error;
+        let e: ProtocolError = WireError::InvalidBool(7).into();
+        assert!(matches!(e, ProtocolError::Malformed(_)));
+        assert!(e.source().is_some());
+    }
+}

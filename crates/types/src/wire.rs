@@ -1,0 +1,391 @@
+//! A deterministic binary wire codec.
+//!
+//! SplitBFT compartments exchange serialized messages across the enclave
+//! boundary and across the network, and digests are computed over the
+//! serialized form. The codec therefore has to be *canonical*: encoding the
+//! same value always produces the same bytes. We hand-roll a small
+//! length-prefixed little-endian format rather than pulling in a
+//! serialization framework, which keeps the trusted computing base minimal
+//! and auditable (the paper's Table 2 counts serialization among the shared
+//! TCB).
+//!
+//! # Format
+//!
+//! - fixed-width integers: little-endian
+//! - `bool`: one byte, `0` or `1` (other values are a decode error)
+//! - `Vec<T>`, `Bytes`, `String`: `u32` length prefix followed by elements
+//! - `Option<T>`: one-byte discriminant then the payload
+//! - enums: one-byte tag chosen by each type's manual implementation
+//!
+//! # Example
+//!
+//! ```
+//! use splitbft_types::wire::{decode, encode, Decode, Encode};
+//!
+//! let v: Vec<u32> = vec![1, 2, 3];
+//! let bytes = encode(&v);
+//! let back: Vec<u32> = decode(&bytes).unwrap();
+//! assert_eq!(v, back);
+//! ```
+
+use bytes::Bytes;
+use std::fmt;
+
+/// Maximum length accepted for any length-prefixed collection (16 MiB of
+/// elements). Guards decoders against allocation bombs from untrusted input.
+pub const MAX_COLLECTION_LEN: u32 = 16 * 1024 * 1024;
+
+/// Errors produced when decoding untrusted bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before the value was complete.
+    UnexpectedEof {
+        /// How many more bytes were needed.
+        needed: usize,
+        /// How many bytes remained.
+        remaining: usize,
+    },
+    /// An enum tag byte did not match any variant.
+    InvalidTag {
+        /// The type being decoded.
+        ty: &'static str,
+        /// The offending tag byte.
+        tag: u8,
+    },
+    /// A bool byte was neither 0 nor 1.
+    InvalidBool(u8),
+    /// A length prefix exceeded [`MAX_COLLECTION_LEN`].
+    LengthOverflow(u32),
+    /// A `String` payload was not valid UTF-8.
+    InvalidUtf8,
+    /// Trailing bytes remained after a top-level decode.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof { needed, remaining } => {
+                write!(f, "unexpected end of input: needed {needed} bytes, had {remaining}")
+            }
+            WireError::InvalidTag { ty, tag } => write!(f, "invalid tag {tag} for {ty}"),
+            WireError::InvalidBool(b) => write!(f, "invalid bool byte {b}"),
+            WireError::LengthOverflow(len) => write!(f, "length prefix {len} too large"),
+            WireError::InvalidUtf8 => write!(f, "string payload is not valid UTF-8"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after decode"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Types that can be canonically serialized.
+pub trait Encode {
+    /// Appends the canonical encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Returns the canonical encoding as a fresh buffer.
+    fn to_wire(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf
+    }
+}
+
+/// Types that can be decoded from untrusted bytes.
+pub trait Decode: Sized {
+    /// Decodes one value from the reader, advancing it.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError>;
+}
+
+/// Encodes a value into a fresh byte vector.
+pub fn encode<T: Encode + ?Sized>(value: &T) -> Vec<u8> {
+    value.to_wire()
+}
+
+/// Decodes exactly one value from `bytes`, rejecting trailing garbage.
+pub fn decode<T: Decode>(bytes: &[u8]) -> Result<T, WireError> {
+    let mut r = Reader::new(bytes);
+    let v = T::decode(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(WireError::TrailingBytes(r.remaining()));
+    }
+    Ok(v)
+}
+
+/// A cursor over a byte slice used by [`Decode`] implementations.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Takes exactly `n` bytes, or fails with [`WireError::UnexpectedEof`].
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::UnexpectedEof { needed: n, remaining: self.remaining() });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Takes a fixed-size array.
+    pub fn take_array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        let s = self.take(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(s);
+        Ok(out)
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Encode for $t {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                buf.extend_from_slice(&self.to_le_bytes());
+            }
+        }
+        impl Decode for $t {
+            fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+                Ok(<$t>::from_le_bytes(r.take_array()?))
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, u128, i8, i16, i32, i64);
+
+impl Encode for bool {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(*self as u8);
+    }
+}
+impl Decode for bool {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(WireError::InvalidBool(b)),
+        }
+    }
+}
+
+impl<const N: usize> Encode for [u8; N] {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(self);
+    }
+}
+impl<const N: usize> Decode for [u8; N] {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.take_array()
+    }
+}
+
+fn encode_len(len: usize, buf: &mut Vec<u8>) {
+    debug_assert!(len <= MAX_COLLECTION_LEN as usize, "collection too large to encode");
+    (len as u32).encode(buf);
+}
+
+fn decode_len(r: &mut Reader<'_>) -> Result<usize, WireError> {
+    let len = u32::decode(r)?;
+    if len > MAX_COLLECTION_LEN {
+        return Err(WireError::LengthOverflow(len));
+    }
+    Ok(len as usize)
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        encode_len(self.len(), buf);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+}
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = decode_len(r)?;
+        // Do not pre-allocate `len` elements blindly: length is attacker
+        // controlled. Cap the initial allocation and let push grow it.
+        let mut out = Vec::with_capacity(len.min(1024));
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl Encode for Bytes {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        encode_len(self.len(), buf);
+        buf.extend_from_slice(self);
+    }
+}
+impl Decode for Bytes {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = decode_len(r)?;
+        Ok(Bytes::copy_from_slice(r.take(len)?))
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        encode_len(self.len(), buf);
+        buf.extend_from_slice(self.as_bytes());
+    }
+}
+impl Decode for String {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = decode_len(r)?;
+        String::from_utf8(r.take(len)?.to_vec()).map_err(|_| WireError::InvalidUtf8)
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            None => buf.push(0),
+            Some(v) => {
+                buf.push(1);
+                v.encode(buf);
+            }
+        }
+    }
+}
+impl<T: Decode> Decode for Option<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            tag => Err(WireError::InvalidTag { ty: "Option", tag }),
+        }
+    }
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+}
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl<A: Encode, B: Encode, C: Encode> Encode for (A, B, C) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+    }
+}
+impl<A: Decode, B: Decode, C: Decode> Decode for (A, B, C) {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?))
+    }
+}
+
+/// Asserts that a value encodes and decodes back to itself. Used pervasively
+/// in unit tests across the workspace.
+///
+/// # Panics
+///
+/// Panics if the round-trip fails or yields a different value.
+pub fn roundtrip<T: Encode + Decode + PartialEq + fmt::Debug>(value: &T) {
+    let bytes = encode(value);
+    let back: T = decode(&bytes).expect("decode of freshly-encoded value");
+    assert_eq!(&back, value, "wire round-trip changed the value");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ints_roundtrip() {
+        roundtrip(&0u8);
+        roundtrip(&u8::MAX);
+        roundtrip(&0xdead_beefu32);
+        roundtrip(&u64::MAX);
+        roundtrip(&u128::MAX);
+        roundtrip(&(-5i64));
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        assert_eq!(encode(&1u32), vec![1, 0, 0, 0]);
+        assert_eq!(encode(&0x0102u16), vec![2, 1]);
+    }
+
+    #[test]
+    fn bool_rejects_garbage() {
+        assert_eq!(decode::<bool>(&[2]), Err(WireError::InvalidBool(2)));
+        assert_eq!(decode::<bool>(&[0]), Ok(false));
+        assert_eq!(decode::<bool>(&[1]), Ok(true));
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        roundtrip(&vec![1u32, 2, 3]);
+        roundtrip(&Vec::<u64>::new());
+        roundtrip(&Bytes::from_static(b"hello world"));
+        roundtrip(&String::from("sigma"));
+        roundtrip(&Some(42u32));
+        roundtrip(&Option::<u32>::None);
+        roundtrip(&(7u8, String::from("x")));
+    }
+
+    #[test]
+    fn eof_is_detected() {
+        let bytes = encode(&0xffff_ffffu32);
+        assert!(matches!(
+            decode::<u64>(&bytes),
+            Err(WireError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode(&1u8);
+        bytes.push(0);
+        assert_eq!(decode::<u8>(&bytes), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn length_bomb_rejected() {
+        // A Vec<u8> claiming u32::MAX elements.
+        let bytes = encode(&u32::MAX);
+        assert_eq!(decode::<Vec<u8>>(&bytes), Err(WireError::LengthOverflow(u32::MAX)));
+    }
+
+    #[test]
+    fn utf8_validated() {
+        let mut bytes = Vec::new();
+        encode_len(2, &mut bytes);
+        bytes.extend_from_slice(&[0xff, 0xfe]);
+        assert_eq!(decode::<String>(&bytes), Err(WireError::InvalidUtf8));
+    }
+
+    #[test]
+    fn error_display_mentions_cause() {
+        let e = WireError::InvalidTag { ty: "Foo", tag: 9 };
+        assert!(e.to_string().contains("Foo"));
+        assert!(WireError::UnexpectedEof { needed: 4, remaining: 1 }
+            .to_string()
+            .contains("needed 4"));
+    }
+}

@@ -1,0 +1,115 @@
+//! SplitBFT as the ordering service of a permissioned blockchain — the
+//! paper's Blockchain-as-a-Service scenario. Transactions are totally
+//! ordered by the compartmentalized agreement; every five form a block
+//! that the Execution enclave seals before handing it to untrusted
+//! storage.
+//!
+//! ```sh
+//! cargo run --example blockchain
+//! ```
+
+use splitbft::prelude::*;
+use splitbft::types::ConsensusMessage;
+use splitbft::types::wire::decode;
+use splitbft_app::blockchain::Block;
+use std::collections::VecDeque;
+
+const MASTER_SEED: u64 = 77;
+
+fn main() {
+    let config = ClusterConfig::new(4).expect("4 replicas");
+    println!("SplitBFT ordering service, {} replicas, blocks of 5 transactions\n", config.n());
+
+    // Deterministic in-process pump (same protocol code as the threaded
+    // runtime; easier to interleave with inspection).
+    let mut replicas: Vec<SplitBftReplica<Blockchain>> = (0..4u32)
+        .map(|i| {
+            SplitBftReplica::new(
+                config.clone(),
+                ReplicaId(i),
+                MASTER_SEED,
+                Blockchain::new(),
+                ExecMode::Hardware,
+                CostModel::paper_calibrated(),
+            )
+        })
+        .collect();
+    let mut queues: Vec<VecDeque<ConsensusMessage>> = (0..4).map(|_| VecDeque::new()).collect();
+    let mut sealed_blocks: Vec<bytes::Bytes> = Vec::new();
+
+    let pump = |replicas: &mut Vec<SplitBftReplica<Blockchain>>,
+                    queues: &mut Vec<VecDeque<ConsensusMessage>>,
+                    sealed: &mut Vec<bytes::Bytes>| loop {
+        let mut progressed = false;
+        for i in 0..4 {
+            while let Some(msg) = queues[i].pop_front() {
+                progressed = true;
+                for event in replicas[i].on_network_message(msg) {
+                    match event {
+                        ReplicaEvent::Broadcast(m) => {
+                            for (j, q) in queues.iter_mut().enumerate() {
+                                if j != i {
+                                    q.push_back(m.clone());
+                                }
+                            }
+                        }
+                        ReplicaEvent::Persist(blob) if i == 0 => sealed.push(blob),
+                        _ => {}
+                    }
+                }
+            }
+        }
+        if !progressed {
+            break;
+        }
+    };
+
+    // Submit 12 transactions: 2 full blocks + 2 pending.
+    for tx in 0..12u64 {
+        let payload = format!("transfer#{tx:02}");
+        let request = make_request(
+            MASTER_SEED,
+            ClientId(0),
+            Timestamp(tx + 1),
+            bytes::Bytes::from(payload.into_bytes()),
+        );
+        let events = replicas[0].on_client_batch(vec![request]);
+        for event in events {
+            match event {
+                ReplicaEvent::Broadcast(m) => {
+                    for (j, q) in queues.iter_mut().enumerate() {
+                        if j != 0 {
+                            q.push_back(m.clone());
+                        }
+                    }
+                }
+                ReplicaEvent::Persist(blob) => sealed_blocks.push(blob),
+                _ => {}
+            }
+        }
+        pump(&mut replicas, &mut queues, &mut sealed_blocks);
+    }
+
+    println!("Chain state per replica:");
+    for r in &replicas {
+        println!(
+            "  {}: height {} | head {} | pending {}",
+            r.id(),
+            r.app().height(),
+            r.app().head().short(),
+            r.app().pending_len()
+        );
+    }
+
+    println!("\nSealed blocks persisted by replica 0's Execution enclave: {}", sealed_blocks.len());
+    for (i, blob) in sealed_blocks.iter().enumerate() {
+        // The environment sees only ciphertext — it cannot decode a Block.
+        let as_block: Result<Block, _> = decode(blob);
+        println!(
+            "  block #{i}: {} bytes, decodable by the environment: {}",
+            blob.len(),
+            as_block.is_ok()
+        );
+    }
+    println!("\nThe chain heads match on every replica: byzantine agreement over blocks.");
+}

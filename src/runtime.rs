@@ -1,0 +1,69 @@
+//! Glue between the protocol cores and the threaded cluster runtime —
+//! lets examples run live SplitBFT / PBFT clusters on OS threads.
+
+use splitbft_app::Application;
+use splitbft_core::{ReplicaEvent, SplitBftReplica};
+use splitbft_net::runtime::{NodeInput, NodeLogic, NodeOutput};
+use splitbft_pbft::{Action, Replica as PbftReplica};
+
+/// A SplitBFT replica hosted on a cluster thread.
+pub struct SplitBftNodeLogic<A: Application> {
+    replica: SplitBftReplica<A>,
+}
+
+impl<A: Application> SplitBftNodeLogic<A> {
+    /// Wraps a replica.
+    pub fn new(replica: SplitBftReplica<A>) -> Self {
+        SplitBftNodeLogic { replica }
+    }
+}
+
+impl<A: Application + 'static> NodeLogic for SplitBftNodeLogic<A> {
+    fn handle(&mut self, input: NodeInput) -> Vec<NodeOutput> {
+        let events = match input {
+            NodeInput::Message(msg) => self.replica.on_network_message(msg),
+            NodeInput::ClientRequests(requests) => self.replica.on_client_batch(requests),
+            NodeInput::ViewTimeout => self.replica.on_view_timeout(),
+            NodeInput::Shutdown => Vec::new(),
+        };
+        events
+            .into_iter()
+            .filter_map(|event| match event {
+                ReplicaEvent::Broadcast(msg) => Some(NodeOutput::Broadcast(msg)),
+                ReplicaEvent::Reply { to, reply } => Some(NodeOutput::Reply { to, reply }),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// A PBFT baseline replica hosted on a cluster thread.
+pub struct PbftNodeLogic<A: Application> {
+    replica: PbftReplica<A>,
+}
+
+impl<A: Application> PbftNodeLogic<A> {
+    /// Wraps a replica.
+    pub fn new(replica: PbftReplica<A>) -> Self {
+        PbftNodeLogic { replica }
+    }
+}
+
+impl<A: Application + 'static> NodeLogic for PbftNodeLogic<A> {
+    fn handle(&mut self, input: NodeInput) -> Vec<NodeOutput> {
+        let actions = match input {
+            NodeInput::Message(msg) => self.replica.on_message(msg).unwrap_or_default(),
+            NodeInput::ClientRequests(requests) => self.replica.on_client_batch(requests),
+            NodeInput::ViewTimeout => self.replica.on_view_timeout(),
+            NodeInput::Shutdown => Vec::new(),
+        };
+        actions
+            .into_iter()
+            .filter_map(|action| match action {
+                Action::Broadcast { msg } => Some(NodeOutput::Broadcast(msg)),
+                Action::SendReply { to, reply } => Some(NodeOutput::Reply { to, reply }),
+                _ => None,
+            })
+            .collect()
+    }
+}

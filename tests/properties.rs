@@ -1,0 +1,183 @@
+//! Property-based tests over the cross-crate invariants: wire-codec
+//! round-trips for arbitrary messages, cryptographic soundness,
+//! application determinism, and cost-model monotonicity.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use splitbft::app::{Application, KeyValueStore, KvOp};
+use splitbft::crypto::{client_mac_key, digest_of, KeyPair};
+use splitbft::tee::CostModel;
+use splitbft::types::wire::{decode, encode};
+use splitbft::types::{
+    ClientId, Digest, Prepare, PrePrepare, ReplicaId, Request, RequestBatch, RequestId, SeqNum,
+    SignerId, Timestamp, View,
+};
+use std::collections::BTreeMap;
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (0u32..100, 0u64..1_000, proptest::collection::vec(any::<u8>(), 0..64), any::<bool>(), any::<[u8; 32]>())
+        .prop_map(|(client, ts, op, encrypted, auth)| Request {
+            id: RequestId { client: ClientId(client), timestamp: Timestamp(ts) },
+            op: Bytes::from(op),
+            encrypted,
+            auth,
+        })
+}
+
+fn arb_pre_prepare() -> impl Strategy<Value = PrePrepare> {
+    (0u64..10, 1u64..1_000, any::<[u8; 32]>(), proptest::collection::vec(arb_request(), 0..5))
+        .prop_map(|(view, seq, digest, requests)| PrePrepare {
+            view: View(view),
+            seq: SeqNum(seq),
+            digest: Digest::from_bytes(digest),
+            batch: RequestBatch::new(requests),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn request_wire_roundtrip(req in arb_request()) {
+        let bytes = encode(&req);
+        let back: Request = decode(&bytes).unwrap();
+        prop_assert_eq!(back, req);
+    }
+
+    #[test]
+    fn pre_prepare_wire_roundtrip(pp in arb_pre_prepare()) {
+        let bytes = encode(&pp);
+        let back: PrePrepare = decode(&bytes).unwrap();
+        prop_assert_eq!(back, pp);
+    }
+
+    #[test]
+    fn truncated_messages_never_panic(pp in arb_pre_prepare(), cut in 0usize..64) {
+        let bytes = encode(&pp);
+        let cut = cut.min(bytes.len());
+        // Decoding any prefix either fails cleanly or (full prefix)
+        // succeeds — it must never panic.
+        let _ = decode::<PrePrepare>(&bytes[..bytes.len() - cut]);
+    }
+
+    #[test]
+    fn digest_is_injective_on_batches(a in arb_pre_prepare(), b in arb_pre_prepare()) {
+        // Canonical encoding: equal batches hash equal, different
+        // batches (virtually always) hash different.
+        if a.batch == b.batch {
+            prop_assert_eq!(digest_of(&a.batch), digest_of(&b.batch));
+        } else {
+            prop_assert_ne!(digest_of(&a.batch), digest_of(&b.batch));
+        }
+    }
+
+    #[test]
+    fn signatures_bind_message_and_signer(seed in 0u64..1_000, msg in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let kp = KeyPair::from_seed(seed);
+        let other = KeyPair::from_seed(seed + 1);
+        let sig = kp.sign(&msg);
+        prop_assert!(KeyPair::verify(&kp.public_key(), &msg, &sig));
+        prop_assert!(!KeyPair::verify(&other.public_key(), &msg, &sig));
+        let mut tampered = msg.clone();
+        tampered.push(0);
+        prop_assert!(!KeyPair::verify(&kp.public_key(), &tampered, &sig));
+    }
+
+    #[test]
+    fn client_macs_are_client_specific(seed in 0u64..100, a in 0u32..50, b in 0u32..50, data in proptest::collection::vec(any::<u8>(), 1..64)) {
+        let key_a = client_mac_key(seed, ClientId(a));
+        let key_b = client_mac_key(seed, ClientId(b));
+        let tag = key_a.tag(&data);
+        prop_assert!(key_a.verify(&data, &tag));
+        if a != b {
+            prop_assert!(!key_b.verify(&data, &tag));
+        }
+    }
+
+    #[test]
+    fn kvs_matches_model_map(ops in proptest::collection::vec(
+        (0u8..3, proptest::collection::vec(any::<u8>(), 1..8), proptest::collection::vec(any::<u8>(), 0..8)),
+        1..50,
+    )) {
+        // The replicated KVS agrees with a plain BTreeMap on every
+        // operation sequence (determinism/linearizability in the
+        // sequential case).
+        let mut kvs = KeyValueStore::new();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for (kind, key, value) in ops {
+            match kind {
+                0 => {
+                    let expect = model.insert(key.clone(), value.clone()).unwrap_or_default();
+                    let got = kvs.execute(&KvOp::put(&key, &value).encode_op());
+                    prop_assert_eq!(&got[..], &expect[..]);
+                }
+                1 => {
+                    let expect = model.get(&key).cloned().unwrap_or_default();
+                    let got = kvs.execute(&KvOp::get(&key).encode_op());
+                    prop_assert_eq!(&got[..], &expect[..]);
+                }
+                _ => {
+                    let expect = model.remove(&key).unwrap_or_default();
+                    let got = kvs.execute(&KvOp::delete(&key).encode_op());
+                    prop_assert_eq!(&got[..], &expect[..]);
+                }
+            }
+        }
+        prop_assert_eq!(kvs.len(), model.len());
+    }
+
+    #[test]
+    fn kvs_snapshot_restore_identity(ops in proptest::collection::vec(
+        (proptest::collection::vec(any::<u8>(), 1..8), proptest::collection::vec(any::<u8>(), 0..8)),
+        0..30,
+    )) {
+        let mut kvs = KeyValueStore::new();
+        for (k, v) in &ops {
+            kvs.execute(&KvOp::put(k, v).encode_op());
+        }
+        let mut restored = KeyValueStore::new();
+        restored.restore(&kvs.snapshot()).unwrap();
+        prop_assert_eq!(restored.state_digest(), kvs.state_digest());
+    }
+
+    #[test]
+    fn cost_model_is_monotone_in_bytes(a in 0usize..100_000, b in 0usize..100_000) {
+        let m = CostModel::paper_calibrated();
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(m.ecall_boundary_ns(lo, 0) <= m.ecall_boundary_ns(hi, 0));
+        prop_assert!(m.hmac_ns(lo) <= m.hmac_ns(hi));
+        prop_assert!(m.net_delay_ns(lo) <= m.net_delay_ns(hi));
+    }
+
+    #[test]
+    fn seal_open_roundtrip_any_payload(key in any::<[u8;32]>(), nonce in any::<u64>(), data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let k = splitbft::crypto::AeadKey::new(&key);
+        let sealed = splitbft::crypto::seal(&k, nonce, b"ctx", &data);
+        let opened = splitbft::crypto::open(&k, nonce, b"ctx", &sealed).unwrap();
+        prop_assert_eq!(opened, data);
+    }
+
+    #[test]
+    fn signed_prepare_verification_is_scheme_bound(seed in 0u64..100, r in 0u32..4) {
+        // A prepare signed by a replica identity never verifies as an
+        // enclave identity and vice versa.
+        use splitbft::crypto::KeyRegistry;
+        let replica_signer = SignerId::Replica(ReplicaId(r));
+        let enclave_signer = splitbft::core::enclave_signer(
+            ReplicaId(r),
+            splitbft::types::CompartmentKind::Preparation,
+        );
+        let registry = KeyRegistry::with_signers(seed, [replica_signer, enclave_signer]);
+        let payload = Prepare {
+            view: View(0),
+            seq: SeqNum(1),
+            digest: Digest::ZERO,
+            replica: ReplicaId(r),
+        };
+        let kp = KeyPair::for_signer(seed, replica_signer);
+        let mut signed = kp.sign_payload(payload, replica_signer);
+        prop_assert!(registry.verify_signed(&signed).is_ok());
+        signed.signer = enclave_signer;
+        prop_assert!(registry.verify_signed(&signed).is_err());
+    }
+}

@@ -1,0 +1,256 @@
+//! The same workload through all three systems — PBFT, the hybrid
+//! baseline, and SplitBFT — must yield the same application state, and
+//! their relative fault tolerance must match the paper's Table 1.
+
+use bytes::Bytes;
+use splitbft::app::CounterApp;
+use splitbft::hybrid::{HybridAction, HybridClient, HybridClientEvent, HybridConfig, HybridReplica, Usig};
+use splitbft::model::{run_scenario, Scenario};
+use splitbft::prelude::*;
+use splitbft::types::ConsensusMessage;
+use std::collections::VecDeque;
+
+const SEED: u64 = 808;
+
+/// Drives `increments` through a SplitBFT cluster, returns the final
+/// counter value on replica 0.
+fn run_splitbft(increments: u64) -> u64 {
+    let config = ClusterConfig::new(4).unwrap();
+    let mut replicas: Vec<SplitBftReplica<CounterApp>> = (0..4u32)
+        .map(|i| {
+            SplitBftReplica::new(
+                config.clone(),
+                ReplicaId(i),
+                SEED,
+                CounterApp::new(),
+                ExecMode::Hardware,
+                CostModel::paper_calibrated(),
+            )
+        })
+        .collect();
+    let mut queues: Vec<VecDeque<ConsensusMessage>> = (0..4).map(|_| VecDeque::new()).collect();
+    for ts in 1..=increments {
+        let req = make_request(SEED, ClientId(0), Timestamp(ts), Bytes::from_static(b"inc"));
+        let events = replicas[0].on_client_batch(vec![req]);
+        for e in events {
+            if let ReplicaEvent::Broadcast(m) = e {
+                for (j, q) in queues.iter_mut().enumerate() {
+                    if j != 0 {
+                        q.push_back(m.clone());
+                    }
+                }
+            }
+        }
+        loop {
+            let mut progressed = false;
+            for i in 0..4 {
+                while let Some(m) = queues[i].pop_front() {
+                    progressed = true;
+                    for e in replicas[i].on_network_message(m) {
+                        if let ReplicaEvent::Broadcast(m2) = e {
+                            for (j, q) in queues.iter_mut().enumerate() {
+                                if j != i {
+                                    q.push_back(m2.clone());
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+    // All replicas agree.
+    let v = replicas[0].app().value();
+    for r in &replicas {
+        assert_eq!(r.app().value(), v, "divergence at {}", r.id());
+    }
+    v
+}
+
+fn run_pbft(increments: u64) -> u64 {
+    let config = ClusterConfig::new(4).unwrap();
+    let mut replicas: Vec<PbftReplica<CounterApp>> = (0..4u32)
+        .map(|i| PbftReplica::new(config.clone(), ReplicaId(i), SEED, CounterApp::new()))
+        .collect();
+    let mut queues: Vec<VecDeque<ConsensusMessage>> = (0..4).map(|_| VecDeque::new()).collect();
+    for ts in 1..=increments {
+        let req = make_request(SEED, ClientId(0), Timestamp(ts), Bytes::from_static(b"inc"));
+        let actions = replicas[0].on_client_batch(vec![req]);
+        for a in actions {
+            if let splitbft::pbft::Action::Broadcast { msg } = a {
+                for (j, q) in queues.iter_mut().enumerate() {
+                    if j != 0 {
+                        q.push_back(msg.clone());
+                    }
+                }
+            }
+        }
+        loop {
+            let mut progressed = false;
+            for i in 0..4 {
+                while let Some(m) = queues[i].pop_front() {
+                    progressed = true;
+                    for a in replicas[i].on_message(m).unwrap_or_default() {
+                        if let splitbft::pbft::Action::Broadcast { msg } = a {
+                            for (j, q) in queues.iter_mut().enumerate() {
+                                if j != i {
+                                    q.push_back(msg.clone());
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+    let v = replicas[0].app().value();
+    for r in &replicas {
+        assert_eq!(r.app().value(), v);
+    }
+    v
+}
+
+fn run_hybrid(increments: u64) -> u64 {
+    let config = HybridConfig::new(3).unwrap();
+    let mut replicas: Vec<HybridReplica<CounterApp, Usig>> = (0..3u32)
+        .map(|i| {
+            HybridReplica::new(
+                config.clone(),
+                ReplicaId(i),
+                SEED,
+                Usig::new(SEED, ReplicaId(i)),
+                CounterApp::new(),
+            )
+        })
+        .collect();
+    let mut queues: Vec<VecDeque<splitbft::hybrid::HybridMessage>> =
+        (0..3).map(|_| VecDeque::new()).collect();
+    for ts in 1..=increments {
+        let req = make_request(SEED, ClientId(0), Timestamp(ts), Bytes::from_static(b"inc"));
+        let actions = replicas[0].on_client_batch(vec![req]);
+        for a in actions {
+            if let HybridAction::Broadcast(m) = a {
+                for (j, q) in queues.iter_mut().enumerate() {
+                    if j != 0 {
+                        q.push_back(m.clone());
+                    }
+                }
+            }
+        }
+        loop {
+            let mut progressed = false;
+            for i in 0..3 {
+                while let Some(m) = queues[i].pop_front() {
+                    progressed = true;
+                    for a in replicas[i].on_message(m).unwrap_or_default() {
+                        if let HybridAction::Broadcast(m2) = a {
+                            for (j, q) in queues.iter_mut().enumerate() {
+                                if j != i {
+                                    q.push_back(m2.clone());
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+    let v = replicas[0].app().value();
+    for r in &replicas {
+        assert_eq!(r.app().value(), v);
+    }
+    v
+}
+
+#[test]
+fn all_three_systems_compute_the_same_state() {
+    assert_eq!(run_splitbft(7), 7);
+    assert_eq!(run_pbft(7), 7);
+    assert_eq!(run_hybrid(7), 7);
+}
+
+#[test]
+fn fault_model_ordering_matches_table_1() {
+    // In-model scenarios hold for every system; beyond-model scenarios
+    // break exactly where the paper's Table 1 says they do.
+    for s in Scenario::ALL {
+        let verdict = run_scenario(s, 99);
+        assert_eq!(verdict.safety_held, s.expected_safe(), "{s:?}: {}", verdict.detail);
+    }
+}
+
+#[test]
+fn hybrid_client_completes_against_hybrid_cluster() {
+    let config = HybridConfig::new(3).unwrap();
+    let mut replicas: Vec<HybridReplica<CounterApp, Usig>> = (0..3u32)
+        .map(|i| {
+            HybridReplica::new(
+                config.clone(),
+                ReplicaId(i),
+                SEED,
+                Usig::new(SEED, ReplicaId(i)),
+                CounterApp::new(),
+            )
+        })
+        .collect();
+    let mut client = HybridClient::new(config, ClientId(0), SEED);
+    let request = client.issue(Bytes::from_static(b"inc"));
+
+    let mut replies = Vec::new();
+    let actions = replicas[0].on_client_batch(vec![request]);
+    let mut queues: Vec<VecDeque<splitbft::hybrid::HybridMessage>> =
+        (0..3).map(|_| VecDeque::new()).collect();
+    for a in actions {
+        match a {
+            HybridAction::Broadcast(m) => {
+                queues[1].push_back(m.clone());
+                queues[2].push_back(m);
+            }
+            HybridAction::SendReply { reply, .. } => replies.push(reply),
+            _ => {}
+        }
+    }
+    loop {
+        let mut progressed = false;
+        for i in 0..3 {
+            while let Some(m) = queues[i].pop_front() {
+                progressed = true;
+                for a in replicas[i].on_message(m).unwrap_or_default() {
+                    match a {
+                        HybridAction::Broadcast(m2) => {
+                            for (j, q) in queues.iter_mut().enumerate() {
+                                if j != i {
+                                    q.push_back(m2.clone());
+                                }
+                            }
+                        }
+                        HybridAction::SendReply { reply, .. } => replies.push(reply),
+                        _ => {}
+                    }
+                }
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    let mut completed = false;
+    for reply in &replies {
+        if let HybridClientEvent::Completed(result) = client.on_reply(reply) {
+            assert_eq!(&result[..], &1u64.to_le_bytes());
+            completed = true;
+            break;
+        }
+    }
+    assert!(completed, "got {} replies", replies.len());
+}
