@@ -84,6 +84,15 @@ impl SplitBftClient {
         self
     }
 
+    /// Resumes this client identity at `timestamp`. Replicas suppress
+    /// duplicates by each client's last-seen timestamp, so a *new
+    /// session* of a previously-used client id must start above every
+    /// timestamp it ever issued — deployed clients use wall-clock time.
+    pub fn starting_at(mut self, timestamp: Timestamp) -> Self {
+        self.next_timestamp = timestamp;
+        self
+    }
+
     /// This client's id.
     pub fn id(&self) -> ClientId {
         self.id

@@ -68,6 +68,7 @@ pub mod client;
 pub mod conf;
 pub mod ecall;
 pub mod exec;
+pub mod hosting;
 pub mod prep;
 pub mod replica;
 pub mod scheme;

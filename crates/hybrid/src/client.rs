@@ -39,6 +39,16 @@ impl HybridClient {
         }
     }
 
+
+    /// Resumes this client identity at `timestamp`. Replicas suppress
+    /// duplicates by each client's last-seen timestamp, so a *new
+    /// session* of a previously-used client id must start above every
+    /// timestamp it ever issued — deployed clients use wall-clock time.
+    pub fn starting_at(mut self, timestamp: Timestamp) -> Self {
+        self.next_timestamp = timestamp;
+        self
+    }
+
     /// `true` if a request is outstanding.
     pub fn has_in_flight(&self) -> bool {
         self.in_flight.is_some()

@@ -1,0 +1,78 @@
+//! Hosting adapter: [`HybridReplica`] as a [`Protocol`].
+//!
+//! The hybrid baseline speaks its own two-phase message vocabulary
+//! ([`HybridMessage`]), which is why [`Protocol::Message`] is an
+//! associated type rather than a fixed `ConsensusMessage`: the same
+//! runtimes host MinBFT-style clusters without any enum-wrapping.
+
+use crate::message::HybridMessage;
+use crate::replica::{HybridAction, HybridReplica};
+use crate::usig::UsigTrait;
+use splitbft_app::Application;
+use splitbft_net::transport::{Protocol, ProtocolOutput};
+use splitbft_types::Request;
+
+fn to_outputs(actions: Vec<HybridAction>) -> Vec<ProtocolOutput<HybridMessage>> {
+    actions
+        .into_iter()
+        .filter_map(|action| match action {
+            HybridAction::Broadcast(msg) => Some(ProtocolOutput::Broadcast(msg)),
+            HybridAction::SendReply { to, reply } => Some(ProtocolOutput::Reply { to, reply }),
+            // Persistence and observability have no network footprint.
+            _ => None,
+        })
+        .collect()
+}
+
+impl<A, U> Protocol for HybridReplica<A, U>
+where
+    A: Application + 'static,
+    U: UsigTrait + Send + 'static,
+{
+    type Message = HybridMessage;
+
+    fn on_message(&mut self, msg: HybridMessage) -> Vec<ProtocolOutput<HybridMessage>> {
+        // Unverifiable USIG certificates and malformed messages are
+        // ignored, not fatal — byzantine peers may send anything.
+        to_outputs(HybridReplica::on_message(self, msg).unwrap_or_default())
+    }
+
+    fn on_client_requests(&mut self, requests: Vec<Request>) -> Vec<ProtocolOutput<HybridMessage>> {
+        to_outputs(self.on_client_batch(requests))
+    }
+
+    fn on_timeout(&mut self) -> Vec<ProtocolOutput<HybridMessage>> {
+        // The MinBFT view change is out of scope (see the crate docs);
+        // timeouts are a no-op rather than an error.
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::HybridClient;
+    use crate::config::HybridConfig;
+    use crate::usig::Usig;
+    use splitbft_app::CounterApp;
+    use splitbft_types::{ClientId, ReplicaId};
+
+    #[test]
+    fn hybrid_replica_hosts_as_protocol() {
+        let config = HybridConfig::new(3).unwrap();
+        let mut primary = HybridReplica::new(
+            config.clone(),
+            ReplicaId(0),
+            42,
+            Usig::new(42, ReplicaId(0)),
+            CounterApp::new(),
+        );
+        let mut client = HybridClient::new(config, ClientId(1), 42);
+        let request = client.issue(bytes::Bytes::from_static(b"inc"));
+        let outputs = Protocol::on_client_requests(&mut primary, vec![request]);
+        assert!(
+            outputs.iter().any(|o| matches!(o, ProtocolOutput::Broadcast(_))),
+            "primary should broadcast a Prepare"
+        );
+    }
+}

@@ -31,6 +31,7 @@
 
 pub mod client;
 pub mod config;
+pub mod hosting;
 pub mod message;
 pub mod replica;
 pub mod usig;

@@ -2,21 +2,31 @@
 //!
 //! The paper's system model assumes an unreliable network that "may
 //! discard, reorder, and delay messages but not indefinitely". This crate
-//! provides that substrate twice:
+//! provides that substrate three ways, all hosting the same sans-I/O
+//! protocol state machines through the [`transport::Protocol`] trait:
 //!
 //! - [`link`] — a deterministic, seeded *link model* ([`link::LinkModel`])
 //!   deciding per-message fate (deliver after latency / drop / reorder),
 //!   used by the discrete-event simulator and by adversarial tests;
 //! - [`runtime`] — a threaded in-process cluster
 //!   ([`runtime::ThreadedCluster`]) where every replica runs on its own
-//!   OS thread and messages travel over crossbeam channels, used by the
-//!   runnable examples.
+//!   OS thread and messages travel over channels, used by the runnable
+//!   examples;
+//! - [`tcp`] — a deployable socket runtime ([`tcp::TcpNode`]) where every
+//!   replica is its own process listening on a TCP address and messages
+//!   travel as length-prefixed frames (see [`splitbft_types::wire`]),
+//!   with per-peer reconnecting outboxes and send-path batching
+//!   ([`transport::PeerOutbox`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod link;
 pub mod runtime;
+pub mod tcp;
+pub mod transport;
 
 pub use link::{LinkFate, LinkModel, NetConfig};
-pub use runtime::{NodeHandle, NodeLogic, NodeOutput, ThreadedCluster};
+pub use runtime::{NodeHandle, NodeInput, ThreadedCluster};
+pub use tcp::{BoundTcpNode, PeerAddr, TcpClient, TcpNode, TcpNodeConfig};
+pub use transport::{BatchPolicy, PeerOutbox, Protocol, ProtocolOutput, WireMessage};

@@ -1,20 +1,21 @@
 //! A threaded in-process cluster runtime.
 //!
 //! Each node runs on its own OS thread (mirroring the paper's deployment
-//! of one SplitBFT process per VM) and exchanges
-//! [`ConsensusMessage`]s over channels. The runnable examples use this to
-//! demonstrate live clusters; correctness tests prefer the deterministic
-//! pumps, and performance numbers come from the discrete-event simulator.
+//! of one SplitBFT process per VM) and exchanges messages over in-process
+//! channels. The runnable examples use this to demonstrate live clusters
+//! without sockets; the TCP counterpart is [`crate::tcp::TcpNode`], and
+//! both host the same [`Protocol`] state machines unchanged.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use splitbft_types::{ClientId, ConsensusMessage, ReplicaId, Reply, Request};
+use crate::transport::{Protocol, ProtocolOutput, WireMessage};
+use splitbft_types::{ClientId, ReplicaId, Reply, Request};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 
 /// Inputs a hosted node can receive.
 #[derive(Debug, Clone)]
-pub enum NodeInput {
+pub enum NodeInput<M> {
     /// A protocol message from a peer.
-    Message(ConsensusMessage),
+    Message(M),
     /// Client requests (delivered to the node acting as primary).
     ClientRequests(Vec<Request>),
     /// The view-change timer fired.
@@ -23,76 +24,74 @@ pub enum NodeInput {
     Shutdown,
 }
 
-/// Outputs a hosted node can produce.
-#[derive(Debug, Clone)]
-pub enum NodeOutput {
-    /// Send to every other replica.
-    Broadcast(ConsensusMessage),
-    /// Deliver a reply to a client.
-    Reply {
-        /// Destination client.
-        to: ClientId,
-        /// The reply.
-        reply: Reply,
-    },
-}
-
-/// Protocol logic hostable on a cluster thread. Implemented for both the
-/// PBFT baseline and SplitBFT replicas by the `splitbft` facade crate.
-pub trait NodeLogic: Send + 'static {
-    /// Handles one input, returning the outputs to route.
-    fn handle(&mut self, input: NodeInput) -> Vec<NodeOutput>;
-}
-
 /// A handle to one running node.
 #[derive(Debug)]
-pub struct NodeHandle {
+pub struct NodeHandle<M> {
     /// The node's replica id.
     pub id: ReplicaId,
-    sender: Sender<NodeInput>,
+    sender: Sender<NodeInput<M>>,
     thread: Option<JoinHandle<()>>,
 }
 
 /// An in-process cluster of protocol nodes on threads.
+///
+/// Generic over the message vocabulary, so it hosts any [`Protocol`]:
+/// PBFT and SplitBFT clusters exchange `ConsensusMessage`s, hybrid
+/// clusters exchange `HybridMessage`s.
 #[derive(Debug)]
-pub struct ThreadedCluster {
-    nodes: Vec<NodeHandle>,
+pub struct ThreadedCluster<M> {
+    nodes: Vec<NodeHandle<M>>,
     replies: Receiver<(ClientId, Reply)>,
 }
 
-impl ThreadedCluster {
-    /// Spawns one thread per node. `make` builds the logic for each
-    /// replica index.
-    pub fn spawn<L: NodeLogic>(n: usize, make: impl Fn(ReplicaId) -> L) -> Self {
-        let (reply_tx, reply_rx) = unbounded();
-        let channels: Vec<(Sender<NodeInput>, Receiver<NodeInput>)> =
-            (0..n).map(|_| unbounded()).collect();
-        let senders: Vec<Sender<NodeInput>> =
+impl<M: WireMessage> ThreadedCluster<M> {
+    /// Spawns one thread per node. `make` builds the protocol replica for
+    /// each index.
+    pub fn spawn<P>(n: usize, make: impl Fn(ReplicaId) -> P) -> Self
+    where
+        P: Protocol<Message = M>,
+    {
+        let (reply_tx, reply_rx) = channel();
+        let channels: Vec<(Sender<NodeInput<M>>, Receiver<NodeInput<M>>)> =
+            (0..n).map(|_| channel()).collect();
+        let senders: Vec<Sender<NodeInput<M>>> =
             channels.iter().map(|(tx, _)| tx.clone()).collect();
 
         let mut nodes = Vec::with_capacity(n);
         for (i, (tx, rx)) in channels.into_iter().enumerate() {
             let id = ReplicaId(i as u32);
-            let mut logic = make(id);
+            let mut protocol = make(id);
             let peers = senders.clone();
             let replies = reply_tx.clone();
             let thread = std::thread::Builder::new()
                 .name(format!("splitbft-node-{i}"))
                 .spawn(move || {
                     while let Ok(input) = rx.recv() {
-                        if matches!(input, NodeInput::Shutdown) {
-                            break;
-                        }
-                        for output in logic.handle(input) {
+                        let outputs = match input {
+                            NodeInput::Message(msg) => protocol.on_message(msg),
+                            NodeInput::ClientRequests(reqs) => protocol.on_client_requests(reqs),
+                            NodeInput::ViewTimeout => protocol.on_timeout(),
+                            NodeInput::Shutdown => break,
+                        };
+                        for output in outputs {
                             match output {
-                                NodeOutput::Broadcast(msg) => {
+                                ProtocolOutput::Broadcast(msg) => {
                                     for (j, peer) in peers.iter().enumerate() {
                                         if j != i {
                                             let _ = peer.send(NodeInput::Message(msg.clone()));
                                         }
                                     }
                                 }
-                                NodeOutput::Reply { to, reply } => {
+                                ProtocolOutput::Send { to, msg } => {
+                                    // Self-sends are dropped, matching the
+                                    // TCP runtime's semantics.
+                                    if to.as_usize() != i {
+                                        if let Some(peer) = peers.get(to.as_usize()) {
+                                            let _ = peer.send(NodeInput::Message(msg));
+                                        }
+                                    }
+                                }
+                                ProtocolOutput::Reply { to, reply } => {
                                     let _ = replies.send((to, reply));
                                 }
                             }
@@ -127,7 +126,7 @@ impl ThreadedCluster {
     }
 
     /// Injects a raw protocol message into one node (adversarial tests).
-    pub fn inject(&self, replica: ReplicaId, msg: ConsensusMessage) {
+    pub fn inject(&self, replica: ReplicaId, msg: M) {
         let _ = self.nodes[replica.as_usize()].sender.send(NodeInput::Message(msg));
     }
 
@@ -154,30 +153,36 @@ mod tests {
     use super::*;
     use std::time::Duration;
 
-    /// A toy logic that acks every request batch directly.
+    /// A toy protocol that acks every request batch directly.
     struct Echo {
         id: ReplicaId,
     }
 
-    impl NodeLogic for Echo {
-        fn handle(&mut self, input: NodeInput) -> Vec<NodeOutput> {
-            match input {
-                NodeInput::ClientRequests(reqs) => reqs
-                    .into_iter()
-                    .map(|r| NodeOutput::Reply {
-                        to: r.client(),
-                        reply: Reply {
-                            view: splitbft_types::View(0),
-                            request: r.id,
-                            replica: self.id,
-                            result: r.op,
-                            encrypted: false,
-                            auth: [0u8; 32],
-                        },
-                    })
-                    .collect(),
-                _ => Vec::new(),
-            }
+    impl Protocol for Echo {
+        type Message = u32;
+
+        fn on_message(&mut self, _msg: u32) -> Vec<ProtocolOutput<u32>> {
+            Vec::new()
+        }
+
+        fn on_client_requests(&mut self, reqs: Vec<Request>) -> Vec<ProtocolOutput<u32>> {
+            reqs.into_iter()
+                .map(|r| ProtocolOutput::Reply {
+                    to: r.client(),
+                    reply: Reply {
+                        view: splitbft_types::View(0),
+                        request: r.id,
+                        replica: self.id,
+                        result: r.op,
+                        encrypted: false,
+                        auth: [0u8; 32],
+                    },
+                })
+                .collect()
+        }
+
+        fn on_timeout(&mut self) -> Vec<ProtocolOutput<u32>> {
+            Vec::new()
         }
     }
 

@@ -1,0 +1,737 @@
+//! A deployable TCP runtime hosting one [`Protocol`] replica per process.
+//!
+//! This is the socket counterpart of [`crate::runtime::ThreadedCluster`]:
+//! instead of crossbeam-style in-process channels, replicas exchange
+//! length-prefixed frames (see [`splitbft_types::wire`]) over real TCP
+//! connections, mirroring the paper's deployment of one SplitBFT process
+//! per VM.
+//!
+//! # Topology
+//!
+//! Every replica listens on one address. For each *other* replica it
+//! keeps a [`PeerOutbox`] — an outbound connection with reconnection and
+//! send-path batching — so a cluster of `n` nodes forms a full mesh of
+//! `n·(n−1)` simplex links. Clients connect to any subset of replicas,
+//! announce a [`ClientId`], push request batches, and receive replies on
+//! the same connection.
+//!
+//! # Threads
+//!
+//! One node runs: an accept loop, one reader thread per inbound
+//! connection, one outbox worker per peer, an optional timer, and the
+//! *core* thread that owns the [`Protocol`] state machine. Only the core
+//! thread touches protocol state, so hosted replicas need no internal
+//! locking.
+
+use crate::transport::{
+    frame_kind, read_frame, read_value, write_value, BatchPolicy, PeerOutbox, Protocol,
+    ProtocolOutput,
+};
+use splitbft_types::wire::{decode, encode, frame};
+use splitbft_types::{ClientId, ReplicaId, Reply, Request};
+use std::collections::HashMap;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Bound on undelivered replies queued per client connection. A client
+/// that stops draining replies loses the overflow (at-most-once reply
+/// delivery, same stance as the peer links) instead of stalling the
+/// node.
+const CLIENT_REPLY_QUEUE: usize = 1024;
+
+/// A connected client's reply lane. The generation token distinguishes
+/// a stale connection's teardown from a reconnected client's fresh
+/// registration under the same [`ClientId`].
+#[derive(Debug)]
+struct ClientEntry {
+    generation: u64,
+    replies: SyncSender<Reply>,
+}
+
+type ClientRegistry = Arc<Mutex<HashMap<ClientId, ClientEntry>>>;
+
+/// Live inbound connections keyed by connection generation; entries
+/// remove themselves when their reader exits, so the registry tracks
+/// only live sockets.
+type InboundRegistry = Arc<Mutex<HashMap<u64, TcpStream>>>;
+
+/// Address book entry: where a replica listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerAddr {
+    /// The replica.
+    pub id: ReplicaId,
+    /// Its listen address.
+    pub addr: SocketAddr,
+}
+
+/// Configuration for one [`TcpNode`].
+#[derive(Debug, Clone)]
+pub struct TcpNodeConfig {
+    /// This replica's id.
+    pub id: ReplicaId,
+    /// The local listen address (use port 0 to let the OS pick).
+    pub listen: SocketAddr,
+    /// The full cluster address book (entries for `id` itself are
+    /// ignored).
+    pub peers: Vec<PeerAddr>,
+    /// Send-path batching limits.
+    pub batch: BatchPolicy,
+    /// If set, fire the protocol's view-change timer at this period.
+    /// `None` (the default) leaves timeouts to explicit triggers, which
+    /// is right for tests and demos that never need a view change.
+    pub timeout_every: Option<Duration>,
+}
+
+impl TcpNodeConfig {
+    /// A config with default batching and no timer.
+    pub fn new(id: ReplicaId, listen: SocketAddr, peers: Vec<PeerAddr>) -> Self {
+        TcpNodeConfig { id, listen, peers, batch: BatchPolicy::default(), timeout_every: None }
+    }
+}
+
+enum Event<M> {
+    Peer(M),
+    Requests(Vec<Request>),
+    Timeout,
+    Shutdown,
+}
+
+/// A bound-but-not-yet-started node: the listener exists (so its
+/// ephemeral port is known), but no threads run and no peers are
+/// contacted.
+///
+/// Splitting bind from start lets a test or launcher bring up a whole
+/// cluster on OS-assigned ports: bind every node first, collect the
+/// resulting address book, then start each node with the complete book.
+#[derive(Debug)]
+pub struct BoundTcpNode {
+    id: ReplicaId,
+    listener: TcpListener,
+}
+
+impl BoundTcpNode {
+    /// The address the listener actually bound (resolved port).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// This node's replica id.
+    pub fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    /// Starts the node's threads around `protocol`. `config.listen` is
+    /// ignored (the listener is already bound).
+    pub fn start<P: Protocol>(self, config: TcpNodeConfig, protocol: P) -> io::Result<TcpNode> {
+        TcpNode::start_bound(self.listener, config, protocol)
+    }
+}
+
+/// A running replica process serving a [`Protocol`] over TCP.
+pub struct TcpNode {
+    id: ReplicaId,
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    send_shutdown_event: Box<dyn Fn() + Send>,
+    timer_stop: Option<Sender<()>>,
+    threads: Vec<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    inbound: InboundRegistry,
+}
+
+impl std::fmt::Debug for TcpNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpNode")
+            .field("id", &self.id)
+            .field("local_addr", &self.local_addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TcpNode {
+    /// Reserves a listener for replica `id` without starting anything.
+    pub fn bind(id: ReplicaId, listen: SocketAddr) -> io::Result<BoundTcpNode> {
+        Ok(BoundTcpNode { id, listener: TcpListener::bind(listen)? })
+    }
+
+    /// Binds the listener and spawns the node's threads around
+    /// `protocol`. Returns once the node is accepting connections.
+    pub fn spawn<P: Protocol>(config: TcpNodeConfig, protocol: P) -> io::Result<Self> {
+        let listener = TcpListener::bind(config.listen)?;
+        Self::start_bound(listener, config, protocol)
+    }
+
+    fn start_bound<P: Protocol>(
+        listener: TcpListener,
+        config: TcpNodeConfig,
+        protocol: P,
+    ) -> io::Result<Self> {
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let inbound: InboundRegistry = Arc::new(Mutex::new(HashMap::new()));
+        let clients: ClientRegistry = Arc::new(Mutex::new(HashMap::new()));
+        let (events_tx, events_rx) = channel::<Event<P::Message>>();
+        let mut threads = Vec::new();
+
+        // Outboxes toward every other replica.
+        let mut outboxes: HashMap<ReplicaId, PeerOutbox> = HashMap::new();
+        for peer in &config.peers {
+            if peer.id != config.id {
+                outboxes
+                    .insert(peer.id, PeerOutbox::spawn(config.id, peer.id, peer.addr, config.batch));
+            }
+        }
+
+        // Accept loop.
+        let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        {
+            let shutdown = Arc::clone(&shutdown);
+            let inbound = Arc::clone(&inbound);
+            let clients = Arc::clone(&clients);
+            let conn_threads = Arc::clone(&conn_threads);
+            let events_tx = events_tx.clone();
+            let id = config.id;
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("node-{}-accept", id.0))
+                    .spawn(move || {
+                        accept_loop::<P>(
+                            listener,
+                            shutdown,
+                            inbound,
+                            clients,
+                            conn_threads,
+                            events_tx,
+                        )
+                    })
+                    .expect("spawn accept loop"),
+            );
+        }
+
+        // Optional view-change timer. It waits on a stop channel rather
+        // than sleeping, so shutdown interrupts it mid-period.
+        let mut timer_stop = None;
+        if let Some(period) = config.timeout_every {
+            let (stop_tx, stop_rx) = channel::<()>();
+            timer_stop = Some(stop_tx);
+            let events_tx = events_tx.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("node-{}-timer", config.id.0))
+                    .spawn(move || loop {
+                        match stop_rx.recv_timeout(period) {
+                            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                                if events_tx.send(Event::Timeout).is_err() {
+                                    break;
+                                }
+                            }
+                            _ => break, // stop signal or node dropped
+                        }
+                    })
+                    .expect("spawn timer"),
+            );
+        }
+
+        // Core loop: the only thread touching protocol state.
+        {
+            let clients = Arc::clone(&clients);
+            let id = config.id;
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("node-{}-core", id.0))
+                    .spawn(move || core_loop(protocol, events_rx, outboxes, clients))
+                    .expect("spawn core loop"),
+            );
+        }
+
+        Ok(TcpNode {
+            id: config.id,
+            local_addr,
+            shutdown,
+            // Type-erases Sender<Event<P::Message>> so TcpNode itself
+            // stays non-generic over the hosted protocol.
+            send_shutdown_event: Box::new(move || {
+                let _ = events_tx.send(Event::Shutdown);
+            }),
+            timer_stop,
+            threads,
+            conn_threads,
+            inbound,
+        })
+    }
+
+    /// This node's replica id.
+    pub fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    /// The bound listen address (useful with port 0 configs).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops every thread and closes every connection, then joins them.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the core loop and stop the timer mid-period.
+        (self.send_shutdown_event)();
+        self.timer_stop.take();
+        // Wake the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        // Unblock every reader (and any client writer stuck in a send).
+        for stream in self.inbound.lock().expect("inbound registry").values() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+        let conn_threads =
+            std::mem::take(&mut *self.conn_threads.lock().expect("conn thread registry"));
+        for thread in conn_threads {
+            let _ = thread.join();
+        }
+    }
+}
+
+fn accept_loop<P: Protocol>(
+    listener: TcpListener,
+    shutdown: Arc<AtomicBool>,
+    inbound: InboundRegistry,
+    clients: ClientRegistry,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    events_tx: Sender<Event<P::Message>>,
+) {
+    // Generation counter for connections accepted by this node; tags
+    // registry entries so teardown of a stale connection never clobbers
+    // a newer one.
+    let generations = AtomicU64::new(0);
+    loop {
+        let Ok((stream, _)) = listener.accept() else { break };
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let generation = generations.fetch_add(1, Ordering::Relaxed);
+        let _ = stream.set_nodelay(true);
+        if let Ok(clone) = stream.try_clone() {
+            inbound.lock().expect("inbound registry").insert(generation, clone);
+        }
+        let events_tx = events_tx.clone();
+        let clients = Arc::clone(&clients);
+        let shutdown = Arc::clone(&shutdown);
+        let inbound_cleanup = Arc::clone(&inbound);
+        let threads_for_reader = Arc::clone(&conn_threads);
+        // shutdown() unblocks readers by closing the registered stream
+        // clones, after which they exit on read error and are joined.
+        if let Ok(handle) = std::thread::Builder::new().name("conn-reader".into()).spawn(move || {
+            let _ = read_connection::<P>(
+                stream,
+                generation,
+                events_tx,
+                clients,
+                threads_for_reader,
+                shutdown,
+            );
+            // Deregister so long-running nodes don't accumulate dead fds.
+            inbound_cleanup.lock().expect("inbound registry").remove(&generation);
+        }) {
+            let mut registry = conn_threads.lock().expect("conn thread registry");
+            // Reap finished connection threads as new ones arrive, so the
+            // handle list tracks live connections, not connection history.
+            registry.retain(|h| !h.is_finished());
+            registry.push(handle);
+        }
+    }
+}
+
+/// Sends replies to one connected client from a bounded queue. Runs on
+/// its own thread so a slow client never blocks the core loop; overflow
+/// and write errors drop replies (the client's retry logic recovers).
+fn client_writer(mut stream: TcpStream, replies: Receiver<Reply>) {
+    while let Ok(reply) = replies.recv() {
+        if write_value(&mut stream, frame_kind::REPLY, &reply).is_err() {
+            break;
+        }
+    }
+}
+
+/// Drives one inbound connection: handshake, then a frame-decode loop.
+fn read_connection<P: Protocol>(
+    mut stream: TcpStream,
+    generation: u64,
+    events_tx: Sender<Event<P::Message>>,
+    clients: ClientRegistry,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    shutdown: Arc<AtomicBool>,
+) -> io::Result<()> {
+    let (kind, hello) = read_frame(&mut stream)?;
+    let registered_client = match kind {
+        frame_kind::PEER_HELLO => None,
+        frame_kind::CLIENT_HELLO => {
+            let client: ClientId = decode(&hello)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            let (reply_tx, reply_rx) = sync_channel::<Reply>(CLIENT_REPLY_QUEUE);
+            let writer_stream = stream.try_clone()?;
+            if let Ok(handle) = std::thread::Builder::new()
+                .name("client-writer".into())
+                .spawn(move || client_writer(writer_stream, reply_rx))
+            {
+                conn_threads.lock().expect("conn thread registry").push(handle);
+            }
+            // A reconnecting client replaces its own old entry; the old
+            // writer exits when its sender is dropped here.
+            clients
+                .lock()
+                .expect("client registry")
+                .insert(client, ClientEntry { generation, replies: reply_tx });
+            Some(client)
+        }
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("connection opened with frame kind {other}"),
+            ));
+        }
+    };
+
+    let result = (|| -> io::Result<()> {
+        loop {
+            let (kind, payload) = read_frame(&mut stream)?;
+            if shutdown.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            let event = match kind {
+                frame_kind::PROTOCOL => Event::Peer(
+                    decode(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?,
+                ),
+                frame_kind::REQUESTS => Event::Requests(
+                    decode(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?,
+                ),
+                _ => continue, // tolerate unknown kinds from newer peers
+            };
+            if events_tx.send(event).is_err() {
+                return Ok(()); // node shut down
+            }
+        }
+    })();
+
+    if let Some(client) = registered_client {
+        // Remove only our own registration: if the client already
+        // reconnected, the entry carries a newer generation and stays.
+        let mut registry = clients.lock().expect("client registry");
+        if registry.get(&client).is_some_and(|e| e.generation == generation) {
+            registry.remove(&client);
+        }
+    }
+    result
+}
+
+fn core_loop<P: Protocol>(
+    mut protocol: P,
+    events_rx: Receiver<Event<P::Message>>,
+    outboxes: HashMap<ReplicaId, PeerOutbox>,
+    clients: ClientRegistry,
+) {
+    while let Ok(event) = events_rx.recv() {
+        let outputs = match event {
+            Event::Peer(msg) => protocol.on_message(msg),
+            Event::Requests(requests) => protocol.on_client_requests(requests),
+            Event::Timeout => protocol.on_timeout(),
+            Event::Shutdown => break,
+        };
+        for output in outputs {
+            route(output, &outboxes, &clients);
+        }
+    }
+    for (_, outbox) in outboxes {
+        outbox.close();
+    }
+}
+
+fn route<M: crate::transport::WireMessage>(
+    output: ProtocolOutput<M>,
+    outboxes: &HashMap<ReplicaId, PeerOutbox>,
+    clients: &Mutex<HashMap<ClientId, ClientEntry>>,
+) {
+    match output {
+        ProtocolOutput::Broadcast(msg) => {
+            // Encode and frame once; every outbox shares the buffer.
+            let framed = Arc::new(frame(frame_kind::PROTOCOL, &encode(&msg)));
+            for outbox in outboxes.values() {
+                outbox.enqueue(Arc::clone(&framed));
+            }
+        }
+        // Self-sends are dropped, matching ThreadedCluster: protocol
+        // cores process their own copy internally before emitting.
+        ProtocolOutput::Send { to, msg } => {
+            if let Some(outbox) = outboxes.get(&to) {
+                outbox.enqueue(Arc::new(frame(frame_kind::PROTOCOL, &encode(&msg))));
+            }
+        }
+        ProtocolOutput::Reply { to, reply } => {
+            // Hand off to the client's writer thread without blocking the
+            // core loop; a full queue or a gone client drops the reply
+            // (the client's own timeout/retry logic recovers).
+            let mut registry = clients.lock().expect("client registry");
+            if let Some(entry) = registry.get(&to) {
+                if let Err(TrySendError::Disconnected(_)) = entry.replies.try_send(reply) {
+                    registry.remove(&to);
+                }
+            }
+        }
+    }
+}
+
+/// A socket client: connects to replicas, submits requests, and streams
+/// back replies.
+///
+/// The client is transport only — pair it with the protocol-specific
+/// client state machines (`PbftClient`, `SplitBftClient`, `HybridClient`)
+/// which own authentication, retransmission and reply-quorum logic.
+#[derive(Debug)]
+pub struct TcpClient {
+    id: ClientId,
+    // Indexed by replica position in the address book; `None` for
+    // replicas that were unreachable at connect time.
+    streams: Vec<Option<TcpStream>>,
+    replies: Receiver<Reply>,
+}
+
+impl TcpClient {
+    /// Connects to the replicas in `addrs` (all attempts run
+    /// concurrently, each retrying with backoff), announcing `id` so
+    /// replies route back here.
+    ///
+    /// Connection is best-effort: a BFT client must make progress with
+    /// up to `f` replicas unreachable, so dead replicas are skipped
+    /// (check [`TcpClient::connected`]) — once the first replica
+    /// answers, stragglers get a short grace window rather than the
+    /// full `timeout`, keeping connect latency independent of how many
+    /// replicas are down. Errors only if *no* replica could be reached
+    /// within `timeout`.
+    pub fn connect(id: ClientId, addrs: &[SocketAddr], timeout: Duration) -> io::Result<Self> {
+        /// How long after the first successful connection the remaining
+        /// attempts may keep retrying.
+        const STRAGGLER_GRACE: Duration = Duration::from_secs(1);
+
+        if addrs.is_empty() {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "no replica addresses given"));
+        }
+        let deadline = Instant::now() + timeout;
+        let give_up = Arc::new(AtomicBool::new(false));
+        let (conn_tx, conn_rx) = channel::<(usize, io::Result<TcpStream>)>();
+        for (index, addr) in addrs.iter().enumerate() {
+            let addr = *addr;
+            let give_up = Arc::clone(&give_up);
+            let conn_tx = conn_tx.clone();
+            let _ = std::thread::Builder::new().name("client-connect".into()).spawn(move || {
+                let result = (|| -> io::Result<TcpStream> {
+                    let mut stream = connect_until(addr, deadline, &give_up)?;
+                    let _ = stream.set_nodelay(true);
+                    write_value(&mut stream, frame_kind::CLIENT_HELLO, &id)?;
+                    Ok(stream)
+                })();
+                let _ = conn_tx.send((index, result));
+            });
+        }
+        drop(conn_tx);
+
+        let (reply_tx, replies) = channel();
+        let mut streams: Vec<Option<TcpStream>> = (0..addrs.len()).map(|_| None).collect();
+        let mut last_err: Option<io::Error> = None;
+        let mut pending = addrs.len();
+        let mut grace_deadline: Option<Instant> = None;
+        while pending > 0 {
+            let wait_until = grace_deadline.unwrap_or(deadline);
+            let remaining = wait_until.saturating_duration_since(Instant::now());
+            let Ok((index, result)) = conn_rx.recv_timeout(remaining.max(Duration::from_millis(1)))
+            else {
+                if give_up.load(Ordering::SeqCst) {
+                    break; // grace expired; abandon stragglers
+                }
+                if Instant::now() >= wait_until {
+                    give_up.store(true, Ordering::SeqCst);
+                }
+                continue;
+            };
+            pending -= 1;
+            match result {
+                Ok(stream) => {
+                    if grace_deadline.is_none() {
+                        grace_deadline = Some((Instant::now() + STRAGGLER_GRACE).min(deadline));
+                    }
+                    let mut reader = stream.try_clone()?;
+                    let reply_tx = reply_tx.clone();
+                    // Reader threads exit when the socket closes (client
+                    // drop or replica shutdown) or the receiver is gone.
+                    let _ =
+                        std::thread::Builder::new().name("client-reader".into()).spawn(move || {
+                            while let Ok(reply) =
+                                read_value::<_, Reply>(&mut reader, frame_kind::REPLY)
+                            {
+                                if reply_tx.send(reply).is_err() {
+                                    break;
+                                }
+                            }
+                        });
+                    streams[index] = Some(stream);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        give_up.store(true, Ordering::SeqCst);
+
+        if streams.iter().all(Option::is_none) {
+            return Err(last_err
+                .unwrap_or_else(|| io::Error::new(io::ErrorKind::TimedOut, "no replica reachable")));
+        }
+        Ok(TcpClient { id, streams, replies })
+    }
+
+    /// This client's id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// How many replicas this client reached at connect time.
+    pub fn connected(&self) -> usize {
+        self.streams.iter().flatten().count()
+    }
+
+    /// Sends a request batch to the `replica_index`-th replica (clients
+    /// address the primary; index 0 in view 0). Errors if that replica
+    /// was unreachable — callers should fall back to [`Self::send_all`],
+    /// the PBFT client rule for a suspected-faulty primary.
+    pub fn send_to(&mut self, replica_index: usize, requests: &[Request]) -> io::Result<()> {
+        let requests: Vec<Request> = requests.to_vec();
+        match &mut self.streams[replica_index] {
+            Some(stream) => write_value(stream, frame_kind::REQUESTS, &requests),
+            None => Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                format!("replica {replica_index} was unreachable at connect time"),
+            )),
+        }
+    }
+
+    /// Sends a request batch to every reachable replica (used after a
+    /// suspected primary failure, per the PBFT client rule). Errors only
+    /// if no send succeeded.
+    pub fn send_all(&mut self, requests: &[Request]) -> io::Result<()> {
+        let requests: Vec<Request> = requests.to_vec();
+        let mut delivered = 0;
+        for stream in self.streams.iter_mut().flatten() {
+            if write_value(stream, frame_kind::REQUESTS, &requests).is_ok() {
+                delivered += 1;
+            }
+        }
+        if delivered == 0 {
+            return Err(io::Error::new(io::ErrorKind::NotConnected, "no replica reachable"));
+        }
+        Ok(())
+    }
+
+    /// The stream of replies from all connected replicas. Feed these to
+    /// the protocol client's `on_reply` until it reports completion.
+    pub fn replies(&self) -> &Receiver<Reply> {
+        &self.replies
+    }
+
+    /// Closes all connections.
+    pub fn close(self) {
+        for stream in self.streams.iter().flatten() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+fn connect_until(
+    addr: SocketAddr,
+    deadline: Instant,
+    give_up: &AtomicBool,
+) -> io::Result<TcpStream> {
+    let mut backoff = Duration::from_millis(10);
+    loop {
+        if give_up.load(Ordering::SeqCst) {
+            return Err(io::Error::new(io::ErrorKind::TimedOut, "connect abandoned"));
+        }
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) if Instant::now() + backoff >= deadline => return Err(e),
+            Err(_) => {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_millis(200));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splitbft_types::{RequestId, Timestamp, View};
+
+    /// A trivial protocol echoing request payloads straight back,
+    /// exercising the transport without consensus logic.
+    struct EchoProtocol {
+        id: ReplicaId,
+    }
+
+    impl Protocol for EchoProtocol {
+        type Message = u64;
+
+        fn on_message(&mut self, _msg: u64) -> Vec<ProtocolOutput<u64>> {
+            Vec::new()
+        }
+
+        fn on_client_requests(&mut self, requests: Vec<Request>) -> Vec<ProtocolOutput<u64>> {
+            requests
+                .into_iter()
+                .map(|r| ProtocolOutput::Reply {
+                    to: r.client(),
+                    reply: Reply {
+                        view: View(0),
+                        request: r.id,
+                        replica: self.id,
+                        result: r.op,
+                        encrypted: false,
+                        auth: [0u8; 32],
+                    },
+                })
+                .collect()
+        }
+
+        fn on_timeout(&mut self) -> Vec<ProtocolOutput<u64>> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn echo_roundtrip_over_sockets() {
+        let config = TcpNodeConfig::new(
+            ReplicaId(0),
+            "127.0.0.1:0".parse().unwrap(),
+            Vec::new(),
+        );
+        let node = TcpNode::spawn(config, EchoProtocol { id: ReplicaId(0) }).unwrap();
+        let addr = node.local_addr();
+
+        let mut client =
+            TcpClient::connect(ClientId(7), &[addr], Duration::from_secs(5)).unwrap();
+        let request = Request {
+            id: RequestId { client: ClientId(7), timestamp: Timestamp(1) },
+            op: bytes::Bytes::from_static(b"ping"),
+            encrypted: false,
+            auth: [0u8; 32],
+        };
+        client.send_to(0, &[request]).unwrap();
+        let reply = client.replies().recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(&reply.result[..], b"ping");
+
+        client.close();
+        node.shutdown();
+    }
+}

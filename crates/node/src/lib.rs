@@ -1,0 +1,533 @@
+//! Library half of the `splitbft-node` binary: cluster-file parsing and
+//! the protocol-dispatch glue that turns one config into a running
+//! replica or a driving client.
+//!
+//! # Cluster file
+//!
+//! A deployment is described by a small TOML file (parsed by a built-in
+//! subset parser — the environment has no `toml` crate — supporting
+//! comments, `key = value` pairs with string/integer values, and
+//! `[[replica]]` array tables):
+//!
+//! ```toml
+//! # cluster.toml — a 4-replica localhost deployment
+//! protocol = "splitbft"   # pbft | splitbft | minbft (CLI --protocol overrides)
+//! seed = 42               # master seed shared by replicas and clients
+//! app = "counter"         # counter | kvs
+//!
+//! [[replica]]
+//! id = 0
+//! addr = "127.0.0.1:7100"
+//!
+//! [[replica]]
+//! id = 1
+//! addr = "127.0.0.1:7101"
+//!
+//! [[replica]]
+//! id = 2
+//! addr = "127.0.0.1:7102"
+//!
+//! [[replica]]
+//! id = 3
+//! addr = "127.0.0.1:7103"
+//! ```
+//!
+//! Every replica process and every client reads the same file, so the
+//! file *is* the membership: ids, addresses, protocol, and the seed from
+//! which all symmetric keys derive.
+//!
+//! # Limitation: no view-change timer over TCP yet
+//!
+//! Deployed nodes do not arm `timeout_every`: the protocols'
+//! `on_view_timeout` handlers start a view change *unconditionally*, so
+//! a naive periodic timer would churn views in an idle cluster. Driving
+//! view changes in deployment needs a request-aware progress timer
+//! (armed on pending requests, reset on commit) — an open item in
+//! `ROADMAP.md`. Until then a crashed primary stalls a deployed cluster
+//! (backup crashes are tolerated), while view changes remain fully
+//! exercised by the in-process tests and examples via explicit
+//! `trigger_timeout`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use bytes::Bytes;
+use splitbft_app::{CounterApp, KeyValueStore};
+use splitbft_core::{SplitBftClient, SplitBftReplica, SplitClientEvent};
+use splitbft_hybrid::{HybridClient, HybridClientEvent, HybridConfig, HybridReplica, Usig};
+use splitbft_net::tcp::{PeerAddr, TcpClient, TcpNode, TcpNodeConfig};
+use splitbft_pbft::{ClientEvent, PbftClient, Replica as PbftReplica};
+use splitbft_tee::{CostModel, ExecMode};
+use splitbft_types::{ClientId, ClusterConfig, ReplicaId, Reply};
+use std::fmt;
+use std::io;
+use std::net::SocketAddr;
+use std::str::FromStr;
+use std::time::{Duration, Instant};
+
+/// Which of the three protocol stacks a node runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolKind {
+    /// The PBFT baseline (`3f + 1`, three phases).
+    Pbft,
+    /// SplitBFT with its three trusted compartments (`3f + 1`).
+    SplitBft,
+    /// The MinBFT-style hybrid (`2f + 1`, trusted counters).
+    MinBft,
+}
+
+impl FromStr for ProtocolKind {
+    type Err = ConfigError;
+    fn from_str(s: &str) -> Result<Self, ConfigError> {
+        match s {
+            "pbft" => Ok(ProtocolKind::Pbft),
+            "splitbft" => Ok(ProtocolKind::SplitBft),
+            "minbft" => Ok(ProtocolKind::MinBft),
+            other => Err(ConfigError::new(format!(
+                "unknown protocol {other:?} (expected pbft, splitbft, or minbft)"
+            ))),
+        }
+    }
+}
+
+impl fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ProtocolKind::Pbft => "pbft",
+            ProtocolKind::SplitBft => "splitbft",
+            ProtocolKind::MinBft => "minbft",
+        })
+    }
+}
+
+/// Which replicated application the cluster serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppKind {
+    /// The trivial counter (`inc` / `read` operations).
+    Counter,
+    /// The key-value store (`put`/`get`/`delete` operations).
+    Kvs,
+}
+
+impl FromStr for AppKind {
+    type Err = ConfigError;
+    fn from_str(s: &str) -> Result<Self, ConfigError> {
+        match s {
+            "counter" => Ok(AppKind::Counter),
+            "kvs" => Ok(AppKind::Kvs),
+            other => {
+                Err(ConfigError::new(format!("unknown app {other:?} (expected counter or kvs)")))
+            }
+        }
+    }
+}
+
+/// A parse or validation error in a cluster file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    msg: String,
+}
+
+impl ConfigError {
+    fn new(msg: impl Into<String>) -> Self {
+        ConfigError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cluster config: {}", self.msg)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// A parsed cluster file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterFile {
+    /// Default protocol (overridable per invocation).
+    pub protocol: ProtocolKind,
+    /// Master seed from which all symmetric keys derive.
+    pub seed: u64,
+    /// The replicated application.
+    pub app: AppKind,
+    /// The membership: replica ids and their listen addresses, sorted
+    /// and validated to be exactly `0..n`.
+    pub replicas: Vec<PeerAddr>,
+}
+
+impl ClusterFile {
+    /// Listen address of replica `id`.
+    pub fn addr_of(&self, id: ReplicaId) -> Option<SocketAddr> {
+        self.replicas.iter().find(|p| p.id == id).map(|p| p.addr)
+    }
+
+    /// All replica addresses in id order.
+    pub fn addrs(&self) -> Vec<SocketAddr> {
+        self.replicas.iter().map(|p| p.addr).collect()
+    }
+
+    /// Cluster size.
+    pub fn n(&self) -> usize {
+        self.replicas.len()
+    }
+}
+
+/// Parses the TOML subset described in the crate docs.
+pub fn parse_cluster_toml(text: &str) -> Result<ClusterFile, ConfigError> {
+    let mut protocol = ProtocolKind::SplitBft;
+    let mut seed: u64 = 42;
+    let mut app = AppKind::Counter;
+    let mut replicas: Vec<(Option<u32>, Option<SocketAddr>)> = Vec::new();
+    // `None` = top level; `Some(i)` = inside the i-th [[replica]] table.
+    let mut current: Option<usize> = None;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: String| ConfigError::new(format!("line {}: {msg}", lineno + 1));
+        if line == "[[replica]]" {
+            replicas.push((None, None));
+            current = Some(replicas.len() - 1);
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(err(format!("unsupported table {line}")));
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(err(format!("expected `key = value`, got {line:?}")));
+        };
+        let (key, value) = (key.trim(), value.trim());
+        match (current, key) {
+            (None, "protocol") => protocol = parse_string(value).and_then(|s| s.parse())?,
+            (None, "seed") => {
+                seed = value
+                    .parse()
+                    .map_err(|_| err(format!("seed must be an integer, got {value:?}")))?;
+            }
+            (None, "app") => app = parse_string(value).and_then(|s| s.parse())?,
+            (None, other) => return Err(err(format!("unknown top-level key {other:?}"))),
+            (Some(i), "id") => {
+                replicas[i].0 = Some(
+                    value
+                        .parse()
+                        .map_err(|_| err(format!("id must be an integer, got {value:?}")))?,
+                );
+            }
+            (Some(i), "addr") => {
+                let s = parse_string(value)?;
+                replicas[i].1 = Some(
+                    s.parse()
+                        .map_err(|_| err(format!("addr must be host:port, got {s:?}")))?,
+                );
+            }
+            (Some(_), other) => return Err(err(format!("unknown replica key {other:?}"))),
+        }
+    }
+
+    let mut peers = Vec::with_capacity(replicas.len());
+    for (i, (id, addr)) in replicas.into_iter().enumerate() {
+        let id = id.ok_or_else(|| ConfigError::new(format!("replica #{i} missing `id`")))?;
+        let addr = addr.ok_or_else(|| ConfigError::new(format!("replica #{i} missing `addr`")))?;
+        peers.push(PeerAddr { id: ReplicaId(id), addr });
+    }
+    peers.sort_by_key(|p| p.id.0);
+    if peers.is_empty() {
+        return Err(ConfigError::new("no [[replica]] entries"));
+    }
+    for (i, peer) in peers.iter().enumerate() {
+        if peer.id.0 as usize != i {
+            return Err(ConfigError::new(format!(
+                "replica ids must be exactly 0..{}, found id {}",
+                peers.len(),
+                peer.id.0
+            )));
+        }
+    }
+    Ok(ClusterFile { protocol, seed, app, replicas: peers })
+}
+
+fn strip_comment(line: &str) -> &str {
+    // Good enough for the subset: `#` never appears inside our strings.
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn parse_string(value: &str) -> Result<String, ConfigError> {
+    let v = value.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Ok(v[1..v.len() - 1].to_string())
+    } else {
+        Err(ConfigError::new(format!("expected a quoted string, got {v}")))
+    }
+}
+
+/// Builds and starts replica `id` of the cluster described by `file`,
+/// running `protocol` (usually `file.protocol`, unless overridden).
+///
+/// The returned [`TcpNode`] is protocol-erased: all three stacks host
+/// behind the same handle, which is what lets one binary serve all
+/// three.
+pub fn run_replica(
+    file: &ClusterFile,
+    protocol: ProtocolKind,
+    id: ReplicaId,
+) -> io::Result<TcpNode> {
+    let listen = file.addr_of(id).ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, format!("replica {} not in cluster file", id.0))
+    })?;
+    let config = TcpNodeConfig::new(id, listen, file.replicas.clone());
+    let n = file.n();
+    let seed = file.seed;
+    macro_rules! with_app {
+        ($build:expr) => {
+            match file.app {
+                AppKind::Counter => $build(CounterApp::new()),
+                AppKind::Kvs => $build(KeyValueStore::new()),
+            }
+        };
+    }
+    match protocol {
+        ProtocolKind::Pbft => with_app!(|app| {
+            let cluster = cluster_config(n)?;
+            TcpNode::spawn(config, PbftReplica::new(cluster, id, seed, app))
+        }),
+        ProtocolKind::SplitBft => with_app!(|app| {
+            let cluster = cluster_config(n)?;
+            TcpNode::spawn(
+                config,
+                SplitBftReplica::new(
+                    cluster,
+                    id,
+                    seed,
+                    app,
+                    ExecMode::Hardware,
+                    CostModel::paper_calibrated(),
+                ),
+            )
+        }),
+        ProtocolKind::MinBft => with_app!(|app| {
+            let cluster = HybridConfig::new(n).map_err(invalid)?;
+            TcpNode::spawn(config, HybridReplica::new(cluster, id, seed, Usig::new(seed, id), app))
+        }),
+    }
+}
+
+fn cluster_config(n: usize) -> io::Result<ClusterConfig> {
+    ClusterConfig::new(n).map_err(invalid)
+}
+
+fn invalid<E: fmt::Display>(e: E) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidInput, e.to_string())
+}
+
+/// A protocol-dispatching client state machine: issues authenticated
+/// requests and recognizes completed reply quorums for whichever stack
+/// the cluster runs.
+#[derive(Debug)]
+pub enum AnyClient {
+    /// PBFT client (`f + 1` matching replies).
+    Pbft(PbftClient),
+    /// SplitBFT client in plaintext mode (`f + 1` matching replies).
+    SplitBft(SplitBftClient),
+    /// Hybrid client (`f + 1` matching replies of `2f + 1`).
+    MinBft(HybridClient),
+}
+
+impl AnyClient {
+    /// Creates the client for `protocol` against an `n`-replica cluster.
+    ///
+    /// Timestamps start at wall-clock microseconds so that repeated CLI
+    /// invocations reusing one client id keep issuing fresh requests —
+    /// replicas suppress duplicates by last-seen timestamp per client.
+    pub fn new(
+        protocol: ProtocolKind,
+        n: usize,
+        id: ClientId,
+        seed: u64,
+    ) -> io::Result<AnyClient> {
+        let now = splitbft_types::Timestamp(
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_micros() as u64)
+                .unwrap_or(1)
+                .max(1),
+        );
+        Ok(match protocol {
+            ProtocolKind::Pbft => {
+                AnyClient::Pbft(PbftClient::new(cluster_config(n)?, id, seed).starting_at(now))
+            }
+            ProtocolKind::SplitBft => AnyClient::SplitBft(
+                SplitBftClient::new(cluster_config(n)?, id, seed, 1)
+                    .with_plaintext()
+                    .starting_at(now),
+            ),
+            ProtocolKind::MinBft => AnyClient::MinBft(
+                HybridClient::new(HybridConfig::new(n).map_err(invalid)?, id, seed)
+                    .starting_at(now),
+            ),
+        })
+    }
+
+    /// Issues the next request carrying `op`.
+    pub fn issue(&mut self, op: &[u8]) -> splitbft_types::Request {
+        match self {
+            AnyClient::Pbft(c) => c.issue(Bytes::copy_from_slice(op)),
+            AnyClient::SplitBft(c) => c.issue(op),
+            AnyClient::MinBft(c) => c.issue(Bytes::copy_from_slice(op)),
+        }
+    }
+
+    /// Feeds one reply; returns the agreed result once a quorum matches.
+    pub fn on_reply(&mut self, reply: &Reply) -> Option<Bytes> {
+        match self {
+            AnyClient::Pbft(c) => match c.on_reply(reply) {
+                ClientEvent::Completed(r) => Some(r),
+                _ => None,
+            },
+            AnyClient::SplitBft(c) => match c.on_reply(reply) {
+                SplitClientEvent::Completed(r) => Some(r),
+                _ => None,
+            },
+            AnyClient::MinBft(c) => match c.on_reply(reply) {
+                HybridClientEvent::Completed(r) => Some(r),
+                _ => None,
+            },
+        }
+    }
+}
+
+/// Runs a closed-loop client against the cluster: `count` sequential
+/// `op` requests to the view-0 primary, awaiting the reply quorum for
+/// each. Returns the result of every completed request.
+///
+/// The transport is at-most-once (outboxes and reply queues drop under
+/// failure and explicitly rely on client retransmission to recover), so
+/// after half the per-request timeout without a quorum the request is
+/// retransmitted to *every* reachable replica — the PBFT client rule.
+/// Replicas that already executed it re-send their cached reply.
+pub fn run_client(
+    file: &ClusterFile,
+    protocol: ProtocolKind,
+    client_id: ClientId,
+    op: &[u8],
+    count: usize,
+    timeout: Duration,
+) -> io::Result<Vec<Bytes>> {
+    let mut client = AnyClient::new(protocol, file.n(), client_id, file.seed)?;
+    let mut tcp = TcpClient::connect(client_id, &file.addrs(), timeout)?;
+    let mut results = Vec::with_capacity(count);
+    for i in 0..count {
+        let request = client.issue(op);
+        // Primary first; fall back to broadcast if it was unreachable.
+        if tcp.send_to(0, std::slice::from_ref(&request)).is_err() {
+            tcp.send_all(std::slice::from_ref(&request))?;
+        }
+        let deadline = Instant::now() + timeout;
+        let resend_at = Instant::now() + timeout / 2;
+        let mut resent = false;
+        let result = loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("request {i} timed out after {timeout:?}"),
+                ));
+            }
+            if !resent && now >= resend_at {
+                resent = true;
+                tcp.send_all(std::slice::from_ref(&request))?;
+            }
+            let wait = deadline.min(if resent { deadline } else { resend_at });
+            match tcp.replies().recv_timeout(wait.saturating_duration_since(now)) {
+                Ok(reply) => {
+                    if let Some(result) = client.on_reply(&reply) {
+                        break result;
+                    }
+                }
+                Err(_) => continue,
+            }
+        };
+        results.push(result);
+    }
+    tcp.close();
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXAMPLE: &str = r#"
+# demo cluster
+protocol = "pbft"
+seed = 7
+app = "kvs"
+
+[[replica]]
+id = 1
+addr = "127.0.0.1:7101"
+
+[[replica]]
+id = 0
+addr = "127.0.0.1:7100"  # out of order on purpose
+
+[[replica]]
+id = 2
+addr = "127.0.0.1:7102"
+
+[[replica]]
+id = 3
+addr = "127.0.0.1:7103"
+"#;
+
+    #[test]
+    fn parses_example_file() {
+        let file = parse_cluster_toml(EXAMPLE).unwrap();
+        assert_eq!(file.protocol, ProtocolKind::Pbft);
+        assert_eq!(file.seed, 7);
+        assert_eq!(file.app, AppKind::Kvs);
+        assert_eq!(file.n(), 4);
+        // Sorted into id order regardless of file order.
+        assert_eq!(file.replicas[0].id, ReplicaId(0));
+        assert_eq!(file.addr_of(ReplicaId(2)), Some("127.0.0.1:7102".parse().unwrap()));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let file = parse_cluster_toml(
+            "[[replica]]\nid = 0\naddr = \"127.0.0.1:9000\"\n",
+        )
+        .unwrap();
+        assert_eq!(file.protocol, ProtocolKind::SplitBft);
+        assert_eq!(file.seed, 42);
+        assert_eq!(file.app, AppKind::Counter);
+    }
+
+    #[test]
+    fn rejects_malformed_files() {
+        assert!(parse_cluster_toml("protocol = pbft\n").is_err(), "unquoted string");
+        assert!(parse_cluster_toml("protocol = \"raft\"\n").is_err(), "unknown protocol");
+        assert!(parse_cluster_toml("bogus = 1\n").is_err(), "unknown key");
+        assert!(parse_cluster_toml("").is_err(), "no replicas");
+        assert!(
+            parse_cluster_toml("[[replica]]\nid = 1\naddr = \"127.0.0.1:1\"\n").is_err(),
+            "ids must start at 0"
+        );
+        assert!(
+            parse_cluster_toml("[[replica]]\nid = 0\n").is_err(),
+            "missing addr"
+        );
+    }
+
+    #[test]
+    fn protocol_kind_roundtrips_through_display() {
+        for kind in [ProtocolKind::Pbft, ProtocolKind::SplitBft, ProtocolKind::MinBft] {
+            assert_eq!(kind.to_string().parse::<ProtocolKind>().unwrap(), kind);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! `splitbft-node` — deployable replica / client binary.
+//!
+//! ```text
+//! splitbft-node serve  --config cluster.toml --replica 0 [--protocol pbft|splitbft|minbft]
+//! splitbft-node client --config cluster.toml [--protocol ...] [--client 1]
+//!                      [--op inc] [--requests 5] [--timeout-secs 30]
+//! ```
+//!
+//! `serve` hosts one replica of the cluster over the framed TCP
+//! transport and runs until killed. `client` drives sequential requests
+//! at the view-0 primary and prints each agreed result. See
+//! `docs/ARCHITECTURE.md` and the crate docs of `splitbft_node` for the
+//! cluster-file format.
+
+use splitbft_node::{parse_cluster_toml, run_client, run_replica, ClusterFile, ProtocolKind};
+use splitbft_types::{ClientId, ReplicaId};
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => serve(&args[1..]),
+        Some("client") => client(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command {other:?}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+splitbft-node — run a PBFT / SplitBFT / MinBFT replica or client over TCP
+
+USAGE:
+    splitbft-node serve  --config <cluster.toml> --replica <id> [--protocol <p>]
+    splitbft-node client --config <cluster.toml> [--protocol <p>] [--client <id>]
+                         [--op <bytes>] [--requests <n>] [--timeout-secs <s>]
+
+The cluster file lists every replica's id and address plus the shared
+seed, protocol, and application; see the splitbft_node crate docs.
+";
+
+/// Pulls `--name value` out of `args`, or returns `default`.
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn load(args: &[String]) -> Result<(ClusterFile, ProtocolKind), String> {
+    let path = flag(args, "--config").ok_or("missing --config <cluster.toml>")?;
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let file = parse_cluster_toml(&text).map_err(|e| e.to_string())?;
+    let protocol = match flag(args, "--protocol") {
+        Some(p) => p.parse().map_err(|e: splitbft_node::ConfigError| e.to_string())?,
+        None => file.protocol,
+    };
+    Ok((file, protocol))
+}
+
+fn serve(args: &[String]) -> ExitCode {
+    let run = || -> Result<(), String> {
+        let (file, protocol) = load(args)?;
+        let id: u32 = flag(args, "--replica")
+            .ok_or("missing --replica <id>")?
+            .parse()
+            .map_err(|_| "--replica must be an integer".to_string())?;
+        let node = run_replica(&file, protocol, ReplicaId(id)).map_err(|e| e.to_string())?;
+        println!(
+            "replica {id} serving {protocol} on {} ({} replicas, app {:?})",
+            node.local_addr(),
+            file.n(),
+            file.app,
+        );
+        // Serve until killed: the node's own threads do all the work.
+        loop {
+            std::thread::park();
+        }
+    };
+    run_to_exit(run())
+}
+
+fn client(args: &[String]) -> ExitCode {
+    let run = || -> Result<(), String> {
+        let (file, protocol) = load(args)?;
+        let client_id: u32 = flag(args, "--client")
+            .unwrap_or_else(|| "1".into())
+            .parse()
+            .map_err(|_| "--client must be an integer".to_string())?;
+        let op = flag(args, "--op").unwrap_or_else(|| "inc".into());
+        let count: usize = flag(args, "--requests")
+            .unwrap_or_else(|| "1".into())
+            .parse()
+            .map_err(|_| "--requests must be an integer".to_string())?;
+        let timeout: u64 = flag(args, "--timeout-secs")
+            .unwrap_or_else(|| "30".into())
+            .parse()
+            .map_err(|_| "--timeout-secs must be an integer".to_string())?;
+        let results = run_client(
+            &file,
+            protocol,
+            ClientId(client_id),
+            op.as_bytes(),
+            count,
+            Duration::from_secs(timeout),
+        )
+        .map_err(|e| e.to_string())?;
+        for (i, result) in results.iter().enumerate() {
+            // Counter results are little-endian u64s; print those
+            // readably and anything else as a lossy string.
+            if result.len() == 8 {
+                let mut le = [0u8; 8];
+                le.copy_from_slice(result);
+                println!("request {i}: {}", u64::from_le_bytes(le));
+            } else {
+                println!("request {i}: {:?}", String::from_utf8_lossy(result));
+            }
+        }
+        Ok(())
+    };
+    run_to_exit(run())
+}
+
+fn run_to_exit(result: Result<(), String>) -> ExitCode {
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

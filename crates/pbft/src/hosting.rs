@@ -1,0 +1,73 @@
+//! Hosting adapter: [`Replica`] as a [`Protocol`].
+//!
+//! With this impl a PBFT replica drops unchanged into any
+//! `splitbft-net` runtime — the in-process [`ThreadedCluster`] or the
+//! deployable [`TcpNode`] — which is how the socket demo and the
+//! `splitbft-node` binary run the baseline.
+//!
+//! [`ThreadedCluster`]: splitbft_net::runtime::ThreadedCluster
+//! [`TcpNode`]: splitbft_net::tcp::TcpNode
+
+use crate::action::Action;
+use crate::replica::Replica;
+use splitbft_app::Application;
+use splitbft_net::transport::{Protocol, ProtocolOutput};
+use splitbft_types::{ConsensusMessage, Request};
+
+fn to_outputs(actions: Vec<Action>) -> Vec<ProtocolOutput<ConsensusMessage>> {
+    actions
+        .into_iter()
+        .filter_map(|action| match action {
+            Action::Broadcast { msg } => Some(ProtocolOutput::Broadcast(msg)),
+            Action::Send { to, msg } => Some(ProtocolOutput::Send { to, msg }),
+            Action::SendReply { to, reply } => Some(ProtocolOutput::Reply { to, reply }),
+            // Persistence and observability actions have no network
+            // footprint; runtimes that care (the simulator, the model
+            // checker) consume Actions directly instead.
+            _ => None,
+        })
+        .collect()
+}
+
+impl<A: Application + 'static> Protocol for Replica<A> {
+    type Message = ConsensusMessage;
+
+    fn on_message(&mut self, msg: ConsensusMessage) -> Vec<ProtocolOutput<ConsensusMessage>> {
+        // A malformed or unverifiable message yields no outputs — the
+        // byzantine-tolerant stance is to ignore it, not to crash.
+        to_outputs(Replica::on_message(self, msg).unwrap_or_default())
+    }
+
+    fn on_client_requests(
+        &mut self,
+        requests: Vec<Request>,
+    ) -> Vec<ProtocolOutput<ConsensusMessage>> {
+        to_outputs(self.on_client_batch(requests))
+    }
+
+    fn on_timeout(&mut self) -> Vec<ProtocolOutput<ConsensusMessage>> {
+        to_outputs(self.on_view_timeout())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replica::make_request;
+    use splitbft_app::CounterApp;
+    use splitbft_types::{ClientId, ClusterConfig, ReplicaId, Timestamp};
+
+    #[test]
+    fn replica_hosts_as_protocol() {
+        let cfg = ClusterConfig::new(4).unwrap();
+        let mut primary: Replica<CounterApp> =
+            Replica::new(cfg, ReplicaId(0), 42, CounterApp::new());
+        let request =
+            make_request(42, ClientId(0), Timestamp(1), bytes::Bytes::from_static(b"inc"));
+        let outputs = Protocol::on_client_requests(&mut primary, vec![request]);
+        assert!(
+            outputs.iter().any(|o| matches!(o, ProtocolOutput::Broadcast(_))),
+            "primary should broadcast a PrePrepare"
+        );
+    }
+}

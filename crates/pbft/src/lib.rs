@@ -43,6 +43,7 @@
 pub mod action;
 pub mod batcher;
 pub mod checkpoint;
+pub mod hosting;
 pub mod client;
 pub mod log;
 pub mod replica;

@@ -9,7 +9,7 @@ use std::fmt;
 /// Every replica runs exactly one enclave of each kind; enclaves of the
 /// same kind run the same logic, enclaves of different kinds share no code
 /// beyond the message type definitions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum CompartmentKind {
     /// Receives client requests and initializes their order distribution:
     /// sends/validates `PrePrepare`, sends `Prepare`, validates

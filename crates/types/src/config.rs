@@ -7,7 +7,7 @@ use crate::ids::ReplicaId;
 ///
 /// Per the paper's system model this is one of the constant configuration
 /// parameters that "can be safely loaded into enclaves" at startup.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClusterConfig {
     n: usize,
     /// Sequence-number window above the last stable checkpoint within which
@@ -89,7 +89,7 @@ impl ClusterConfig {
 ///
 /// Mirrors the paper's evaluation setup: "we create batches on either
 /// receiving 200 requests or expiration of a 10 ms timeout".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BatchConfig {
     /// Maximum requests per batch.
     pub max_batch: usize,
@@ -123,7 +123,7 @@ impl Default for BatchConfig {
 
 /// Timer configuration for the untrusted environment (P1: timers are
 /// liveness-only and stay outside the enclaves).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TimerConfig {
     /// View-change timeout: how long a replica waits for a request it has
     /// seen to be executed before suspecting the primary (microseconds).

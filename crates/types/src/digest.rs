@@ -11,7 +11,7 @@ use std::fmt;
 ///
 /// Digests bind request batches to `PrePrepare`/`Prepare`/`Commit` messages
 /// and application snapshots to `Checkpoint` messages.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Digest(pub [u8; 32]);
 
 impl Digest {

@@ -11,7 +11,7 @@ use crate::wire::{Decode, Encode, Reader, WireError};
 use std::fmt;
 
 /// Index of a replica in the cluster, in `0..n`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ReplicaId(pub u32);
 
 impl ReplicaId {
@@ -30,7 +30,7 @@ impl fmt::Display for ReplicaId {
 }
 
 /// Identifier of a client of the replicated service.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ClientId(pub u32);
 
 impl ClientId {
@@ -49,7 +49,7 @@ impl fmt::Display for ClientId {
 
 /// A view number. The view identifies the current primary via
 /// [`View::primary`]; messages from earlier views are ignored.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct View(pub u64);
 
 impl View {
@@ -79,7 +79,7 @@ impl fmt::Display for View {
 }
 
 /// A sequence number assigned by the primary to order request batches.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SeqNum(pub u64);
 
 impl SeqNum {
@@ -105,7 +105,7 @@ impl fmt::Display for SeqNum {
 /// A client-side logical timestamp used to deduplicate requests: replicas
 /// execute at most one request per `(client, timestamp)` pair and re-send the
 /// cached reply for duplicates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Timestamp(pub u64);
 
 impl Timestamp {
@@ -124,7 +124,7 @@ impl fmt::Display for Timestamp {
 
 /// Globally unique identifier of a request: the issuing client plus its
 /// logical timestamp.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RequestId {
     /// The issuing client.
     pub client: ClientId,
@@ -143,7 +143,7 @@ impl fmt::Display for RequestId {
 /// The paper distinguishes *compartments* (the logic shared by all enclaves
 /// of one type) from *enclaves* (one compartment instance on one replica);
 /// `EnclaveId` names the latter.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EnclaveId {
     /// The replica hosting this enclave.
     pub replica: ReplicaId,
@@ -170,7 +170,7 @@ impl fmt::Display for EnclaveId {
 /// In plain PBFT every protocol message is signed by a *replica*. In
 /// SplitBFT inter-compartment messages are signed by individual *enclaves*,
 /// and client requests are authenticated by *clients*.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SignerId {
     /// A whole replica (plain PBFT, hybrid protocols).
     Replica(ReplicaId),

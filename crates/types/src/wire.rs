@@ -17,6 +17,24 @@
 //! - `Option<T>`: one-byte discriminant then the payload
 //! - enums: one-byte tag chosen by each type's manual implementation
 //!
+//! # Framing
+//!
+//! On a stream transport (TCP) the codec needs message boundaries. Every
+//! value travels inside a *frame*:
+//!
+//! ```text
+//! offset  size  field      contents
+//! 0       4     magic      b"SBFT" — connection sanity check
+//! 4       1     version    WIRE_VERSION (currently 1)
+//! 5       1     kind       transport-defined frame discriminator
+//! 6       4     length     payload byte count, u32 little-endian
+//! 10      len   payload    one canonically-encoded value
+//! ```
+//!
+//! See [`FrameHeader`] for the invariants (magic match, exact version
+//! match, `length <= MAX_FRAME_LEN`) and `splitbft-net` for the TCP
+//! transport built on top.
+//!
 //! # Example
 //!
 //! ```
@@ -60,6 +78,17 @@ pub enum WireError {
     InvalidUtf8,
     /// Trailing bytes remained after a top-level decode.
     TrailingBytes(usize),
+    /// A frame header did not start with [`FRAME_MAGIC`].
+    BadMagic([u8; 4]),
+    /// A frame header carried an unsupported wire version.
+    VersionMismatch {
+        /// The version this build speaks ([`WIRE_VERSION`]).
+        expected: u8,
+        /// The version found on the wire.
+        got: u8,
+    },
+    /// A frame length prefix exceeded [`MAX_FRAME_LEN`].
+    FrameTooLarge(u32),
 }
 
 impl fmt::Display for WireError {
@@ -73,6 +102,11 @@ impl fmt::Display for WireError {
             WireError::LengthOverflow(len) => write!(f, "length prefix {len} too large"),
             WireError::InvalidUtf8 => write!(f, "string payload is not valid UTF-8"),
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after decode"),
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            WireError::VersionMismatch { expected, got } => {
+                write!(f, "wire version mismatch: expected {expected}, got {got}")
+            }
+            WireError::FrameTooLarge(len) => write!(f, "frame length {len} too large"),
         }
     }
 }
@@ -299,6 +333,157 @@ impl<A: Decode, B: Decode, C: Decode> Decode for (A, B, C) {
     }
 }
 
+/// The four magic bytes opening every frame on a stream transport.
+///
+/// A peer that connects to the wrong port (or a corrupted stream) fails
+/// the magic check on the first header rather than mis-decoding garbage:
+///
+/// ```
+/// use splitbft_types::wire::{FrameHeader, WireError, FRAME_HEADER_LEN};
+///
+/// let mut bogus = [0u8; FRAME_HEADER_LEN];
+/// bogus[..4].copy_from_slice(b"HTTP");
+/// assert_eq!(
+///     FrameHeader::parse(&bogus),
+///     Err(WireError::BadMagic(*b"HTTP")),
+/// );
+/// ```
+pub const FRAME_MAGIC: [u8; 4] = *b"SBFT";
+
+/// The wire-format version this build speaks.
+///
+/// The version is carried in every frame header and checked on receipt;
+/// there is no negotiation — mixed-version clusters are refused at the
+/// first frame:
+///
+/// ```
+/// use splitbft_types::wire::{FrameHeader, WireError, WIRE_VERSION};
+///
+/// let mut header = FrameHeader { kind: 0, len: 0 }.encode();
+/// header[4] = WIRE_VERSION + 1; // a future version
+/// assert_eq!(
+///     FrameHeader::parse(&header),
+///     Err(WireError::VersionMismatch { expected: WIRE_VERSION, got: WIRE_VERSION + 1 }),
+/// );
+/// ```
+pub const WIRE_VERSION: u8 = 1;
+
+/// Maximum payload length a frame may declare (32 MiB). Bounds the
+/// allocation a malicious or corrupted header can force on a receiver,
+/// like [`MAX_COLLECTION_LEN`] does for in-payload collections.
+pub const MAX_FRAME_LEN: u32 = 32 * 1024 * 1024;
+
+/// Byte size of the fixed frame header: magic (4) + version (1) +
+/// kind (1) + length (4).
+pub const FRAME_HEADER_LEN: usize = 10;
+
+/// The fixed-size header preceding every framed payload on a stream
+/// transport.
+///
+/// Layout (all multi-byte fields little-endian, matching the codec):
+///
+/// ```text
+/// magic[4] | version u8 | kind u8 | length u32
+/// ```
+///
+/// `kind` is owned by the transport layer (`splitbft-net` uses it to
+/// distinguish peer handshakes, protocol messages, client requests and
+/// replies); the codec only round-trips it.
+///
+/// # Invariants
+///
+/// [`FrameHeader::parse`] accepts exactly the headers produced by
+/// [`FrameHeader::encode`]:
+///
+/// ```
+/// use splitbft_types::wire::{FrameHeader, FRAME_HEADER_LEN, FRAME_MAGIC, WIRE_VERSION};
+///
+/// let header = FrameHeader { kind: 2, len: 0xABCD };
+/// let bytes = header.encode();
+///
+/// // Fixed size, magic prefix, version byte, little-endian length.
+/// assert_eq!(bytes.len(), FRAME_HEADER_LEN);
+/// assert_eq!(&bytes[..4], &FRAME_MAGIC);
+/// assert_eq!(bytes[4], WIRE_VERSION);
+/// assert_eq!(bytes[5], 2);
+/// assert_eq!(&bytes[6..], &[0xCD, 0xAB, 0, 0]);
+///
+/// // Exact round-trip.
+/// assert_eq!(FrameHeader::parse(&bytes), Ok(header));
+/// ```
+///
+/// Oversized length prefixes are rejected before any allocation happens:
+///
+/// ```
+/// use splitbft_types::wire::{FrameHeader, WireError, MAX_FRAME_LEN};
+///
+/// let huge = FrameHeader { kind: 0, len: MAX_FRAME_LEN + 1 }.encode();
+/// assert_eq!(FrameHeader::parse(&huge), Err(WireError::FrameTooLarge(MAX_FRAME_LEN + 1)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Transport-defined frame discriminator.
+    pub kind: u8,
+    /// Payload length in bytes. Must not exceed [`MAX_FRAME_LEN`].
+    pub len: u32,
+}
+
+impl FrameHeader {
+    /// Serializes the header into its fixed wire form.
+    pub fn encode(&self) -> [u8; FRAME_HEADER_LEN] {
+        let mut out = [0u8; FRAME_HEADER_LEN];
+        out[..4].copy_from_slice(&FRAME_MAGIC);
+        out[4] = WIRE_VERSION;
+        out[5] = self.kind;
+        out[6..].copy_from_slice(&self.len.to_le_bytes());
+        out
+    }
+
+    /// Validates and parses a header, enforcing the magic, version and
+    /// length invariants documented on the type.
+    pub fn parse(bytes: &[u8; FRAME_HEADER_LEN]) -> Result<Self, WireError> {
+        let mut magic = [0u8; 4];
+        magic.copy_from_slice(&bytes[..4]);
+        if magic != FRAME_MAGIC {
+            return Err(WireError::BadMagic(magic));
+        }
+        if bytes[4] != WIRE_VERSION {
+            return Err(WireError::VersionMismatch { expected: WIRE_VERSION, got: bytes[4] });
+        }
+        let mut len_bytes = [0u8; 4];
+        len_bytes.copy_from_slice(&bytes[6..]);
+        let len = u32::from_le_bytes(len_bytes);
+        if len > MAX_FRAME_LEN {
+            return Err(WireError::FrameTooLarge(len));
+        }
+        Ok(FrameHeader { kind: bytes[5], len })
+    }
+}
+
+/// Frames one already-encoded payload: header followed by payload bytes.
+///
+/// ```
+/// use splitbft_types::wire::{frame, FRAME_HEADER_LEN};
+///
+/// let framed = frame(7, b"abc");
+/// assert_eq!(framed.len(), FRAME_HEADER_LEN + 3);
+/// assert_eq!(&framed[FRAME_HEADER_LEN..], b"abc");
+/// ```
+///
+/// # Panics
+///
+/// Panics if `payload` exceeds [`MAX_FRAME_LEN`]; senders build payloads
+/// themselves, so an oversized one is a local logic error, not untrusted
+/// input.
+pub fn frame(kind: u8, payload: &[u8]) -> Vec<u8> {
+    assert!(payload.len() <= MAX_FRAME_LEN as usize, "frame payload too large");
+    let header = FrameHeader { kind, len: payload.len() as u32 };
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(&header.encode());
+    out.extend_from_slice(payload);
+    out
+}
+
 /// Asserts that a value encodes and decodes back to itself. Used pervasively
 /// in unit tests across the workspace.
 ///
@@ -378,6 +563,44 @@ mod tests {
         encode_len(2, &mut bytes);
         bytes.extend_from_slice(&[0xff, 0xfe]);
         assert_eq!(decode::<String>(&bytes), Err(WireError::InvalidUtf8));
+    }
+
+    #[test]
+    fn frame_header_roundtrip() {
+        for kind in [0u8, 1, 7, 255] {
+            for len in [0u32, 1, MAX_FRAME_LEN] {
+                let h = FrameHeader { kind, len };
+                assert_eq!(FrameHeader::parse(&h.encode()), Ok(h));
+            }
+        }
+    }
+
+    #[test]
+    fn frame_prepends_exact_header() {
+        let framed = frame(3, b"xyz");
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        header.copy_from_slice(&framed[..FRAME_HEADER_LEN]);
+        assert_eq!(FrameHeader::parse(&header), Ok(FrameHeader { kind: 3, len: 3 }));
+        assert_eq!(&framed[FRAME_HEADER_LEN..], b"xyz");
+    }
+
+    #[test]
+    fn frame_header_rejects_corruption() {
+        let good = FrameHeader { kind: 1, len: 4 }.encode();
+
+        let mut bad_magic = good;
+        bad_magic[0] = b'X';
+        assert!(matches!(FrameHeader::parse(&bad_magic), Err(WireError::BadMagic(_))));
+
+        let mut bad_version = good;
+        bad_version[4] = 0;
+        assert_eq!(
+            FrameHeader::parse(&bad_version),
+            Err(WireError::VersionMismatch { expected: WIRE_VERSION, got: 0 })
+        );
+
+        let bomb = FrameHeader { kind: 1, len: u32::MAX };
+        assert_eq!(FrameHeader::parse(&bomb.encode()), Err(WireError::FrameTooLarge(u32::MAX)));
     }
 
     #[test]

@@ -17,14 +17,14 @@ fn main() {
     // Each replica hosts three enclaves (Preparation / Confirmation /
     // Execution) behind an untrusted broker, here one replica per thread.
     let cluster = ThreadedCluster::spawn(config.n(), |id| {
-        SplitBftNodeLogic::new(SplitBftReplica::new(
+        SplitBftReplica::new(
             ClusterConfig::new(4).unwrap(),
             id,
             MASTER_SEED,
             KeyValueStore::new(),
             ExecMode::Hardware,
             CostModel::paper_calibrated(),
-        ))
+        )
     });
 
     // A plaintext-mode client (see the `confidentiality` example for the

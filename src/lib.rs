@@ -17,7 +17,7 @@
 //! | [`types`] | `splitbft-types` | ids, messages, wire codec, configuration |
 //! | [`crypto`] | `splitbft-crypto` | SHA-256, HMAC, signatures, AEAD, keys |
 //! | [`tee`] | `splitbft-tee` | simulated SGX: enclaves, sealing, attestation, cost model |
-//! | [`net`] | `splitbft-net` | link models, threaded cluster runtime |
+//! | [`net`] | `splitbft-net` | link models, threaded + TCP cluster runtimes, `Protocol` trait |
 //! | [`app`] | `splitbft-app` | key-value store and blockchain applications |
 //! | [`pbft`] | `splitbft-pbft` | the complete PBFT baseline |
 //! | [`hybrid`] | `splitbft-hybrid` | MinBFT-style trusted-counter baseline |
@@ -60,16 +60,17 @@ pub use splitbft_sim as sim;
 pub use splitbft_tee as tee;
 pub use splitbft_types as types;
 
-pub mod runtime;
-
 /// The most common imports, for examples and downstream users.
 pub mod prelude {
-    pub use crate::runtime::{PbftNodeLogic, SplitBftNodeLogic};
     pub use splitbft_app::{Application, Blockchain, CounterApp, KeyValueStore, KvOp};
     pub use splitbft_core::{
         ReplicaEvent, SplitBftClient, SplitBftReplica, SplitClientEvent,
     };
-    pub use splitbft_net::{NodeLogic, ThreadedCluster};
+    pub use splitbft_hybrid::{HybridClient, HybridClientEvent, HybridConfig, HybridReplica, Usig};
+    pub use splitbft_net::{
+        BatchPolicy, PeerAddr, Protocol, ProtocolOutput, TcpClient, TcpNode, TcpNodeConfig,
+        ThreadedCluster,
+    };
     pub use splitbft_pbft::{make_request, PbftClient, Replica as PbftReplica};
     pub use splitbft_tee::{CostModel, ExecMode, FaultKind, FaultPlan, PlatformAuthority};
     pub use splitbft_types::{

@@ -10,14 +10,14 @@ const SEED: u64 = 31337;
 fn splitbft_kvs_over_threads() {
     let config = ClusterConfig::new(4).unwrap();
     let cluster = ThreadedCluster::spawn(4, |id| {
-        SplitBftNodeLogic::new(SplitBftReplica::new(
+        SplitBftReplica::new(
             ClusterConfig::new(4).unwrap(),
             id,
             SEED,
             KeyValueStore::new(),
             ExecMode::Hardware,
             CostModel::paper_calibrated(),
-        ))
+        )
     });
     let mut client = SplitBftClient::new(config, ClientId(9), SEED, 1).with_plaintext();
 
@@ -48,12 +48,12 @@ fn splitbft_kvs_over_threads() {
 fn pbft_counter_over_threads() {
     let config = ClusterConfig::new(4).unwrap();
     let cluster = ThreadedCluster::spawn(4, |id| {
-        PbftNodeLogic::new(PbftReplica::new(
+        PbftReplica::new(
             ClusterConfig::new(4).unwrap(),
             id,
             SEED,
             CounterApp::new(),
-        ))
+        )
     });
     let mut client = PbftClient::new(config, ClientId(2), SEED);
     let request = client.issue(bytes::Bytes::from_static(b"inc"));
@@ -83,14 +83,14 @@ fn splitbft_survives_view_change_over_threads() {
     // view 1 where replica 1 is primary, then serves a request.
     let config = ClusterConfig::new(4).unwrap();
     let cluster = ThreadedCluster::spawn(4, |id| {
-        SplitBftNodeLogic::new(SplitBftReplica::new(
+        SplitBftReplica::new(
             ClusterConfig::new(4).unwrap(),
             id,
             SEED,
             CounterApp::new(),
             ExecMode::Hardware,
             CostModel::paper_calibrated(),
-        ))
+        )
     });
     for i in 0..4u32 {
         cluster.trigger_timeout(ReplicaId(i));
