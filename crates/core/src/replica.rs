@@ -121,6 +121,14 @@ pub struct SplitBftReplica<A: Application> {
     conf: Hosted<ConfirmationCompartment>,
     exec: Hosted<ExecutionCompartment<A>>,
     trace: Vec<EcallRecord>,
+    /// Highest not-yet-executed request timestamp per client, kept by the
+    /// broker so a request-aware view-change timer can detect a stalled
+    /// primary. The broker cannot verify request MACs (it must not hold
+    /// client keys — a compromised broker with forging power would break
+    /// the integrity model), so unauthenticated spam can arm the timer;
+    /// that only costs liveness, which a compromised broker may take
+    /// anyway per the paper's threat model.
+    pending: std::collections::BTreeMap<ClientId, splitbft_types::Timestamp>,
 }
 
 impl<A: Application> SplitBftReplica<A> {
@@ -186,7 +194,15 @@ impl<A: Application> SplitBftReplica<A> {
             mode,
             cost,
         );
-        SplitBftReplica { id, config, prep, conf, exec, trace: Vec::new() }
+        SplitBftReplica {
+            id,
+            config,
+            prep,
+            conf,
+            exec,
+            trace: Vec::new(),
+            pending: std::collections::BTreeMap::new(),
+        }
     }
 
     /// This replica's id.
@@ -310,12 +326,20 @@ impl<A: Application> SplitBftReplica<A> {
 
     /// Delivers a message received from the network.
     pub fn on_network_message(&mut self, msg: ConsensusMessage) -> Vec<ReplicaEvent> {
-        self.dispatch(None, msg)
+        let events = self.dispatch(None, msg);
+        self.observe_execution(&events);
+        events
     }
 
     /// Delivers a batch of client requests to the Preparation enclave
     /// (the batcher lives in the runtime, per P1).
     pub fn on_client_batch(&mut self, requests: Vec<Request>) -> Vec<ReplicaEvent> {
+        for req in &requests {
+            let entry = self.pending.entry(req.client()).or_insert(req.id.timestamp);
+            if *entry < req.id.timestamp {
+                *entry = req.id.timestamp;
+            }
+        }
         let mut events = Vec::new();
         let mut loopback = VecDeque::new();
         let input = CompartmentInput::ClientBatch(requests);
@@ -328,11 +352,15 @@ impl<A: Application> SplitBftReplica<A> {
                 self.ecall_into(kind, &input, &mut events, &mut loopback);
             }
         }
+        self.observe_execution(&events);
         events
     }
 
     /// The environment's view-change timer fired: notify Confirmation.
     pub fn on_view_timeout(&mut self) -> Vec<ReplicaEvent> {
+        // One stall buys one failover attempt; retransmitting clients
+        // re-arm the timer if the next primary stalls too.
+        self.pending.clear();
         let mut events = Vec::new();
         let mut loopback = VecDeque::new();
         let input = CompartmentInput::ViewTimeout;
@@ -346,6 +374,23 @@ impl<A: Application> SplitBftReplica<A> {
             }
         }
         events
+    }
+
+    /// `true` while a client request has been seen by the broker but not
+    /// yet reported executed by the Execution compartment.
+    pub fn has_pending_requests(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Drops pending markers covered by `Executed` events in `events`.
+    fn observe_execution(&mut self, events: &[ReplicaEvent]) {
+        for event in events {
+            if let ReplicaEvent::Executed { request, .. } = event {
+                if self.pending.get(&request.client).is_some_and(|t| *t <= request.timestamp) {
+                    self.pending.remove(&request.client);
+                }
+            }
+        }
     }
 
     /// Installs a client session key in the Execution enclave (the tail

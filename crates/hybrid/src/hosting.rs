@@ -46,6 +46,17 @@ where
         // timeouts are a no-op rather than an error.
         Vec::new()
     }
+
+    fn progress(&self) -> u64 {
+        self.last_executed()
+    }
+
+    fn has_pending_requests(&self) -> bool {
+        // With no view change to fire, reporting pending requests would
+        // only make runtimes call the no-op timeout handler; keep the
+        // timer permanently quiet instead.
+        false
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,355 @@
+//! `BENCH_*.json` report writing.
+//!
+//! Every measurement run serializes into one self-describing JSON file
+//! named `BENCH_<name>.json`, so CI can archive reports as artifacts
+//! and future performance PRs diff against them. The schema (version
+//! `splitbft-bench/v1`) is stable and hand-rolled — the workspace has
+//! no serde — with every key documented on [`BenchReport`]'s fields.
+
+use crate::driver::{LoadMode, LoadStats};
+use crate::workload::Workload;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Schema identifier embedded in every report.
+pub const SCHEMA: &str = "splitbft-bench/v1";
+
+/// Latency percentiles of one run, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Median.
+    pub p50_us: u64,
+    /// 95th percentile.
+    pub p95_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Largest observed.
+    pub max_us: u64,
+    /// Arithmetic mean.
+    pub mean_us: f64,
+}
+
+/// The send-path batching policy a run used (mirrors
+/// `splitbft_net::transport::BatchPolicy`, flattened for the report).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchSummary {
+    /// Frames coalesced per write at most.
+    pub max_frames: usize,
+    /// Bytes coalesced per write at most.
+    pub max_bytes: usize,
+    /// Flush interval in microseconds (0 = flush when the queue is dry).
+    pub linger_us: u64,
+}
+
+/// One complete measurement: configuration, counts, latency
+/// percentiles, and the per-window throughput series.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Report name; the file is `BENCH_<name>.json`.
+    pub name: String,
+    /// Protocol under test (`pbft`, `splitbft`, `minbft`).
+    pub protocol: String,
+    /// Cluster size.
+    pub n: usize,
+    /// Fault tolerance of that size.
+    pub f: usize,
+    /// Replicated application (`counter`, `kvs`, `blockchain`).
+    pub app: String,
+    /// Workload generator knobs.
+    pub workload: Workload,
+    /// Closed or open loop (open carries the offered rate).
+    pub mode: LoadMode,
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Outstanding requests per client.
+    pub pipeline: usize,
+    /// Measurement window length.
+    pub duration: Duration,
+    /// Send-path batching policy.
+    pub batch: BatchSummary,
+    /// Requests issued.
+    pub issued: u64,
+    /// Client-observed completions (verified reply quorums).
+    pub completed: u64,
+    /// Requests that never completed within the drain window.
+    pub timed_out: u64,
+    /// Committed requests as observed on the cluster side (for counter
+    /// workloads, the final counter value probed after the run); equals
+    /// `completed` when no independent probe exists for the workload.
+    pub committed: u64,
+    /// Achieved throughput: completions per second of measurement window.
+    pub throughput_rps: f64,
+    /// Latency percentiles.
+    pub latency: LatencySummary,
+    /// Window length of the series below.
+    pub window: Duration,
+    /// Completions per window.
+    pub window_counts: Vec<u64>,
+}
+
+impl BenchReport {
+    /// Assembles a report from a finished run. `f` is the protocol's
+    /// fault tolerance at size `n` (`(n-1)/3` for the `3f+1` stacks,
+    /// `(n-1)/2` for the hybrid — the caller knows which). `committed`
+    /// should carry the cluster-side commit probe where one exists
+    /// (pass `stats.completed` otherwise).
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_stats(
+        name: impl Into<String>,
+        protocol: impl Into<String>,
+        n: usize,
+        f: usize,
+        app: impl Into<String>,
+        workload: Workload,
+        mode: LoadMode,
+        clients: usize,
+        pipeline: usize,
+        duration: Duration,
+        batch: BatchSummary,
+        stats: &LoadStats,
+        committed: u64,
+    ) -> Self {
+        BenchReport {
+            name: sanitize_name(&name.into()),
+            protocol: protocol.into(),
+            n,
+            f,
+            app: app.into(),
+            workload,
+            mode,
+            clients,
+            pipeline,
+            duration,
+            batch,
+            issued: stats.issued,
+            completed: stats.completed,
+            timed_out: stats.timed_out,
+            committed,
+            throughput_rps: stats.completed as f64 / duration.as_secs_f64(),
+            latency: LatencySummary {
+                p50_us: stats.hist.percentile(0.50),
+                p95_us: stats.hist.percentile(0.95),
+                p99_us: stats.hist.percentile(0.99),
+                max_us: stats.hist.max_us(),
+                mean_us: stats.hist.mean_us(),
+            },
+            window: stats.windows.window(),
+            window_counts: stats.windows.counts().to_vec(),
+        }
+    }
+
+    /// The report as a JSON document.
+    pub fn to_json(&self) -> String {
+        let window_secs = self.window.as_secs_f64();
+        let windows: Vec<String> = self
+            .window_counts
+            .iter()
+            .enumerate()
+            .map(|(i, &completed)| {
+                format!(
+                    r#"{{"t_secs":{:.3},"completed":{completed},"rps":{:.3}}}"#,
+                    i as f64 * window_secs,
+                    completed as f64 / window_secs,
+                )
+            })
+            .collect();
+        let offered = match self.mode {
+            LoadMode::Closed => "null".to_string(),
+            LoadMode::Open { rate } => format!("{rate:.3}"),
+        };
+        let mode = match self.mode {
+            LoadMode::Closed => "closed",
+            LoadMode::Open { .. } => "open",
+        };
+        format!(
+            concat!(
+                "{{\n",
+                "  \"schema\": \"{schema}\",\n",
+                "  \"name\": \"{name}\",\n",
+                "  \"protocol\": \"{protocol}\",\n",
+                "  \"n\": {n},\n",
+                "  \"f\": {f},\n",
+                "  \"app\": \"{app}\",\n",
+                "  \"workload\": {workload},\n",
+                "  \"mode\": \"{mode}\",\n",
+                "  \"offered_rps\": {offered},\n",
+                "  \"clients\": {clients},\n",
+                "  \"pipeline\": {pipeline},\n",
+                "  \"duration_secs\": {duration:.3},\n",
+                "  \"batch\": {{\"max_frames\": {max_frames}, \"max_bytes\": {max_bytes}, \"linger_us\": {linger_us}}},\n",
+                "  \"requests\": {{\"issued\": {issued}, \"completed\": {completed}, \"timed_out\": {timed_out}}},\n",
+                "  \"committed\": {committed},\n",
+                "  \"throughput_rps\": {throughput:.3},\n",
+                "  \"latency_us\": {{\"p50\": {p50}, \"p95\": {p95}, \"p99\": {p99}, \"max\": {max}, \"mean\": {mean:.1}}},\n",
+                "  \"window_secs\": {window_secs:.3},\n",
+                "  \"windows\": [{windows}]\n",
+                "}}\n",
+            ),
+            schema = SCHEMA,
+            name = json_escape(&self.name),
+            protocol = json_escape(&self.protocol),
+            n = self.n,
+            f = self.f,
+            app = json_escape(&self.app),
+            workload = self.workload.to_json(),
+            mode = mode,
+            offered = offered,
+            clients = self.clients,
+            pipeline = self.pipeline,
+            duration = self.duration.as_secs_f64(),
+            max_frames = self.batch.max_frames,
+            max_bytes = self.batch.max_bytes,
+            linger_us = self.batch.linger_us,
+            issued = self.issued,
+            completed = self.completed,
+            timed_out = self.timed_out,
+            committed = self.committed,
+            throughput = self.throughput_rps,
+            p50 = self.latency.p50_us,
+            p95 = self.latency.p95_us,
+            p99 = self.latency.p99_us,
+            max = self.latency.max_us,
+            mean = self.latency.mean_us,
+            window_secs = window_secs,
+            windows = windows.join(", "),
+        )
+    }
+
+    /// The file name this report writes to: `BENCH_<name>.json`.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.name)
+    }
+
+    /// Writes `BENCH_<name>.json` into `dir`, returning the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, dir: &Path) -> io::Result<PathBuf> {
+        let path = dir.join(self.file_name());
+        let mut file = std::fs::File::create(&path)?;
+        file.write_all(self.to_json().as_bytes())?;
+        Ok(path)
+    }
+
+    /// One human-readable summary line (used by the sweep mode's table).
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{:<9} {:<10} n={} c={} p={} | {:>9.1} req/s | p50 {:>7} µs | p99 {:>7} µs | {} issued / {} completed / {} timed out",
+            self.protocol,
+            self.app,
+            self.n,
+            self.clients,
+            self.pipeline,
+            self.throughput_rps,
+            self.latency.p50_us,
+            self.latency.p99_us,
+            self.issued,
+            self.completed,
+            self.timed_out,
+        )
+    }
+}
+
+/// Keeps report names shell- and filesystem-safe.
+fn sanitize_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == '-' { c } else { '_' })
+        .collect()
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::{LatencyHistogram, Windows};
+
+    fn sample_report() -> BenchReport {
+        let mut hist = LatencyHistogram::new();
+        let mut windows = Windows::new(Duration::from_secs(1));
+        for us in [100u64, 200, 300, 400] {
+            hist.record(Duration::from_micros(us));
+            windows.record(Duration::from_millis(us));
+        }
+        let stats = LoadStats {
+            issued: 4,
+            completed: 4,
+            timed_out: 0,
+            elapsed: Duration::from_secs(2),
+            hist,
+            windows,
+        };
+        BenchReport::from_stats(
+            "unit test",
+            "pbft",
+            4,
+            1,
+            "counter",
+            Workload::Counter,
+            LoadMode::Closed,
+            2,
+            2,
+            Duration::from_secs(2),
+            BatchSummary { max_frames: 64, max_bytes: 262_144, linger_us: 0 },
+            &stats,
+            4,
+        )
+    }
+
+    #[test]
+    fn json_contains_every_schema_key() {
+        let json = sample_report().to_json();
+        for key in [
+            "\"schema\"", "\"name\"", "\"protocol\"", "\"n\"", "\"f\"", "\"app\"",
+            "\"workload\"", "\"mode\"", "\"offered_rps\"", "\"clients\"", "\"pipeline\"",
+            "\"duration_secs\"", "\"batch\"", "\"requests\"", "\"issued\"", "\"completed\"",
+            "\"timed_out\"", "\"committed\"", "\"throughput_rps\"", "\"latency_us\"",
+            "\"p50\"", "\"p95\"", "\"p99\"", "\"max\"", "\"mean\"", "\"window_secs\"",
+            "\"windows\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        assert!(json.contains(SCHEMA));
+    }
+
+    #[test]
+    fn name_is_sanitized_into_file_name() {
+        let report = sample_report();
+        assert_eq!(report.name, "unit_test");
+        assert_eq!(report.file_name(), "BENCH_unit_test.json");
+    }
+
+    #[test]
+    fn throughput_reflects_duration() {
+        let report = sample_report();
+        assert!((report.throughput_rps - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn write_and_read_back() {
+        let dir = std::env::temp_dir().join("splitbft-loadgen-report-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = sample_report().write_to(&dir).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"protocol\": \"pbft\""));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn escaping_handles_quotes() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+}

@@ -436,11 +436,30 @@ fn core_loop<P: Protocol>(
     outboxes: HashMap<ReplicaId, PeerOutbox>,
     clients: ClientRegistry,
 ) {
+    // Request-aware view-change timer state. A periodic tick forwards to
+    // the protocol's timeout handler only when a request has been pending
+    // across one full period with no commit progress — so the primary
+    // gets a whole tick to make progress (`armed`), idle clusters never
+    // churn views, and a genuinely stalled request still fails over on
+    // the second tick.
+    let mut last_progress = protocol.progress();
+    let mut armed = false;
     while let Ok(event) = events_rx.recv() {
         let outputs = match event {
             Event::Peer(msg) => protocol.on_message(msg),
             Event::Requests(requests) => protocol.on_client_requests(requests),
-            Event::Timeout => protocol.on_timeout(),
+            Event::Timeout => {
+                let progress = protocol.progress();
+                let pending = protocol.has_pending_requests();
+                let fire = pending && armed && progress == last_progress;
+                armed = pending && !fire;
+                last_progress = progress;
+                if fire {
+                    protocol.on_timeout()
+                } else {
+                    Vec::new()
+                }
+            }
             Event::Shutdown => break,
         };
         for output in outputs {
@@ -648,6 +667,160 @@ impl TcpClient {
     }
 }
 
+/// Per-request completion handler used by [`PipelinedTcpClient`]: called
+/// on the dispatcher thread for every reply to the registered request;
+/// returns `true` once the request is complete (handler is then dropped).
+pub type ReplyHandler = Box<dyn FnMut(&Reply) -> bool + Send>;
+
+/// A pipelined socket client: many outstanding requests per client id,
+/// each with its own completion handler.
+///
+/// The protocol client state machines (`PbftClient` & friends) are
+/// strictly lock-step — one request in flight, issue panics otherwise —
+/// which caps a closed-loop driver at one request per round trip. Load
+/// generation needs *pipelining*: this client keeps a registry of
+/// in-flight [`splitbft_types::RequestId`]s and routes every incoming
+/// [`Reply`] to the
+/// matching handler on a dedicated dispatcher thread. Handlers own the
+/// per-request protocol logic (MAC verification, `f + 1` reply quorum)
+/// and signal completion by returning `true`.
+///
+/// Requests are *submitted*, not awaited: the caller bounds its own
+/// pipeline depth by counting completions. Retransmission stays with the
+/// caller too ([`PipelinedTcpClient::resend`]), because only it knows the
+/// request bytes and its timeout policy.
+pub struct PipelinedTcpClient {
+    id: ClientId,
+    streams: Vec<Option<TcpStream>>,
+    pending: Arc<Mutex<HashMap<splitbft_types::RequestId, ReplyHandler>>>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for PipelinedTcpClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelinedTcpClient")
+            .field("id", &self.id)
+            .field("connected", &self.connected())
+            .field("outstanding", &self.outstanding())
+            .finish_non_exhaustive()
+    }
+}
+
+impl PipelinedTcpClient {
+    /// Connects like [`TcpClient::connect`] (concurrent, best-effort,
+    /// tolerates up to `f` dead replicas) and starts the reply
+    /// dispatcher.
+    pub fn connect(id: ClientId, addrs: &[SocketAddr], timeout: Duration) -> io::Result<Self> {
+        let TcpClient { id, streams, replies } = TcpClient::connect(id, addrs, timeout)?;
+        let pending: Arc<Mutex<HashMap<splitbft_types::RequestId, ReplyHandler>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let registry = Arc::clone(&pending);
+        // Exits when every per-replica reader is gone (socket teardown
+        // drops their reply senders and disconnects the channel).
+        let dispatcher = std::thread::Builder::new()
+            .name("client-dispatch".into())
+            .spawn(move || {
+                while let Ok(reply) = replies.recv() {
+                    let mut map = registry.lock().expect("pending registry");
+                    if let Some(handler) = map.get_mut(&reply.request) {
+                        if handler(&reply) {
+                            map.remove(&reply.request);
+                        }
+                    }
+                }
+            })
+            .expect("spawn client dispatcher");
+        Ok(PipelinedTcpClient { id, streams, pending, dispatcher: Some(dispatcher) })
+    }
+
+    /// This client's id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// How many replicas this client reached at connect time.
+    pub fn connected(&self) -> usize {
+        self.streams.iter().flatten().count()
+    }
+
+    /// Requests submitted but not yet completed (or cancelled).
+    pub fn outstanding(&self) -> usize {
+        self.pending.lock().expect("pending registry").len()
+    }
+
+    /// Registers `handler` for the request and sends it to the
+    /// `primary_index`-th replica, falling back to all reachable replicas
+    /// if that one was unreachable at connect time. On send failure the
+    /// handler is deregistered again before the error is returned.
+    pub fn submit(
+        &mut self,
+        primary_index: usize,
+        request: &Request,
+        handler: ReplyHandler,
+    ) -> io::Result<()> {
+        // Register *before* sending: a reply can race back between the
+        // write and any later registration.
+        self.pending.lock().expect("pending registry").insert(request.id, handler);
+        let result = self.send(primary_index, request);
+        if result.is_err() {
+            self.pending.lock().expect("pending registry").remove(&request.id);
+        }
+        result
+    }
+
+    /// Retransmits an in-flight request to every reachable replica (the
+    /// PBFT client rule for a suspected-faulty primary); replicas that
+    /// already executed it re-send their cached reply.
+    pub fn resend(&mut self, request: &Request) -> io::Result<()> {
+        let batch = vec![request.clone()];
+        let mut delivered = 0;
+        for stream in self.streams.iter_mut().flatten() {
+            if write_value(stream, frame_kind::REQUESTS, &batch).is_ok() {
+                delivered += 1;
+            }
+        }
+        if delivered == 0 {
+            return Err(io::Error::new(io::ErrorKind::NotConnected, "no replica reachable"));
+        }
+        Ok(())
+    }
+
+    /// Deregisters a request's handler (e.g. after a client-side
+    /// timeout). Returns `false` if it already completed.
+    pub fn cancel(&mut self, request: splitbft_types::RequestId) -> bool {
+        self.pending.lock().expect("pending registry").remove(&request).is_some()
+    }
+
+    fn send(&mut self, primary_index: usize, request: &Request) -> io::Result<()> {
+        let batch = vec![request.clone()];
+        if let Some(Some(stream)) = self.streams.get_mut(primary_index) {
+            if write_value(stream, frame_kind::REQUESTS, &batch).is_ok() {
+                return Ok(());
+            }
+        }
+        let mut delivered = 0;
+        for stream in self.streams.iter_mut().flatten() {
+            if write_value(stream, frame_kind::REQUESTS, &batch).is_ok() {
+                delivered += 1;
+            }
+        }
+        if delivered == 0 {
+            return Err(io::Error::new(io::ErrorKind::NotConnected, "no replica reachable"));
+        }
+        Ok(())
+    }
+
+    /// Closes all connections and joins the dispatcher.
+    pub fn close(mut self) {
+        for stream in self.streams.iter().flatten() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        if let Some(dispatcher) = self.dispatcher.take() {
+            let _ = dispatcher.join();
+        }
+    }
+}
+
 fn connect_until(
     addr: SocketAddr,
     deadline: Instant,
@@ -731,6 +904,56 @@ mod tests {
         let reply = client.replies().recv_timeout(Duration::from_secs(5)).unwrap();
         assert_eq!(&reply.result[..], b"ping");
 
+        client.close();
+        node.shutdown();
+    }
+
+    #[test]
+    fn pipelined_client_completes_many_outstanding_requests() {
+        let config =
+            TcpNodeConfig::new(ReplicaId(0), "127.0.0.1:0".parse().unwrap(), Vec::new());
+        let node = TcpNode::spawn(config, EchoProtocol { id: ReplicaId(0) }).unwrap();
+        let addr = node.local_addr();
+
+        let mut client =
+            PipelinedTcpClient::connect(ClientId(9), &[addr], Duration::from_secs(5)).unwrap();
+        let (done_tx, done_rx) = channel();
+        // Submit 8 requests without waiting for any reply — the lock-step
+        // TcpClient cannot express this.
+        for i in 1..=8u64 {
+            let request = Request {
+                id: RequestId { client: ClientId(9), timestamp: Timestamp(i) },
+                op: bytes::Bytes::copy_from_slice(&i.to_le_bytes()),
+                encrypted: false,
+                auth: [0u8; 32],
+            };
+            let done_tx = done_tx.clone();
+            client
+                .submit(
+                    0,
+                    &request,
+                    Box::new(move |reply| {
+                        let _ = done_tx.send(reply.result.clone());
+                        true
+                    }),
+                )
+                .unwrap();
+        }
+        let mut echoed: Vec<u64> = (0..8)
+            .map(|_| {
+                let result = done_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+                u64::from_le_bytes(result[..].try_into().unwrap())
+            })
+            .collect();
+        echoed.sort_unstable();
+        assert_eq!(echoed, (1..=8).collect::<Vec<u64>>());
+        // Completed handlers are deregistered (the dispatcher removes the
+        // entry right after the handler signals completion).
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while client.outstanding() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(client.outstanding(), 0);
         client.close();
         node.shutdown();
     }

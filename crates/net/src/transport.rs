@@ -92,6 +92,30 @@ pub trait Protocol: Send + 'static {
 
     /// Handles a view-change timer expiry.
     fn on_timeout(&mut self) -> Vec<ProtocolOutput<Self::Message>>;
+
+    /// A monotone counter of commit/execution progress (e.g. the highest
+    /// executed sequence number).
+    ///
+    /// Together with [`Protocol::has_pending_requests`] this drives the
+    /// *request-aware* view-change timer in socket runtimes: a periodic
+    /// tick only forwards to [`Protocol::on_timeout`] when a request has
+    /// been accepted but no progress was made since the previous tick, so
+    /// an idle cluster never churns views while a crashed primary still
+    /// fails over. For protocols that keep the defaults (constant `0`
+    /// progress, always-pending), the gate degrades to firing on every
+    /// *second* tick — the first tick arms, the next fires — so an
+    /// un-opted-in protocol still view-changes, at half the configured
+    /// rate; protocols that care about the exact period should
+    /// implement both probes.
+    fn progress(&self) -> u64 {
+        0
+    }
+
+    /// `true` while at least one client request has been accepted by this
+    /// replica but not yet executed. See [`Protocol::progress`].
+    fn has_pending_requests(&self) -> bool {
+        true
+    }
 }
 
 /// Frame discriminators used by the socket transport (the `kind` byte of
@@ -153,6 +177,11 @@ pub struct BatchPolicy {
     pub max_frames: usize,
     /// Flush once the coalesced write reaches this many bytes.
     pub max_bytes: usize,
+    /// How long a non-full batch may wait for more frames before it is
+    /// flushed anyway. Zero (the default) flushes as soon as the queue
+    /// runs dry — minimum latency; raising it trades latency for larger
+    /// writes, which benchmark sweeps can measure.
+    pub linger: Duration,
 }
 
 impl Default for BatchPolicy {
@@ -160,7 +189,16 @@ impl Default for BatchPolicy {
         // One syscall per ~64 messages or ~256 KiB, whichever first: large
         // enough to amortize syscalls under load, small enough to keep
         // per-message latency negligible on a LAN.
-        BatchPolicy { max_frames: 64, max_bytes: 256 * 1024 }
+        BatchPolicy { max_frames: 64, max_bytes: 256 * 1024, linger: Duration::ZERO }
+    }
+}
+
+impl BatchPolicy {
+    /// Builder for the linger (flush-interval) knob.
+    #[must_use]
+    pub fn with_linger(mut self, linger: Duration) -> Self {
+        self.linger = linger;
+        self
     }
 }
 
@@ -244,18 +282,35 @@ fn outbox_worker(
             Ok(m) => m,
             Err(_) => break, // outbox closed
         };
-        // Coalesce whatever else is already queued, up to the policy.
+        // Coalesce whatever else is already queued, up to the policy. A
+        // non-zero linger additionally waits for stragglers until the
+        // flush deadline, trading per-message latency for larger writes.
         let mut batch: Vec<u8> = Vec::with_capacity(first.len());
         batch.extend_from_slice(&first);
         let mut frames = 1;
+        let flush_at = std::time::Instant::now() + policy.linger;
         while frames < policy.max_frames && batch.len() < policy.max_bytes {
-            match rx.try_recv() {
+            let next = match rx.try_recv() {
+                Ok(m) => Ok(m),
+                Err(TryRecvError::Empty) => {
+                    let wait = flush_at.saturating_duration_since(std::time::Instant::now());
+                    if wait.is_zero() {
+                        break;
+                    }
+                    match rx.recv_timeout(wait) {
+                        Ok(m) => Ok(m),
+                        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => break,
+                        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => Err(()),
+                    }
+                }
+                Err(TryRecvError::Disconnected) => Err(()),
+            };
+            match next {
                 Ok(m) => {
                     batch.extend_from_slice(&m);
                     frames += 1;
                 }
-                Err(TryRecvError::Empty) => break,
-                Err(TryRecvError::Disconnected) => {
+                Err(()) => {
                     // Flush this final batch, then exit.
                     flush(&mut conn, local, addr, &batch, &closed);
                     break 'main;

@@ -26,6 +26,14 @@ const N: usize = 4;
 fn spawn_cluster<P: Protocol>(
     make: impl Fn(ReplicaId) -> P,
 ) -> (Vec<TcpNode>, Vec<SocketAddr>) {
+    spawn_cluster_with(None, make)
+}
+
+/// [`spawn_cluster`] with the view-change timer armed at `timeout`.
+fn spawn_cluster_with<P: Protocol>(
+    timeout: Option<Duration>,
+    make: impl Fn(ReplicaId) -> P,
+) -> (Vec<TcpNode>, Vec<SocketAddr>) {
     let bound: Vec<_> = (0..N)
         .map(|i| {
             TcpNode::bind(ReplicaId(i as u32), "127.0.0.1:0".parse().unwrap())
@@ -41,7 +49,9 @@ fn spawn_cluster<P: Protocol>(
         .into_iter()
         .map(|b| {
             let id = b.id();
-            let config = TcpNodeConfig::new(id, "127.0.0.1:0".parse().unwrap(), peers.clone());
+            let mut config =
+                TcpNodeConfig::new(id, "127.0.0.1:0".parse().unwrap(), peers.clone());
+            config.timeout_every = timeout;
             b.start(config, make(id)).expect("start node")
         })
         .collect();
@@ -137,6 +147,88 @@ fn pbft_cluster_tolerates_f_crashed_backups() {
         "pbft request with crashed backup",
     );
     assert_eq!(result.unwrap(), bytes::Bytes::copy_from_slice(&1u64.to_le_bytes()));
+
+    tcp.close();
+    for node in nodes {
+        node.shutdown();
+    }
+}
+
+#[test]
+fn pbft_cluster_fails_over_a_crashed_primary() {
+    // Arm the request-aware view-change timer: a deployed cluster must
+    // depose a crashed primary once clients keep retransmitting.
+    let (mut nodes, addrs) = spawn_cluster_with(Some(Duration::from_millis(300)), |id| {
+        PbftReplica::new(ClusterConfig::new(N).unwrap(), id, SEED, CounterApp::new())
+    });
+
+    // Crash the view-0 primary (replica 0 is first in the vec).
+    nodes.remove(0).shutdown();
+
+    let config = ClusterConfig::new(N).unwrap();
+    let mut protocol_client = PbftClient::new(config, ClientId(6), SEED);
+    let mut tcp = TcpClient::connect(ClientId(6), &addrs, Duration::from_secs(3)).unwrap();
+    assert_eq!(tcp.connected(), N - 1);
+
+    let request = protocol_client.issue(bytes::Bytes::from_static(b"inc"));
+    // The primary is dead: broadcast, then keep retransmitting while the
+    // backups' timers arm, fire, and elect replica 1.
+    tcp.send_all(std::slice::from_ref(&request)).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut result = None;
+    while Instant::now() < deadline && result.is_none() {
+        match tcp.replies().recv_timeout(Duration::from_millis(500)) {
+            Ok(reply) => {
+                if let ClientEvent::Completed(r) = protocol_client.on_reply(&reply) {
+                    result = Some(r);
+                }
+            }
+            Err(_) => {
+                let _ = tcp.send_all(std::slice::from_ref(&request));
+            }
+        }
+    }
+    assert_eq!(
+        result.expect("request should commit in the new view"),
+        bytes::Bytes::copy_from_slice(&1u64.to_le_bytes())
+    );
+
+    tcp.close();
+    for node in nodes {
+        node.shutdown();
+    }
+}
+
+#[test]
+fn pbft_idle_cluster_does_not_churn_views() {
+    let (nodes, addrs) = spawn_cluster_with(Some(Duration::from_millis(100)), |id| {
+        PbftReplica::new(ClusterConfig::new(N).unwrap(), id, SEED, CounterApp::new())
+    });
+
+    // Many timer periods pass with no traffic: the request-aware tick
+    // must not start view changes.
+    std::thread::sleep(Duration::from_millis(600));
+
+    // Replica 0 must still be primary: a request sent *only* to it (no
+    // broadcast fallback, no retransmission) completes only in view 0.
+    let config = ClusterConfig::new(N).unwrap();
+    let mut protocol_client = PbftClient::new(config, ClientId(7), SEED);
+    let mut tcp = TcpClient::connect(ClientId(7), &addrs, Duration::from_secs(3)).unwrap();
+    let request = protocol_client.issue(bytes::Bytes::from_static(b"inc"));
+    tcp.send_to(0, &[request]).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut completed = false;
+    while Instant::now() < deadline && !completed {
+        if let Ok(reply) = tcp.replies().recv_timeout(Duration::from_millis(200)) {
+            completed =
+                matches!(protocol_client.on_reply(&reply), ClientEvent::Completed(_));
+        }
+    }
+    assert!(
+        completed,
+        "request to replica 0 went unanswered — the idle timers must have churned \
+         the view away from it, which the request-aware tick exists to prevent"
+    );
 
     tcp.close();
     for node in nodes {

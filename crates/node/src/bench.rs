@@ -1,0 +1,525 @@
+//! The `splitbft-node bench` subcommand: cluster benchmarking end to
+//! end.
+//!
+//! Drives a real TCP cluster with `splitbft-loadgen`'s pipelined
+//! workload drivers and writes a `BENCH_<name>.json` report per run.
+//! Two ways to get a cluster:
+//!
+//! - **Self-orchestrated** (no `--config`): binds `--replicas` nodes on
+//!   OS-assigned localhost ports, runs the bench, shuts them down.
+//!   This is what CI's smoke bench and the comparison sweep use.
+//! - **External** (`--config cluster.toml`): targets an already-running
+//!   deployment described by a cluster file.
+//!
+//! `--compare` sweeps all three protocols (and optionally several
+//! send-path batch sizes via `--sweep-batch-frames`) in one invocation,
+//! writing one report per combination plus a summary table.
+//!
+//! For counter workloads the harness independently verifies commits: it
+//! reads the counter through a regular closed-loop client before and
+//! after the run, and reports the difference as `committed` — which
+//! must equal the clients' observed completions when nothing timed out.
+
+use crate::{
+    apply_batch_flags, cli_flag as flag, fault_tolerance_for, parse_cluster_toml,
+    reply_quorum_for, run_client, start_replica_on, AppKind, ClusterFile, NodeOptions,
+    ProtocolKind,
+};
+use splitbft_loadgen::driver::{self, DriverConfig, LoadMode};
+use splitbft_loadgen::report::{BatchSummary, BenchReport};
+use splitbft_loadgen::workload::Workload;
+use splitbft_net::tcp::{PeerAddr, TcpNode};
+use splitbft_net::transport::BatchPolicy;
+use splitbft_types::{ClientId, ReplicaId};
+use std::io;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// A self-orchestrated localhost cluster: every replica is a full
+/// [`TcpNode`] (real sockets, real threads) inside this process.
+pub struct LocalCluster {
+    nodes: Vec<TcpNode>,
+    replicas: Vec<PeerAddr>,
+}
+
+impl LocalCluster {
+    /// Binds `n` listeners on OS-assigned ports, then starts all `n`
+    /// replicas with the complete address book.
+    pub fn launch(
+        n: usize,
+        protocol: ProtocolKind,
+        app: AppKind,
+        seed: u64,
+        options: &NodeOptions,
+    ) -> io::Result<Self> {
+        let loopback: SocketAddr = "127.0.0.1:0".parse().expect("loopback literal");
+        let mut bound = Vec::with_capacity(n);
+        for id in 0..n {
+            bound.push(TcpNode::bind(ReplicaId(id as u32), loopback)?);
+        }
+        let replicas: Vec<PeerAddr> = bound
+            .iter()
+            .map(|b| Ok(PeerAddr { id: b.id(), addr: b.local_addr()? }))
+            .collect::<io::Result<_>>()?;
+        let nodes = bound
+            .into_iter()
+            .map(|b| start_replica_on(b, replicas.clone(), protocol, app, seed, options))
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(LocalCluster { nodes, replicas })
+    }
+
+    /// The membership (id-ordered).
+    pub fn replicas(&self) -> &[PeerAddr] {
+        &self.replicas
+    }
+
+    /// Replica addresses in id order.
+    pub fn addrs(&self) -> Vec<SocketAddr> {
+        self.replicas.iter().map(|p| p.addr).collect()
+    }
+
+    /// Stops every node and joins their threads.
+    pub fn shutdown(self) {
+        for node in self.nodes {
+            node.shutdown();
+        }
+    }
+}
+
+/// Everything one `bench` invocation needs, parsed from CLI flags.
+#[derive(Debug, Clone)]
+pub struct BenchInvocation {
+    /// Target an external cluster file instead of self-orchestrating.
+    pub config_path: Option<String>,
+    /// Protocols to run (one, or all three under `--compare`).
+    pub protocols: Vec<ProtocolKind>,
+    /// Replicated application.
+    pub app: AppKind,
+    /// Self-orchestrated cluster size.
+    pub replicas: usize,
+    /// Master seed (self-orchestrated; external clusters use the file's).
+    pub seed: u64,
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Outstanding requests per client (closed loop).
+    pub pipeline: usize,
+    /// Measurement window.
+    pub duration: Duration,
+    /// Open-loop offered rate; `None` = closed loop.
+    pub rate: Option<f64>,
+    /// Workload knobs.
+    pub workload: Workload,
+    /// Send-path batch policies to run (one per report).
+    pub batch_variants: Vec<BatchPolicy>,
+    /// Replica view-change timer period.
+    pub timeout_every: Option<Duration>,
+    /// Report output directory.
+    pub out_dir: PathBuf,
+    /// Report name override (suffixed per combination when sweeping).
+    pub name: Option<String>,
+    /// Throughput-series window.
+    pub window: Duration,
+    /// Client retransmission interval.
+    pub retry_every: Duration,
+    /// Post-measurement drain budget.
+    pub drain_timeout: Duration,
+    /// First load-generator client id.
+    pub client_id_base: u32,
+}
+
+fn parse_flag<T: std::str::FromStr>(
+    args: &[String],
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flag(args, name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("{name} got unparsable value {v:?}")),
+    }
+}
+
+/// Parses `5s`, `500ms`, or a plain number of seconds.
+pub fn parse_duration(s: &str) -> Result<Duration, String> {
+    let seconds = if let Some(ms) = s.strip_suffix("ms") {
+        ms.parse::<f64>().map(|v| v / 1_000.0)
+    } else if let Some(sec) = s.strip_suffix('s') {
+        sec.parse::<f64>()
+    } else {
+        s.parse::<f64>()
+    }
+    .map_err(|_| format!("unparsable duration {s:?} (try 5s, 500ms)"))?;
+    if !(seconds > 0.0) {
+        return Err(format!("duration must be positive, got {s:?}"));
+    }
+    Ok(Duration::from_secs_f64(seconds))
+}
+
+const KNOWN_FLAGS: &[&str] = &[
+    "--config", "--protocol", "--app", "--replicas", "--seed", "--clients", "--pipeline",
+    "--duration", "--rate", "--keys", "--value-size", "--read-ratio", "--payload",
+    "--batch-frames", "--batch-bytes", "--batch-linger-us", "--sweep-batch-frames",
+    "--timeout-ms", "--out", "--name", "--window-ms", "--retry-ms", "--drain-secs",
+    "--client-base",
+];
+
+/// Parses the `bench` subcommand's arguments.
+///
+/// # Errors
+///
+/// A human-readable message for unknown flags, unparsable values, or
+/// inconsistent combinations (e.g. `--compare` against `--config`).
+pub fn parse_args(args: &[String]) -> Result<BenchInvocation, String> {
+    let compare = args.iter().any(|a| a == "--compare");
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if arg == "--compare" {
+            i += 1;
+        } else if KNOWN_FLAGS.contains(&arg.as_str()) {
+            if i + 1 >= args.len() {
+                return Err(format!("{arg} needs a value"));
+            }
+            i += 2;
+        } else {
+            return Err(format!("unknown bench flag {arg:?}"));
+        }
+    }
+
+    let config_path = flag(args, "--config");
+    if compare && config_path.is_some() {
+        return Err(
+            "--compare runs several protocols, but a --config cluster serves exactly one; \
+             drop --config to self-orchestrate the sweep"
+                .into(),
+        );
+    }
+    let protocols = match (flag(args, "--protocol"), compare) {
+        (Some(p), _) => vec![p.parse().map_err(|e: crate::ConfigError| e.to_string())?],
+        (None, true) => vec![ProtocolKind::Pbft, ProtocolKind::SplitBft, ProtocolKind::MinBft],
+        (None, false) => {
+            if config_path.is_none() {
+                return Err("pass --protocol <p>, --compare, or --config <file>".into());
+            }
+            Vec::new() // resolved from the file later
+        }
+    };
+
+    let app: AppKind = match flag(args, "--app") {
+        Some(a) => a.parse().map_err(|e: crate::ConfigError| e.to_string())?,
+        None => AppKind::Counter,
+    };
+    let workload = match app {
+        AppKind::Counter => Workload::Counter,
+        AppKind::Kvs => Workload::Kvs {
+            keys: parse_flag(args, "--keys", 1_000u64)?,
+            value_size: parse_flag(args, "--value-size", 10usize)?,
+            read_ratio: parse_flag(args, "--read-ratio", 0.0f64)?,
+        },
+        AppKind::Blockchain => {
+            Workload::Blockchain { payload: parse_flag(args, "--payload", 64usize)? }
+        }
+    };
+
+    let mut base_batch = BatchPolicy::default();
+    apply_batch_flags(args, &mut base_batch)?;
+    let batch_variants: Vec<BatchPolicy> = match flag(args, "--sweep-batch-frames") {
+        None => vec![base_batch],
+        Some(list) => {
+            if config_path.is_some() {
+                return Err(
+                    "--sweep-batch-frames needs a self-orchestrated cluster (batching is a \
+                     replica-side knob); drop --config"
+                        .into(),
+                );
+            }
+            list.split(',')
+                .map(|v| {
+                    let frames: usize = v
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("--sweep-batch-frames got {v:?}"))?;
+                    let mut policy = base_batch;
+                    policy.max_frames = frames.max(1);
+                    Ok(policy)
+                })
+                .collect::<Result<_, String>>()?
+        }
+    };
+
+    let timeout_ms: u64 = parse_flag(args, "--timeout-ms", 2_000u64)?;
+    let rate = match flag(args, "--rate") {
+        None => None,
+        Some(r) => {
+            Some(r.parse::<f64>().map_err(|_| format!("--rate got unparsable value {r:?}"))?)
+        }
+    };
+
+    Ok(BenchInvocation {
+        config_path,
+        protocols,
+        app,
+        replicas: parse_flag(args, "--replicas", 4usize)?,
+        seed: parse_flag(args, "--seed", 42u64)?,
+        clients: parse_flag(args, "--clients", 4usize)?,
+        pipeline: parse_flag(args, "--pipeline", 1usize)?,
+        duration: parse_duration(&flag(args, "--duration").unwrap_or_else(|| "5s".into()))?,
+        rate,
+        workload,
+        batch_variants,
+        timeout_every: (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms)),
+        out_dir: PathBuf::from(flag(args, "--out").unwrap_or_else(|| ".".into())),
+        name: flag(args, "--name"),
+        window: Duration::from_millis(parse_flag(args, "--window-ms", 1_000u64)?.max(1)),
+        retry_every: Duration::from_millis(parse_flag(args, "--retry-ms", 1_000u64)?.max(1)),
+        drain_timeout: Duration::from_secs(parse_flag(args, "--drain-secs", 15u64)?),
+        client_id_base: parse_flag(args, "--client-base", 1_000u32)?,
+    })
+}
+
+/// Runs the whole invocation: every protocol × batch-policy
+/// combination, one report each.
+///
+/// # Errors
+///
+/// Setup/driver failures, and — so CI can gate on it — any run that
+/// completed **zero** requests.
+pub fn run(args: &[String]) -> Result<Vec<BenchReport>, String> {
+    let invocation = parse_args(args)?;
+    let mut reports = Vec::new();
+    let combos: Vec<(ProtocolKind, BatchPolicy)> = resolve_combos(&invocation)?;
+    for (protocol, batch) in combos {
+        let report = run_one(&invocation, protocol, batch).map_err(|e| e.to_string())?;
+        println!("{}", report.summary_line());
+        let path = report
+            .write_to(&invocation.out_dir)
+            .map_err(|e| format!("writing report: {e}"))?;
+        println!("  wrote {}", path.display());
+        reports.push(report);
+    }
+    if let Some(empty) = reports.iter().find(|r| r.completed == 0) {
+        return Err(format!("bench {:?} completed zero requests", empty.name));
+    }
+    Ok(reports)
+}
+
+fn resolve_combos(
+    invocation: &BenchInvocation,
+) -> Result<Vec<(ProtocolKind, BatchPolicy)>, String> {
+    let mut protocols = invocation.protocols.clone();
+    if protocols.is_empty() {
+        // `--config` without `--protocol`: the file decides.
+        let path = invocation.config_path.as_deref().expect("checked in parse_args");
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        protocols.push(parse_cluster_toml(&text).map_err(|e| e.to_string())?.protocol);
+    }
+    let mut combos = Vec::new();
+    for protocol in protocols {
+        for batch in &invocation.batch_variants {
+            combos.push((protocol, *batch));
+        }
+    }
+    Ok(combos)
+}
+
+fn run_one(
+    invocation: &BenchInvocation,
+    protocol: ProtocolKind,
+    batch: BatchPolicy,
+) -> io::Result<BenchReport> {
+    let options = NodeOptions { batch, timeout_every: invocation.timeout_every };
+
+    // A cluster: launched here, or described by the external file.
+    let (cluster, file) = match &invocation.config_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)?;
+            let file = parse_cluster_toml(&text)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+            (None, file)
+        }
+        None => {
+            let cluster = LocalCluster::launch(
+                invocation.replicas,
+                protocol,
+                invocation.app,
+                invocation.seed,
+                &options,
+            )?;
+            let file = ClusterFile {
+                protocol,
+                seed: invocation.seed,
+                app: invocation.app,
+                options,
+                replicas: cluster.replicas().to_vec(),
+            };
+            (Some(cluster), file)
+        }
+    };
+
+    let result = (|| -> io::Result<BenchReport> {
+        let mut config =
+            DriverConfig::new(file.addrs(), file.seed, reply_quorum_for(protocol, file.n())?);
+        config.clients = invocation.clients.max(1);
+        config.pipeline = invocation.pipeline.max(1);
+        config.duration = invocation.duration;
+        config.mode = match invocation.rate {
+            None => LoadMode::Closed,
+            Some(rate) => LoadMode::Open { rate },
+        };
+        config.workload = invocation.workload.clone();
+        config.window = invocation.window;
+        config.retry_every = invocation.retry_every;
+        config.drain_timeout = invocation.drain_timeout;
+        config.client_id_base = invocation.client_id_base;
+
+        // Counter workloads get an independent commit probe: the counter
+        // value before/after the run, read through a regular client.
+        let before = probe_counter(&file, protocol, invocation)?;
+        let stats = driver::run(&config)?;
+        let committed = match probe_counter(&file, protocol, invocation)? {
+            Some(after) => after - before.unwrap_or(0),
+            None => stats.completed,
+        };
+
+        let name = report_name(invocation, protocol, &batch);
+        Ok(BenchReport::from_stats(
+            name,
+            protocol.to_string(),
+            file.n(),
+            fault_tolerance_for(protocol, file.n())?,
+            file.app.to_string(),
+            invocation.workload.clone(),
+            config.mode,
+            config.clients,
+            config.pipeline,
+            config.duration,
+            BatchSummary {
+                max_frames: batch.max_frames,
+                max_bytes: batch.max_bytes,
+                linger_us: batch.linger.as_micros() as u64,
+            },
+            &stats,
+            committed,
+        ))
+    })();
+
+    if let Some(cluster) = cluster {
+        cluster.shutdown();
+    }
+    result
+}
+
+/// Reads the replicated counter through a closed-loop client. `None`
+/// for non-counter workloads (no independent probe exists for them).
+fn probe_counter(
+    file: &ClusterFile,
+    protocol: ProtocolKind,
+    invocation: &BenchInvocation,
+) -> io::Result<Option<u64>> {
+    if !matches!(invocation.workload, Workload::Counter) {
+        return Ok(None);
+    }
+    let probe_id = ClientId(invocation.client_id_base.saturating_sub(1));
+    let results =
+        run_client(file, protocol, probe_id, b"read", 1, Duration::from_secs(30))?;
+    let bytes: [u8; 8] = results[0][..].try_into().map_err(|_| {
+        io::Error::new(io::ErrorKind::InvalidData, "counter read returned non-u64 result")
+    })?;
+    Ok(Some(u64::from_le_bytes(bytes)))
+}
+
+fn report_name(
+    invocation: &BenchInvocation,
+    protocol: ProtocolKind,
+    batch: &BatchPolicy,
+) -> String {
+    let base = match &invocation.name {
+        Some(name) => name.clone(),
+        None => format!(
+            "{protocol}_{}_c{}_p{}",
+            invocation.app, invocation.clients, invocation.pipeline
+        ),
+    };
+    let multi_protocol = invocation.protocols.len() > 1 && invocation.name.is_some();
+    let base = if multi_protocol { format!("{base}_{protocol}") } else { base };
+    if invocation.batch_variants.len() > 1 {
+        format!("{base}_bf{}", batch.max_frames)
+    } else {
+        base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_the_issue_invocation() {
+        let inv = parse_args(&args(&[
+            "--protocol", "splitbft", "--clients", "8", "--pipeline", "4", "--duration", "5s",
+        ]))
+        .unwrap();
+        assert_eq!(inv.protocols, vec![ProtocolKind::SplitBft]);
+        assert_eq!(inv.clients, 8);
+        assert_eq!(inv.pipeline, 4);
+        assert_eq!(inv.duration, Duration::from_secs(5));
+        assert!(inv.rate.is_none());
+        assert_eq!(inv.batch_variants.len(), 1);
+    }
+
+    #[test]
+    fn compare_covers_all_protocols_and_sweeps_batches() {
+        let inv = parse_args(&args(&["--compare", "--sweep-batch-frames", "1,64"])).unwrap();
+        assert_eq!(inv.protocols.len(), 3);
+        assert_eq!(inv.batch_variants.len(), 2);
+        assert_eq!(inv.batch_variants[0].max_frames, 1);
+        assert_eq!(inv.batch_variants[1].max_frames, 64);
+    }
+
+    #[test]
+    fn durations_parse_with_suffixes() {
+        assert_eq!(parse_duration("5s").unwrap(), Duration::from_secs(5));
+        assert_eq!(parse_duration("500ms").unwrap(), Duration::from_millis(500));
+        assert_eq!(parse_duration("2").unwrap(), Duration::from_secs(2));
+        assert!(parse_duration("0s").is_err());
+        assert!(parse_duration("fast").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_bad_combos() {
+        assert!(parse_args(&args(&["--protcol", "pbft"])).is_err());
+        assert!(parse_args(&args(&[])).is_err(), "needs protocol, compare, or config");
+        assert!(
+            parse_args(&args(&[
+                "--config", "x.toml", "--sweep-batch-frames", "1,2",
+            ]))
+            .is_err(),
+            "sweep requires self-orchestration"
+        );
+        assert!(
+            parse_args(&args(&["--compare", "--config", "x.toml"])).is_err(),
+            "compare runs several protocols; a config cluster serves one"
+        );
+        assert!(
+            parse_args(&args(&["--protocol", "pbft", "--batch-frames", "0"])).is_err(),
+            "batch limits must be positive, matching the TOML parser"
+        );
+    }
+
+    #[test]
+    fn kvs_knobs_flow_into_the_workload() {
+        let inv = parse_args(&args(&[
+            "--protocol", "pbft", "--app", "kvs", "--keys", "50", "--value-size", "100",
+            "--read-ratio", "0.5",
+        ]))
+        .unwrap();
+        assert_eq!(
+            inv.workload,
+            Workload::Kvs { keys: 50, value_size: 100, read_ratio: 0.5 }
+        );
+    }
+}

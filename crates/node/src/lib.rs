@@ -13,7 +13,13 @@
 //! # cluster.toml — a 4-replica localhost deployment
 //! protocol = "splitbft"   # pbft | splitbft | minbft (CLI --protocol overrides)
 //! seed = 42               # master seed shared by replicas and clients
-//! app = "counter"         # counter | kvs
+//! app = "counter"         # counter | kvs | blockchain
+//!
+//! # Optional runtime knobs (defaults shown; CLI flags override):
+//! timeout_ms = 2000       # view-change timer period; 0 disables
+//! batch_max_frames = 64   # send-path batching: frames per write
+//! batch_max_bytes = 262144 #   bytes per write
+//! batch_linger_us = 0     #   flush interval (0 = flush when queue dry)
 //!
 //! [[replica]]
 //! id = 0
@@ -36,26 +42,27 @@
 //! file *is* the membership: ids, addresses, protocol, and the seed from
 //! which all symmetric keys derive.
 //!
-//! # Limitation: no view-change timer over TCP yet
+//! # The request-aware view-change timer
 //!
-//! Deployed nodes do not arm `timeout_every`: the protocols'
-//! `on_view_timeout` handlers start a view change *unconditionally*, so
-//! a naive periodic timer would churn views in an idle cluster. Driving
-//! view changes in deployment needs a request-aware progress timer
-//! (armed on pending requests, reset on commit) — an open item in
-//! `ROADMAP.md`. Until then a crashed primary stalls a deployed cluster
-//! (backup crashes are tolerated), while view changes remain fully
-//! exercised by the in-process tests and examples via explicit
-//! `trigger_timeout`.
+//! Deployed nodes arm the runtime timer (`timeout_ms`). The tick is
+//! *request-aware* (see `splitbft_net::transport::Protocol::progress`):
+//! it forwards to the protocol's timeout handler only when a client
+//! request has been accepted but no execution progress happened across
+//! a full period — so an idle cluster never churns views, while a
+//! crashed primary fails over once clients start (re)transmitting.
+//! MinBFT keeps its timer quiet (its view change is out of scope).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench;
+
 use bytes::Bytes;
-use splitbft_app::{CounterApp, KeyValueStore};
+use splitbft_app::{Application, Blockchain, CounterApp, KeyValueStore};
 use splitbft_core::{SplitBftClient, SplitBftReplica, SplitClientEvent};
 use splitbft_hybrid::{HybridClient, HybridClientEvent, HybridConfig, HybridReplica, Usig};
-use splitbft_net::tcp::{PeerAddr, TcpClient, TcpNode, TcpNodeConfig};
+use splitbft_net::tcp::{BoundTcpNode, PeerAddr, TcpClient, TcpNode, TcpNodeConfig};
+use splitbft_net::transport::BatchPolicy;
 use splitbft_pbft::{ClientEvent, PbftClient, Replica as PbftReplica};
 use splitbft_tee::{CostModel, ExecMode};
 use splitbft_types::{ClientId, ClusterConfig, ReplicaId, Reply};
@@ -107,6 +114,8 @@ pub enum AppKind {
     Counter,
     /// The key-value store (`put`/`get`/`delete` operations).
     Kvs,
+    /// The blockchain ordering service (any operation is a transaction).
+    Blockchain,
 }
 
 impl FromStr for AppKind {
@@ -115,9 +124,40 @@ impl FromStr for AppKind {
         match s {
             "counter" => Ok(AppKind::Counter),
             "kvs" => Ok(AppKind::Kvs),
-            other => {
-                Err(ConfigError::new(format!("unknown app {other:?} (expected counter or kvs)")))
-            }
+            "blockchain" => Ok(AppKind::Blockchain),
+            other => Err(ConfigError::new(format!(
+                "unknown app {other:?} (expected counter, kvs, or blockchain)"
+            ))),
+        }
+    }
+}
+
+impl fmt::Display for AppKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AppKind::Counter => "counter",
+            AppKind::Kvs => "kvs",
+            AppKind::Blockchain => "blockchain",
+        })
+    }
+}
+
+/// Runtime knobs of a deployed node, read from the cluster file and
+/// overridable per invocation with CLI flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeOptions {
+    /// Send-path batching limits of the peer outboxes.
+    pub batch: BatchPolicy,
+    /// Period of the request-aware view-change timer; `None` disables
+    /// it (`timeout_ms = 0` in the cluster file).
+    pub timeout_every: Option<Duration>,
+}
+
+impl Default for NodeOptions {
+    fn default() -> Self {
+        NodeOptions {
+            batch: BatchPolicy::default(),
+            timeout_every: Some(Duration::from_millis(2_000)),
         }
     }
 }
@@ -151,6 +191,8 @@ pub struct ClusterFile {
     pub seed: u64,
     /// The replicated application.
     pub app: AppKind,
+    /// Runtime knobs (batching, view-change timer).
+    pub options: NodeOptions,
     /// The membership: replica ids and their listen addresses, sorted
     /// and validated to be exactly `0..n`.
     pub replicas: Vec<PeerAddr>,
@@ -178,6 +220,7 @@ pub fn parse_cluster_toml(text: &str) -> Result<ClusterFile, ConfigError> {
     let mut protocol = ProtocolKind::SplitBft;
     let mut seed: u64 = 42;
     let mut app = AppKind::Counter;
+    let mut options = NodeOptions::default();
     let mut replicas: Vec<(Option<u32>, Option<SocketAddr>)> = Vec::new();
     // `None` = top level; `Some(i)` = inside the i-th [[replica]] table.
     let mut current: Option<usize> = None;
@@ -208,6 +251,26 @@ pub fn parse_cluster_toml(text: &str) -> Result<ClusterFile, ConfigError> {
                     .map_err(|_| err(format!("seed must be an integer, got {value:?}")))?;
             }
             (None, "app") => app = parse_string(value).and_then(|s| s.parse())?,
+            (None, "timeout_ms") => {
+                let ms: u64 = value
+                    .parse()
+                    .map_err(|_| err(format!("timeout_ms must be an integer, got {value:?}")))?;
+                options.timeout_every = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            (None, "batch_max_frames") => {
+                options.batch.max_frames = parse_positive(value)
+                    .map_err(|m| err(format!("batch_max_frames {m}, got {value:?}")))?;
+            }
+            (None, "batch_max_bytes") => {
+                options.batch.max_bytes = parse_positive(value)
+                    .map_err(|m| err(format!("batch_max_bytes {m}, got {value:?}")))?;
+            }
+            (None, "batch_linger_us") => {
+                let us: u64 = value
+                    .parse()
+                    .map_err(|_| err(format!("batch_linger_us must be an integer, got {value:?}")))?;
+                options.batch.linger = Duration::from_micros(us);
+            }
             (None, other) => return Err(err(format!("unknown top-level key {other:?}"))),
             (Some(i), "id") => {
                 replicas[i].0 = Some(
@@ -246,7 +309,7 @@ pub fn parse_cluster_toml(text: &str) -> Result<ClusterFile, ConfigError> {
             )));
         }
     }
-    Ok(ClusterFile { protocol, seed, app, replicas: peers })
+    Ok(ClusterFile { protocol, seed, app, options, replicas: peers })
 }
 
 fn strip_comment(line: &str) -> &str {
@@ -254,6 +317,14 @@ fn strip_comment(line: &str) -> &str {
     match line.find('#') {
         Some(i) => &line[..i],
         None => line,
+    }
+}
+
+fn parse_positive(value: &str) -> Result<usize, &'static str> {
+    match value.parse::<usize>() {
+        Ok(0) => Err("must be positive"),
+        Ok(v) => Ok(v),
+        Err(_) => Err("must be an integer"),
     }
 }
 
@@ -267,7 +338,9 @@ fn parse_string(value: &str) -> Result<String, ConfigError> {
 }
 
 /// Builds and starts replica `id` of the cluster described by `file`,
-/// running `protocol` (usually `file.protocol`, unless overridden).
+/// running `protocol` (usually `file.protocol`, unless overridden) with
+/// the given runtime `options` (usually `file.options`, unless CLI
+/// flags override).
 ///
 /// The returned [`TcpNode`] is protocol-erased: all three stacks host
 /// behind the same handle, which is what lets one binary serve all
@@ -276,49 +349,129 @@ pub fn run_replica(
     file: &ClusterFile,
     protocol: ProtocolKind,
     id: ReplicaId,
+    options: &NodeOptions,
 ) -> io::Result<TcpNode> {
     let listen = file.addr_of(id).ok_or_else(|| {
         io::Error::new(io::ErrorKind::InvalidInput, format!("replica {} not in cluster file", id.0))
     })?;
-    let config = TcpNodeConfig::new(id, listen, file.replicas.clone());
-    let n = file.n();
-    let seed = file.seed;
-    macro_rules! with_app {
-        ($build:expr) => {
-            match file.app {
-                AppKind::Counter => $build(CounterApp::new()),
-                AppKind::Kvs => $build(KeyValueStore::new()),
-            }
-        };
+    let bound = TcpNode::bind(id, listen)?;
+    start_replica_on(bound, file.replicas.clone(), protocol, file.app, file.seed, options)
+}
+
+/// Starts a replica around an already-bound listener.
+///
+/// This is how the bench orchestrator launches whole clusters on
+/// OS-assigned ports: bind every listener first (so the ports are
+/// known), assemble the full address book, then start each node with
+/// it. `peers` must contain an entry for the bound node itself.
+pub fn start_replica_on(
+    bound: BoundTcpNode,
+    peers: Vec<PeerAddr>,
+    protocol: ProtocolKind,
+    app: AppKind,
+    seed: u64,
+    options: &NodeOptions,
+) -> io::Result<TcpNode> {
+    let mut config = TcpNodeConfig::new(bound.id(), bound.local_addr()?, peers);
+    config.batch = options.batch;
+    config.timeout_every = options.timeout_every;
+    match app {
+        AppKind::Counter => start_with_app(bound, config, protocol, seed, CounterApp::new()),
+        AppKind::Kvs => start_with_app(bound, config, protocol, seed, KeyValueStore::new()),
+        AppKind::Blockchain => start_with_app(bound, config, protocol, seed, Blockchain::new()),
     }
+}
+
+fn start_with_app<A: Application + 'static>(
+    bound: BoundTcpNode,
+    config: TcpNodeConfig,
+    protocol: ProtocolKind,
+    seed: u64,
+    app: A,
+) -> io::Result<TcpNode> {
+    let id = config.id;
+    let n = config.peers.len();
     match protocol {
-        ProtocolKind::Pbft => with_app!(|app| {
-            let cluster = cluster_config(n)?;
-            TcpNode::spawn(config, PbftReplica::new(cluster, id, seed, app))
-        }),
-        ProtocolKind::SplitBft => with_app!(|app| {
-            let cluster = cluster_config(n)?;
-            TcpNode::spawn(
-                config,
-                SplitBftReplica::new(
-                    cluster,
-                    id,
-                    seed,
-                    app,
-                    ExecMode::Hardware,
-                    CostModel::paper_calibrated(),
-                ),
-            )
-        }),
-        ProtocolKind::MinBft => with_app!(|app| {
+        ProtocolKind::Pbft => {
+            bound.start(config, PbftReplica::new(cluster_config(n)?, id, seed, app))
+        }
+        ProtocolKind::SplitBft => bound.start(
+            config,
+            SplitBftReplica::new(
+                cluster_config(n)?,
+                id,
+                seed,
+                app,
+                ExecMode::Hardware,
+                CostModel::paper_calibrated(),
+            ),
+        ),
+        ProtocolKind::MinBft => {
             let cluster = HybridConfig::new(n).map_err(invalid)?;
-            TcpNode::spawn(config, HybridReplica::new(cluster, id, seed, Usig::new(seed, id), app))
-        }),
+            bound.start(config, HybridReplica::new(cluster, id, seed, Usig::new(seed, id), app))
+        }
     }
 }
 
 fn cluster_config(n: usize) -> io::Result<ClusterConfig> {
     ClusterConfig::new(n).map_err(invalid)
+}
+
+/// Matching replies a client needs to accept a result (`f + 1`) for
+/// `protocol` at cluster size `n`.
+///
+/// # Errors
+///
+/// `InvalidInput` when `n` is below the protocol's minimum (4 for the
+/// `3f + 1` stacks, 3 for the hybrid's `2f + 1`).
+pub fn reply_quorum_for(protocol: ProtocolKind, n: usize) -> io::Result<usize> {
+    Ok(match protocol {
+        ProtocolKind::Pbft | ProtocolKind::SplitBft => cluster_config(n)?.reply_quorum(),
+        ProtocolKind::MinBft => HybridConfig::new(n).map_err(invalid)?.reply_quorum(),
+    })
+}
+
+/// Faulty replicas tolerated by `protocol` at cluster size `n` —
+/// `⌊(n−1)/3⌋` for the `3f + 1` stacks, `⌊(n−1)/2⌋` for the hybrid.
+///
+/// # Errors
+///
+/// `InvalidInput` when `n` is below the protocol's minimum.
+pub fn fault_tolerance_for(protocol: ProtocolKind, n: usize) -> io::Result<usize> {
+    Ok(match protocol {
+        ProtocolKind::Pbft | ProtocolKind::SplitBft => cluster_config(n)?.f(),
+        ProtocolKind::MinBft => HybridConfig::new(n).map_err(invalid)?.f(),
+    })
+}
+
+/// Pulls `--name value` out of a CLI argument list (shared by the
+/// binary's subcommands and the bench module).
+pub fn cli_flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Applies the `--batch-frames` / `--batch-bytes` / `--batch-linger-us`
+/// CLI overrides onto `batch`, validating like the cluster-file parser
+/// (the frame and byte limits must be positive).
+///
+/// # Errors
+///
+/// A human-readable message naming the offending flag.
+pub fn apply_batch_flags(args: &[String], batch: &mut BatchPolicy) -> Result<(), String> {
+    if let Some(frames) = cli_flag(args, "--batch-frames") {
+        batch.max_frames =
+            parse_positive(&frames).map_err(|m| format!("--batch-frames {m}, got {frames:?}"))?;
+    }
+    if let Some(bytes) = cli_flag(args, "--batch-bytes") {
+        batch.max_bytes =
+            parse_positive(&bytes).map_err(|m| format!("--batch-bytes {m}, got {bytes:?}"))?;
+    }
+    if let Some(us) = cli_flag(args, "--batch-linger-us") {
+        let us: u64 =
+            us.parse().map_err(|_| format!("--batch-linger-us must be an integer, got {us:?}"))?;
+        batch.linger = Duration::from_micros(us);
+    }
+    Ok(())
 }
 
 fn invalid<E: fmt::Display>(e: E) -> io::Error {

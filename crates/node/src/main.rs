@@ -4,15 +4,22 @@
 //! splitbft-node serve  --config cluster.toml --replica 0 [--protocol pbft|splitbft|minbft]
 //! splitbft-node client --config cluster.toml [--protocol ...] [--client 1]
 //!                      [--op inc] [--requests 5] [--timeout-secs 30]
+//! splitbft-node bench  --protocol splitbft --clients 8 --pipeline 4 --duration 5s
+//! splitbft-node bench  --compare --sweep-batch-frames 1,64 --out bench-out
 //! ```
 //!
 //! `serve` hosts one replica of the cluster over the framed TCP
 //! transport and runs until killed. `client` drives sequential requests
-//! at the view-0 primary and prints each agreed result. See
-//! `docs/ARCHITECTURE.md` and the crate docs of `splitbft_node` for the
-//! cluster-file format.
+//! at the view-0 primary and prints each agreed result. `bench`
+//! measures a cluster — self-orchestrated on localhost, or an existing
+//! `--config` deployment — and writes `BENCH_<name>.json` reports (see
+//! the `splitbft_node::bench` module docs). See `docs/ARCHITECTURE.md`
+//! and the crate docs of `splitbft_node` for the cluster-file format.
 
-use splitbft_node::{parse_cluster_toml, run_client, run_replica, ClusterFile, ProtocolKind};
+use splitbft_node::{
+    apply_batch_flags, bench, cli_flag as flag, parse_cluster_toml, run_client, run_replica,
+    ClusterFile, NodeOptions, ProtocolKind,
+};
 use splitbft_types::{ClientId, ReplicaId};
 use std::process::ExitCode;
 use std::time::Duration;
@@ -22,6 +29,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("serve") => serve(&args[1..]),
         Some("client") => client(&args[1..]),
+        Some("bench") => run_to_exit(bench::run(&args[1..]).map(|_| ())),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -34,21 +42,29 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "\
-splitbft-node — run a PBFT / SplitBFT / MinBFT replica or client over TCP
+splitbft-node — run a PBFT / SplitBFT / MinBFT replica, client, or bench over TCP
 
 USAGE:
     splitbft-node serve  --config <cluster.toml> --replica <id> [--protocol <p>]
+                         [--timeout-ms <ms>] [--batch-frames <n>]
+                         [--batch-bytes <n>] [--batch-linger-us <us>]
     splitbft-node client --config <cluster.toml> [--protocol <p>] [--client <id>]
                          [--op <bytes>] [--requests <n>] [--timeout-secs <s>]
+    splitbft-node bench  (--protocol <p> | --compare) [--config <cluster.toml>]
+                         [--app counter|kvs|blockchain] [--replicas <n>]
+                         [--clients <n>] [--pipeline <n>] [--duration <5s>]
+                         [--rate <req/s>] [--keys <n>] [--value-size <n>]
+                         [--read-ratio <f>] [--payload <n>]
+                         [--batch-frames <n>] [--sweep-batch-frames <a,b,..>]
+                         [--out <dir>] [--name <name>]
 
 The cluster file lists every replica's id and address plus the shared
-seed, protocol, and application; see the splitbft_node crate docs.
+seed, protocol, application, and runtime knobs (view-change timer,
+send-path batching); see the splitbft_node crate docs. `bench` without
+--config self-orchestrates a localhost cluster, writes one
+BENCH_<name>.json per run, and exits nonzero if a run completes zero
+requests.
 ";
-
-/// Pulls `--name value` out of `args`, or returns `default`.
-fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
-}
 
 fn load(args: &[String]) -> Result<(ClusterFile, ProtocolKind), String> {
     let path = flag(args, "--config").ok_or("missing --config <cluster.toml>")?;
@@ -62,6 +78,17 @@ fn load(args: &[String]) -> Result<(ClusterFile, ProtocolKind), String> {
     Ok((file, protocol))
 }
 
+/// Applies the serve CLI's runtime-knob overrides on top of the file's.
+fn options_from(args: &[String], file: &ClusterFile) -> Result<NodeOptions, String> {
+    let mut options = file.options;
+    if let Some(ms) = flag(args, "--timeout-ms") {
+        let ms: u64 = ms.parse().map_err(|_| "--timeout-ms must be an integer".to_string())?;
+        options.timeout_every = (ms > 0).then(|| Duration::from_millis(ms));
+    }
+    apply_batch_flags(args, &mut options.batch)?;
+    Ok(options)
+}
+
 fn serve(args: &[String]) -> ExitCode {
     let run = || -> Result<(), String> {
         let (file, protocol) = load(args)?;
@@ -69,7 +96,9 @@ fn serve(args: &[String]) -> ExitCode {
             .ok_or("missing --replica <id>")?
             .parse()
             .map_err(|_| "--replica must be an integer".to_string())?;
-        let node = run_replica(&file, protocol, ReplicaId(id)).map_err(|e| e.to_string())?;
+        let options = options_from(args, &file)?;
+        let node =
+            run_replica(&file, protocol, ReplicaId(id), &options).map_err(|e| e.to_string())?;
         println!(
             "replica {id} serving {protocol} on {} ({} replicas, app {:?})",
             node.local_addr(),

@@ -48,6 +48,14 @@ impl<A: Application + 'static> Protocol for Replica<A> {
     fn on_timeout(&mut self) -> Vec<ProtocolOutput<ConsensusMessage>> {
         to_outputs(self.on_view_timeout())
     }
+
+    fn progress(&self) -> u64 {
+        self.last_executed().0
+    }
+
+    fn has_pending_requests(&self) -> bool {
+        Replica::has_pending_requests(self)
+    }
 }
 
 #[cfg(test)]

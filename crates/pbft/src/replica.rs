@@ -35,7 +35,7 @@ use splitbft_types::wire::{Decode, Encode, Reader};
 use splitbft_types::{
     Checkpoint, CheckpointCertificate, ClientId, ClusterConfig, Commit, ConsensusMessage, Digest,
     NewView, PrePrepare, Prepare, PrepareCertificate, ProtocolError, ReplicaId, Reply, Request,
-    RequestBatch, SeqNum, Signed, SignerId, View, ViewChange,
+    RequestBatch, SeqNum, Signed, SignerId, Timestamp, View, ViewChange,
 };
 use std::collections::BTreeMap;
 
@@ -84,6 +84,11 @@ pub struct Replica<A> {
     last_exec: SeqNum,
     /// Cached last reply per client, for duplicate suppression and resend.
     last_replies: BTreeMap<ClientId, Reply>,
+    /// Highest authenticated-but-not-yet-executed request timestamp per
+    /// client: the evidence a request-aware view-change timer needs.
+    /// Entries clear on execution and on starting a view change (each
+    /// stall buys one failover attempt; client retransmission re-arms).
+    pending_requests: BTreeMap<ClientId, Timestamp>,
 }
 
 impl<A: Application> Replica<A> {
@@ -115,6 +120,7 @@ impl<A: Application> Replica<A> {
             next_seq: SeqNum::zero(),
             last_exec: SeqNum::zero(),
             last_replies: BTreeMap::new(),
+            pending_requests: BTreeMap::new(),
         }
     }
 
@@ -171,17 +177,24 @@ impl<A: Application> Replica<A> {
         self.log.len() * 512 + self.app.memory_usage() + self.last_replies.len() * 128
     }
 
+    /// `true` while an authenticated client request has been accepted
+    /// but not yet executed. Request-aware view-change timers fire only
+    /// when this holds across a full period with no execution progress.
+    pub fn has_pending_requests(&self) -> bool {
+        !self.pending_requests.is_empty()
+    }
+
     // --- event handlers ------------------------------------------------
 
-    /// Primary-only: order a batch of client requests. The runtime calls
-    /// this with output from the batcher. Requests with invalid MACs or
-    /// already-executed timestamps are filtered (cached replies are
-    /// resent).
+    /// Handles a batch of client requests. The primary orders fresh,
+    /// authenticated requests; *every* replica re-sends its cached reply
+    /// for an already-executed timestamp (the PBFT retransmission rule —
+    /// clients broadcast after a timeout, and backups answering from
+    /// cache is what completes the reply quorum when the reply was lost)
+    /// and records fresh requests as pending so the request-aware
+    /// view-change timer can detect a stalled primary.
     pub fn on_client_batch(&mut self, requests: Vec<Request>) -> Vec<Action> {
         let mut actions = Vec::new();
-        if !self.is_primary() || self.status != Status::Normal {
-            return actions;
-        }
         let mut fresh = Vec::new();
         for req in requests {
             if !self.verify_request(&req) {
@@ -192,10 +205,13 @@ impl<A: Application> Replica<A> {
                     actions.push(Action::SendReply { to: req.client(), reply: cached.clone() });
                 }
                 Some(cached) if cached.request.timestamp > req.id.timestamp => {}
-                _ => fresh.push(req),
+                _ => {
+                    self.note_pending(req.client(), req.id.timestamp);
+                    fresh.push(req);
+                }
             }
         }
-        if fresh.is_empty() {
+        if !self.is_primary() || self.status != Status::Normal || fresh.is_empty() {
             return actions;
         }
 
@@ -248,6 +264,23 @@ impl<A: Application> Replica<A> {
     fn verify_request(&self, req: &Request) -> bool {
         let key = client_mac_key(self.auth_seed, req.client());
         key.verify(&Request::auth_bytes(req.id, &req.op, req.encrypted), &req.auth)
+    }
+
+    /// Records an accepted-but-unexecuted request for the view-change
+    /// timer. One entry per client (the highest timestamp seen) bounds
+    /// the map at one entry per live client.
+    fn note_pending(&mut self, client: ClientId, timestamp: Timestamp) {
+        let entry = self.pending_requests.entry(client).or_insert(timestamp);
+        if *entry < timestamp {
+            *entry = timestamp;
+        }
+    }
+
+    /// Clears a client's pending marker once execution caught up to it.
+    fn clear_pending(&mut self, client: ClientId, executed: Timestamp) {
+        if self.pending_requests.get(&client).is_some_and(|t| *t <= executed) {
+            self.pending_requests.remove(&client);
+        }
     }
 
     fn check_active_view(&self, view: View, seq: SeqNum) -> Result<(), ProtocolError> {
@@ -424,6 +457,7 @@ impl<A: Application> Replica<A> {
             let reply =
                 Reply { view: self.view, request: req.id, replica: self.id, result, encrypted: false, auth };
             self.last_replies.insert(client, reply.clone());
+            self.clear_pending(client, req.id.timestamp);
             actions.push(Action::Executed { seq, request: req.id });
             actions.push(Action::SendReply { to: client, reply });
         }
@@ -483,6 +517,13 @@ impl<A: Application> Replica<A> {
                 (client, reply)
             })
             .collect();
+        // State transfer executed (on our behalf) everything up to the
+        // checkpoint: drop pending markers the restored replies cover.
+        let executed: Vec<(ClientId, Timestamp)> =
+            self.last_replies.iter().map(|(c, r)| (*c, r.request.timestamp)).collect();
+        for (client, timestamp) in executed {
+            self.clear_pending(client, timestamp);
+        }
         Ok(())
     }
 
@@ -549,6 +590,10 @@ impl<A: Application> Replica<A> {
         let target = target.max(self.view.next());
         self.status = Status::InViewChange;
         self.view = target;
+        // Each stall converts into exactly one failover attempt: clients
+        // that still care keep retransmitting, which re-arms the timer
+        // in the (possibly again faulty) next view.
+        self.pending_requests.clear();
 
         let vc = ViewChange {
             new_view: target,

@@ -1,0 +1,124 @@
+//! Property tests for the wire codec under hostile input.
+//!
+//! The decoder's contract is *total*: any byte string either decodes or
+//! returns a [`WireError`] — it must never panic, hang, or allocate
+//! unboundedly, because every frame arriving over TCP is
+//! attacker-controlled. These properties throw random and
+//! systematically-corrupted buffers at the frame layer and at the
+//! structured decoders.
+
+use proptest::prelude::*;
+use splitbft_types::wire::{
+    decode, encode, frame, FrameHeader, WireError, FRAME_HEADER_LEN, FRAME_MAGIC, MAX_FRAME_LEN,
+    WIRE_VERSION,
+};
+use splitbft_types::ConsensusMessage;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // Any (kind, payload) frames and parses back to itself.
+    #[test]
+    fn random_frames_roundtrip(
+        kind in any::<u8>(),
+        payload in collection::vec(any::<u8>(), 0..512),
+    ) {
+        let framed = frame(kind, &payload);
+        prop_assert_eq!(framed.len(), FRAME_HEADER_LEN + payload.len());
+
+        let mut header_bytes = [0u8; FRAME_HEADER_LEN];
+        header_bytes.copy_from_slice(&framed[..FRAME_HEADER_LEN]);
+        let header = FrameHeader::parse(&header_bytes).expect("own frame must parse");
+        prop_assert_eq!(header.kind, kind);
+        prop_assert_eq!(header.len as usize, payload.len());
+        prop_assert_eq!(&framed[FRAME_HEADER_LEN..], &payload[..]);
+    }
+
+    // A header whose magic is corrupted anywhere is rejected.
+    #[test]
+    fn bad_magic_rejected(
+        kind in any::<u8>(),
+        len in 0u32..MAX_FRAME_LEN,
+        corrupt_at in 0usize..4,
+        xor in 1u32..256,
+    ) {
+        let mut bytes = FrameHeader { kind, len }.encode();
+        bytes[corrupt_at] ^= xor as u8;
+        prop_assert!(matches!(
+            FrameHeader::parse(&bytes),
+            Err(WireError::BadMagic(_))
+        ));
+    }
+
+    // A length prefix above the frame bound is rejected before any
+    // allocation can happen.
+    #[test]
+    fn oversized_length_rejected(
+        kind in any::<u8>(),
+        excess in 1u32..1025,
+    ) {
+        let len = MAX_FRAME_LEN + excess;
+        let bytes = FrameHeader { kind, len }.encode();
+        prop_assert_eq!(
+            FrameHeader::parse(&bytes),
+            Err(WireError::FrameTooLarge(len))
+        );
+    }
+
+    // Any wrong version byte is rejected.
+    #[test]
+    fn wrong_version_rejected(kind in any::<u8>(), version in any::<u8>()) {
+        let mut bytes = FrameHeader { kind, len: 16 }.encode();
+        bytes[4] = version;
+        let result = FrameHeader::parse(&bytes);
+        if version == WIRE_VERSION {
+            prop_assert!(result.is_ok());
+        } else {
+            prop_assert_eq!(
+                result,
+                Err(WireError::VersionMismatch { expected: WIRE_VERSION, got: version })
+            );
+        }
+    }
+
+    // Truncating an encoded value anywhere yields an error, not a
+    // panic — and never `Ok` for a strict prefix of a collection
+    // encoding (the length prefix promises more bytes).
+    #[test]
+    fn truncated_values_error_cleanly(
+        payload in collection::vec(any::<u64>(), 1..64),
+        cut_ratio in 0u32..1000,
+    ) {
+        let bytes = encode(&payload);
+        let cut = (bytes.len() - 1) * cut_ratio as usize / 1000;
+        let result = decode::<Vec<u64>>(&bytes[..cut]);
+        prop_assert!(result.is_err(), "decoded {cut}/{} truncated bytes", bytes.len());
+    }
+
+    // Arbitrary garbage never panics the structured decoders, and a
+    // decode success implies a canonical re-encode (decode ∘ encode is
+    // the identity on the accepted set).
+    #[test]
+    fn garbage_never_panics_consensus_decoder(
+        garbage in collection::vec(any::<u8>(), 0..2048),
+    ) {
+        if let Ok(message) = decode::<ConsensusMessage>(&garbage) {
+            prop_assert_eq!(encode(&message), garbage, "non-canonical decode accepted");
+        }
+        // Errors (the overwhelmingly common case) are fine; panics are not.
+        let _ = decode::<Vec<bytes::Bytes>>(&garbage);
+        let _ = decode::<String>(&garbage);
+        let _ = decode::<(u64, bool, u32)>(&garbage);
+    }
+
+    // Streams that open with a non-SBFT preamble (e.g. a stray HTTP
+    // client) fail on the first header.
+    #[test]
+    fn foreign_preambles_rejected(preamble in collection::vec(any::<u8>(), FRAME_HEADER_LEN..64)) {
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        header.copy_from_slice(&preamble[..FRAME_HEADER_LEN]);
+        if header[..4] != FRAME_MAGIC {
+            prop_assert!(FrameHeader::parse(&header).is_err());
+        }
+    }
+}
