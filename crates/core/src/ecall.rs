@@ -8,7 +8,9 @@
 
 use bytes::Bytes;
 use splitbft_types::wire::{Decode, Encode, Reader, WireError};
-use splitbft_types::{ClientId, ConsensusMessage, Digest, Reply, Request, RequestId, SeqNum, View};
+use splitbft_types::{
+    ClientId, ConsensusMessage, Digest, Reply, Request, RequestBatch, RequestId, SeqNum, View,
+};
 
 /// The single ecall entry point id used by all compartments.
 pub const ECALL_HANDLE: u32 = 1;
@@ -34,6 +36,15 @@ pub enum CompartmentInput {
         /// The session key, sealed under the DH shared secret.
         wrapped_key: Vec<u8>,
     },
+    /// Crash recovery: re-execute a batch whose commit point was WAL'd
+    /// before the crash (Execution). Only applied when `seq` is exactly
+    /// the next slot; no messages are emitted.
+    ReplayCommitted {
+        /// The committed slot.
+        seq: SeqNum,
+        /// The batch recorded at the commit point.
+        batch: RequestBatch,
+    },
 }
 
 impl Encode for CompartmentInput {
@@ -54,6 +65,11 @@ impl Encode for CompartmentInput {
                 client_dh_public.encode(buf);
                 Bytes::copy_from_slice(wrapped_key).encode(buf);
             }
+            CompartmentInput::ReplayCommitted { seq, batch } => {
+                buf.push(5);
+                seq.encode(buf);
+                batch.encode(buf);
+            }
         }
     }
 }
@@ -67,6 +83,10 @@ impl Decode for CompartmentInput {
                 client: ClientId::decode(r)?,
                 client_dh_public: u64::decode(r)?,
                 wrapped_key: Bytes::decode(r)?.to_vec(),
+            }),
+            5 => Ok(CompartmentInput::ReplayCommitted {
+                seq: SeqNum::decode(r)?,
+                batch: RequestBatch::decode(r)?,
             }),
             tag => Err(WireError::InvalidTag { ty: "CompartmentInput", tag }),
         }
@@ -197,6 +217,10 @@ mod tests {
             client: ClientId(3),
             client_dh_public: 12345,
             wrapped_key: vec![1, 2, 3],
+        });
+        roundtrip(&CompartmentInput::ReplayCommitted {
+            seq: SeqNum(7),
+            batch: RequestBatch::default(),
         });
         let prep = splitbft_types::Prepare {
             view: View(0),

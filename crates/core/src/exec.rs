@@ -26,8 +26,8 @@ use splitbft_tee::seal::SealingIdentity;
 use splitbft_types::wire::{Decode, Encode, Reader};
 use splitbft_types::{
     Checkpoint, ClientId, ClusterConfig, CompartmentKind, Commit, ConsensusMessage, Digest,
-    NewView, PrePrepare, ProtocolError, ReplicaId, Reply, Request, SeqNum, Signed, SignerId,
-    Timestamp, View,
+    NewView, PrePrepare, ProtocolError, ReplicaId, Reply, Request, RequestBatch, SeqNum, Signed,
+    SignerId, Timestamp, View,
 };
 use std::collections::BTreeMap;
 
@@ -141,6 +141,14 @@ impl<A: Application> ExecutionCompartment<A> {
         digest_bytes(&self.checkpoint_state_bytes())
     }
 
+    /// Proof of the current stable checkpoint (genesis initially). The
+    /// broker serializes this for sealed persistence and peer state
+    /// transfer — only Execution holds the application state, so only
+    /// its certificate carries a restorable snapshot.
+    pub fn stable_proof(&self) -> &splitbft_types::CheckpointCertificate {
+        self.checkpoints.stable_proof()
+    }
+
     /// The enclave's DH public value, placed in its attestation quote.
     pub fn dh_public_value(&self) -> u64 {
         dh_public(self.dh_secret)
@@ -176,6 +184,7 @@ impl<A: Application> ExecutionCompartment<A> {
             CompartmentInput::InstallSessionKey { client, client_dh_public, wrapped_key } => {
                 self.on_install_session_key(client, client_dh_public, &wrapped_key)
             }
+            CompartmentInput::ReplayCommitted { seq, batch } => Ok(self.replay_committed(seq, &batch)),
             other => Err(ProtocolError::Other(format!("not an Execution event: {other:?}"))),
         };
         match result {
@@ -288,6 +297,31 @@ impl<A: Application> ExecutionCompartment<A> {
                 outputs.extend(self.emit_checkpoint(next));
             }
         }
+        outputs
+    }
+
+    /// Crash recovery: re-executes a batch whose commit point was made
+    /// durable before the crash. Strictly sequential and quorum-free —
+    /// the WAL record *is* the evidence the quorum existed — and emits
+    /// only the execution-observability outputs (the broker discards
+    /// them during replay anyway).
+    fn replay_committed(&mut self, seq: SeqNum, batch: &RequestBatch) -> Vec<CompartmentOutput> {
+        if seq != self.last_exec.next() {
+            return Vec::new(); // stale or gapped record: replay skips it
+        }
+        let mut outputs = Vec::new();
+        for req in &batch.requests {
+            outputs.extend(self.execute_request(seq, req));
+        }
+        for blob in self.app.drain_persist() {
+            let nonce = self.seal_nonce;
+            self.seal_nonce += 1;
+            let sealed =
+                splitbft_tee::seal::seal_data(&self.seal_identity, nonce, b"splitbft-block", &blob);
+            outputs.push(CompartmentOutput::Persist(Bytes::from(sealed)));
+        }
+        self.slots.remove(&seq);
+        self.last_exec = seq;
         outputs
     }
 

@@ -9,7 +9,9 @@
 use crate::replica::{ReplicaEvent, SplitBftReplica};
 use splitbft_app::Application;
 use splitbft_net::transport::{Protocol, ProtocolOutput};
-use splitbft_types::{ConsensusMessage, Request};
+use splitbft_types::{
+    ConsensusMessage, DurableCheckpoint, DurableEvent, ProtocolError, Request,
+};
 
 fn to_outputs(events: Vec<ReplicaEvent>) -> Vec<ProtocolOutput<ConsensusMessage>> {
     events
@@ -49,6 +51,27 @@ impl<A: Application + 'static> Protocol for SplitBftReplica<A> {
     fn has_pending_requests(&self) -> bool {
         SplitBftReplica::has_pending_requests(self)
     }
+
+    fn drain_durable_events(&mut self) -> Vec<DurableEvent> {
+        self.enable_durable_events();
+        SplitBftReplica::drain_durable_events(self)
+    }
+
+    fn replay_durable_event(&mut self, event: DurableEvent) {
+        SplitBftReplica::replay_durable_event(self, event)
+    }
+
+    fn durable_checkpoint(&self) -> Option<DurableCheckpoint> {
+        SplitBftReplica::durable_checkpoint(self)
+    }
+
+    fn restore_checkpoint(&mut self, cp: &DurableCheckpoint) -> Result<(), ProtocolError> {
+        self.restore_durable_checkpoint(cp)
+    }
+
+    // `catch_up_messages` keeps the empty default: compartments discard
+    // executed slots, so peers catch up from the certificate plus the
+    // ongoing checkpoint stream.
 }
 
 #[cfg(test)]

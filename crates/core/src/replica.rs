@@ -26,10 +26,11 @@ use splitbft_tee::host::{EnclaveHost, ExecMode, TransitionStats};
 use splitbft_tee::CostModel;
 use splitbft_types::wire::{decode, encode};
 use splitbft_types::{
-    ClientId, ClusterConfig, CompartmentKind, ConsensusMessage, Digest, ReplicaId, Reply,
-    Request, RequestId, SeqNum, View,
+    CheckpointCertificate, ClientId, ClusterConfig, CompartmentKind, ConsensusMessage, Digest,
+    DurableCheckpoint, DurableEvent, ProtocolError, ReplicaId, Reply, Request, RequestBatch,
+    RequestId, SeqNum, View,
 };
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 /// An event surfaced by the broker to the hosting runtime.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -128,7 +129,20 @@ pub struct SplitBftReplica<A: Application> {
     /// the integrity model), so unauthenticated spam can arm the timer;
     /// that only costs liveness, which a compromised broker may take
     /// anyway per the paper's threat model.
-    pending: std::collections::BTreeMap<ClientId, splitbft_types::Timestamp>,
+    pending: BTreeMap<ClientId, splitbft_types::Timestamp>,
+    /// Batches seen in `PrePrepare`s, keyed by slot and then by the
+    /// batch's *recomputed* digest, kept until their slot commits so
+    /// the broker can WAL the full batch at the commit point. Keying by
+    /// our own digest (not the PrePrepare's claimed one) means a
+    /// byzantine proposal can never substitute the batch recorded for a
+    /// commit — the commit event's digest selects the matching bytes.
+    /// GC'd at each stable checkpoint.
+    seen_batches: BTreeMap<SeqNum, BTreeMap<Digest, RequestBatch>>,
+    /// Durable consensus events buffered for a durable runtime's WAL
+    /// (empty and free unless [`SplitBftReplica::enable_durable_events`]
+    /// was called).
+    durable: Vec<DurableEvent>,
+    durable_enabled: bool,
 }
 
 impl<A: Application> SplitBftReplica<A> {
@@ -201,7 +215,10 @@ impl<A: Application> SplitBftReplica<A> {
             conf,
             exec,
             trace: Vec::new(),
-            pending: std::collections::BTreeMap::new(),
+            pending: BTreeMap::new(),
+            seen_batches: BTreeMap::new(),
+            durable: Vec::new(),
+            durable_enabled: false,
         }
     }
 
@@ -326,8 +343,10 @@ impl<A: Application> SplitBftReplica<A> {
 
     /// Delivers a message received from the network.
     pub fn on_network_message(&mut self, msg: ConsensusMessage) -> Vec<ReplicaEvent> {
+        self.note_batch_of(&msg);
         let events = self.dispatch(None, msg);
         self.observe_execution(&events);
+        self.harvest_durable(&events);
         events
     }
 
@@ -353,6 +372,7 @@ impl<A: Application> SplitBftReplica<A> {
             }
         }
         self.observe_execution(&events);
+        self.harvest_durable(&events);
         events
     }
 
@@ -373,6 +393,7 @@ impl<A: Application> SplitBftReplica<A> {
                 self.ecall_into(kind, &input, &mut events, &mut loopback);
             }
         }
+        self.harvest_durable(&events);
         events
     }
 
@@ -391,6 +412,127 @@ impl<A: Application> SplitBftReplica<A> {
                 }
             }
         }
+    }
+
+    // --- durability --------------------------------------------------------
+
+    /// Remembers the batch of a passing `PrePrepare` so the commit point
+    /// can be WAL'd with its full batch (commits carry only the digest).
+    fn note_batch_of(&mut self, msg: &ConsensusMessage) {
+        if !self.durable_enabled {
+            return;
+        }
+        if let ConsensusMessage::PrePrepare(pp) = msg {
+            let digest = splitbft_crypto::digest_of(&pp.payload.batch);
+            self.seen_batches
+                .entry(pp.payload.seq)
+                .or_default()
+                .insert(digest, pp.payload.batch.clone());
+        }
+    }
+
+    /// Translates compartment events into durable WAL records. The
+    /// Execution compartment is the authority: its commit points carry
+    /// the replayable batches, its stable checkpoints set the GC point,
+    /// and its view entries track the replicated view variable.
+    fn harvest_durable(&mut self, events: &[ReplicaEvent]) {
+        if !self.durable_enabled {
+            return;
+        }
+        for event in events {
+            match event {
+                ReplicaEvent::Broadcast(msg) => self.note_batch_of(msg),
+                ReplicaEvent::Committed { kind: CompartmentKind::Execution, seq, digest } => {
+                    // Only the batch whose bytes hash to the committed
+                    // digest may enter the WAL for this slot.
+                    let batch = self
+                        .seen_batches
+                        .remove(seq)
+                        .and_then(|mut by_digest| by_digest.remove(digest));
+                    if let Some(batch) = batch {
+                        self.durable.push(DurableEvent::Committed { seq: *seq, batch });
+                    }
+                }
+                ReplicaEvent::StableCheckpoint { kind: CompartmentKind::Execution, seq } => {
+                    self.seen_batches = self.seen_batches.split_off(&SeqNum(seq.0 + 1));
+                    self.durable.push(DurableEvent::StableCheckpoint { seq: *seq });
+                }
+                ReplicaEvent::EnteredView { kind: CompartmentKind::Execution, view } => {
+                    self.durable.push(DurableEvent::EnteredView { view: *view });
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Starts recording durable consensus events (see
+    /// [`SplitBftReplica::drain_durable_events`]).
+    pub fn enable_durable_events(&mut self) {
+        self.durable_enabled = true;
+    }
+
+    /// Drains the durable events recorded since the last drain.
+    pub fn drain_durable_events(&mut self) -> Vec<DurableEvent> {
+        std::mem::take(&mut self.durable)
+    }
+
+    /// Replays one WAL event during crash recovery: committed batches
+    /// are re-executed inside the Execution enclave; everything else is
+    /// either hybrid-specific or a GC marker.
+    pub fn replay_durable_event(&mut self, event: DurableEvent) {
+        if let DurableEvent::Committed { seq, batch } = event {
+            let mut events = Vec::new();
+            let mut loopback = VecDeque::new();
+            let input = CompartmentInput::ReplayCommitted { seq, batch };
+            self.ecall_into(CompartmentKind::Execution, &input, &mut events, &mut loopback);
+            // Replay produces no network traffic; local follow-ups
+            // (e.g. a checkpoint vote) are dropped with the events.
+        }
+    }
+
+    /// The Execution compartment's stable checkpoint certificate,
+    /// serialized for sealing and peer state transfer. `None` at
+    /// genesis.
+    pub fn durable_checkpoint(&self) -> Option<DurableCheckpoint> {
+        let cert = self.exec.enclave().inner().inner().stable_proof();
+        let digest = cert.state_digest()?;
+        Some(DurableCheckpoint { seq: cert.seq(), digest, state: encode(cert).into() })
+    }
+
+    /// Restores compartment state from a checkpoint certificate by
+    /// feeding its `2f + 1` signed `Checkpoint`s through the normal
+    /// message path: every compartment re-verifies them exactly like
+    /// network input, so corrupt or forged certificates cannot take
+    /// effect.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::CorruptState`] when the bytes do not decode,
+    /// do not match the claimed `(seq, digest)`, or fail to move the
+    /// Execution compartment to the certified state.
+    pub fn restore_durable_checkpoint(
+        &mut self,
+        cp: &DurableCheckpoint,
+    ) -> Result<(), ProtocolError> {
+        let cert: CheckpointCertificate = decode(&cp.state)
+            .map_err(|e| ProtocolError::CorruptState(format!("checkpoint decode: {e}")))?;
+        if cert.seq() != cp.seq || cert.state_digest() != Some(cp.digest) {
+            return Err(ProtocolError::CorruptState(
+                "checkpoint certificate does not match its claimed seq/digest".into(),
+            ));
+        }
+        if self.last_executed() >= cp.seq {
+            return Ok(()); // already at or past the certified state
+        }
+        for signed in &cert.checkpoints {
+            let _ = self.dispatch(None, ConsensusMessage::Checkpoint(signed.clone()));
+        }
+        if self.last_executed() < cp.seq {
+            return Err(ProtocolError::CorruptState(
+                "checkpoint certificate was rejected by the compartments".into(),
+            ));
+        }
+        Ok(())
     }
 
     /// Installs a client session key in the Execution enclave (the tail

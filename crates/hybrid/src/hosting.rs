@@ -10,7 +10,7 @@ use crate::replica::{HybridAction, HybridReplica};
 use crate::usig::UsigTrait;
 use splitbft_app::Application;
 use splitbft_net::transport::{Protocol, ProtocolOutput};
-use splitbft_types::Request;
+use splitbft_types::{DurableCheckpoint, DurableEvent, ProtocolError, Request};
 
 fn to_outputs(actions: Vec<HybridAction>) -> Vec<ProtocolOutput<HybridMessage>> {
     actions
@@ -57,6 +57,27 @@ where
         // timer permanently quiet instead.
         false
     }
+
+    fn drain_durable_events(&mut self) -> Vec<DurableEvent> {
+        self.enable_durable_events();
+        HybridReplica::drain_durable_events(self)
+    }
+
+    fn replay_durable_event(&mut self, event: DurableEvent) {
+        HybridReplica::replay_durable_event(self, event)
+    }
+
+    fn durable_checkpoint(&self) -> Option<DurableCheckpoint> {
+        HybridReplica::durable_checkpoint(self)
+    }
+
+    fn restore_checkpoint(&mut self, cp: &DurableCheckpoint) -> Result<(), ProtocolError> {
+        self.restore_durable_checkpoint(cp)
+    }
+
+    // `catch_up_messages` keeps the empty default: executed slots are
+    // discarded, so lagging peers recover from the snapshot plus the
+    // live message stream (re-requesting until they reconnect to it).
 }
 
 #[cfg(test)]

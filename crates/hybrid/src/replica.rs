@@ -4,11 +4,21 @@ use crate::config::HybridConfig;
 use crate::message::{HybridCommit, HybridMessage, HybridPrepare};
 use crate::usig::{UsigTrait, UsigVerifier};
 use splitbft_app::Application;
-use splitbft_crypto::{client_mac_key, digest_of};
+use splitbft_crypto::{client_mac_key, digest_bytes, digest_of};
+use splitbft_types::wire::{Decode, Encode, Reader};
 use splitbft_types::{
-    ClientId, Digest, ProtocolError, ReplicaId, Reply, Request, RequestBatch, View,
+    ClientId, Digest, DurableCheckpoint, DurableEvent, ProtocolError, ReplicaId, Reply, Request,
+    RequestBatch, RequestId, SeqNum, Timestamp, View,
 };
 use std::collections::BTreeMap;
+
+/// How many executions between durable snapshots. The hybrid has no
+/// checkpoint *messages* (its log is implicitly bounded by sequential
+/// execution), so the durability plane snapshots locally at this cadence
+/// to bound WAL replay length and give state transfer a discrete,
+/// cluster-wide agreed-upon point (every replica snapshots at the same
+/// counter values).
+const HYBRID_CHECKPOINT_INTERVAL: u64 = 64;
 
 /// Effects requested by a [`HybridReplica`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,6 +64,13 @@ pub struct HybridReplica<A, U> {
     last_exec: u64,
     app: A,
     last_replies: BTreeMap<ClientId, Reply>,
+    /// Latest durable snapshot `(counter, state bytes)`, refreshed every
+    /// [`HYBRID_CHECKPOINT_INTERVAL`] executions while durable events
+    /// are enabled.
+    last_snapshot: Option<(u64, Vec<u8>)>,
+    /// Durable consensus events buffered for a durable runtime's WAL.
+    durable: Vec<DurableEvent>,
+    durable_enabled: bool,
 }
 
 impl<A: Application, U: UsigTrait> HybridReplica<A, U> {
@@ -71,6 +88,9 @@ impl<A: Application, U: UsigTrait> HybridReplica<A, U> {
             last_exec: 0,
             app,
             last_replies: BTreeMap::new(),
+            last_snapshot: None,
+            durable: Vec::new(),
+            durable_enabled: false,
         }
     }
 
@@ -134,6 +154,7 @@ impl<A: Application, U: UsigTrait> HybridReplica<A, U> {
         let digest = digest_of(&batch);
         let ui = self.usig.create_ui(&digest);
         let counter = ui.counter;
+        self.record(|| DurableEvent::CounterIssued { counter });
 
         let slot = self.slots.entry(counter).or_default();
         slot.batch = Some(batch.clone());
@@ -193,6 +214,8 @@ impl<A: Application, U: UsigTrait> HybridReplica<A, U> {
             ui: crate::usig::UsigUi { counter: 0, signature: splitbft_types::Signature::ZERO },
         };
         commit.ui = self.usig.create_ui(&commit.commit_digest());
+        let issued = commit.ui.counter;
+        self.record(|| DurableEvent::CounterIssued { counter: issued });
         self.slots.entry(counter).or_default().committers.insert(self.id, ());
 
         let mut actions = vec![HybridAction::Broadcast(HybridMessage::Commit(commit))];
@@ -235,6 +258,10 @@ impl<A: Application, U: UsigTrait> HybridReplica<A, U> {
                 break;
             }
             let batch = self.slots.get(&next).and_then(|s| s.batch.clone()).expect("checked");
+            self.record(|| DurableEvent::Committed {
+                seq: SeqNum(next),
+                batch: batch.clone(),
+            });
             for req in &batch.requests {
                 let client = req.client();
                 match self.last_replies.get(&client) {
@@ -266,8 +293,185 @@ impl<A: Application, U: UsigTrait> HybridReplica<A, U> {
             self.slots.remove(&next);
             self.last_exec = next;
             actions.push(HybridAction::Executed { counter: next });
+            self.maybe_snapshot(next);
         }
         actions
+    }
+
+    // --- durability --------------------------------------------------------
+
+    /// Records `event` if a durable runtime opted in (the closure keeps
+    /// disabled replicas from even building the event).
+    fn record(&mut self, event: impl FnOnce() -> DurableEvent) {
+        if self.durable_enabled {
+            self.durable.push(event());
+        }
+    }
+
+    /// Takes the periodic durable snapshot at interval boundaries.
+    fn maybe_snapshot(&mut self, executed: u64) {
+        if !self.durable_enabled || executed % HYBRID_CHECKPOINT_INTERVAL != 0 {
+            return;
+        }
+        self.last_snapshot = Some((executed, self.checkpoint_state_bytes()));
+        self.durable.push(DurableEvent::StableCheckpoint { seq: SeqNum(executed) });
+    }
+
+    /// Canonical snapshot bytes: application snapshot plus the
+    /// replica-independent core of the reply cache
+    /// `(client, timestamp, result)` — identical on every correct
+    /// replica at the same counter value, which is what lets a
+    /// recovering replica demand `f + 1` peer agreement on the digest.
+    fn checkpoint_state_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let snapshot = self.app.snapshot();
+        (snapshot.len() as u32).encode(&mut buf);
+        buf.extend_from_slice(&snapshot);
+        let replies: Vec<(ClientId, Timestamp, bytes::Bytes)> = self
+            .last_replies
+            .iter()
+            .map(|(c, r)| (*c, r.request.timestamp, r.result.clone()))
+            .collect();
+        replies.encode(&mut buf);
+        buf
+    }
+
+    fn restore_checkpoint_state(&mut self, bytes: &[u8]) -> Result<(), ProtocolError> {
+        let mut r = Reader::new(bytes);
+        let len = u32::decode(&mut r)? as usize;
+        let snapshot = r.take(len)?.to_vec();
+        let replies: Vec<(ClientId, Timestamp, bytes::Bytes)> = Vec::decode(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(ProtocolError::CorruptState("trailing snapshot bytes".into()));
+        }
+        self.app
+            .restore(&snapshot)
+            .map_err(|e| ProtocolError::CorruptState(format!("snapshot restore failed: {e}")))?;
+        self.last_replies = replies
+            .into_iter()
+            .map(|(client, timestamp, result)| {
+                let request = RequestId { client, timestamp };
+                let key = client_mac_key(self.auth_seed, client);
+                let auth =
+                    key.tag(&Reply::auth_bytes(self.view, request, self.id, &result, false));
+                let reply = Reply {
+                    view: self.view,
+                    request,
+                    replica: self.id,
+                    result,
+                    encrypted: false,
+                    auth,
+                };
+                (client, reply)
+            })
+            .collect();
+        Ok(())
+    }
+
+    /// Starts recording durable consensus events.
+    pub fn enable_durable_events(&mut self) {
+        self.durable_enabled = true;
+    }
+
+    /// Drains the durable events recorded since the last drain.
+    pub fn drain_durable_events(&mut self) -> Vec<DurableEvent> {
+        std::mem::take(&mut self.durable)
+    }
+
+    /// Replays one WAL event during crash recovery.
+    ///
+    /// `CounterIssued` is the safety-critical one: it advances the
+    /// restored trusted counter past every value the pre-crash replica
+    /// ever signed with, so the restart cannot equivocate — the paper's
+    /// sealed-counter recovery. `Committed` re-executes batches beyond
+    /// the last snapshot.
+    pub fn replay_durable_event(&mut self, event: DurableEvent) {
+        // Replay only happens during crash recovery, and recovery means
+        // this replica's verifier windows are stale: re-anchor them on
+        // the first live message from each peer (see
+        // [`UsigVerifier::resync`]). Idempotent, and recovery precedes
+        // networking, so repeating it per event is harmless.
+        self.verifier.resync();
+        match event {
+            DurableEvent::CounterIssued { counter } => self.usig.advance_to(counter),
+            DurableEvent::Committed { seq, batch } => {
+                if seq.0 == self.last_exec + 1 {
+                    self.execute_batch_quietly(&batch);
+                    self.last_exec = seq.0;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Executes a replayed batch without emitting actions (replies are
+    /// cached for duplicate suppression, but nobody is listening yet).
+    fn execute_batch_quietly(&mut self, batch: &RequestBatch) {
+        for req in &batch.requests {
+            let client = req.client();
+            if self
+                .last_replies
+                .get(&client)
+                .is_some_and(|cached| cached.request.timestamp >= req.id.timestamp)
+            {
+                continue;
+            }
+            let result = self.app.execute(&req.op);
+            let key = client_mac_key(self.auth_seed, client);
+            let auth = key.tag(&Reply::auth_bytes(self.view, req.id, self.id, &result, false));
+            let reply = Reply {
+                view: self.view,
+                request: req.id,
+                replica: self.id,
+                result,
+                encrypted: false,
+                auth,
+            };
+            self.last_replies.insert(client, reply);
+        }
+        let _ = self.app.drain_persist();
+    }
+
+    /// The latest durable snapshot, if one was taken.
+    pub fn durable_checkpoint(&self) -> Option<DurableCheckpoint> {
+        let (seq, state) = self.last_snapshot.as_ref()?;
+        Some(DurableCheckpoint {
+            seq: SeqNum(*seq),
+            digest: digest_bytes(state),
+            state: bytes::Bytes::from(state.clone()),
+        })
+    }
+
+    /// Restores from a snapshot produced by
+    /// [`HybridReplica::durable_checkpoint`] — locally unsealed, or
+    /// agreed on by `f + 1` peers (the hybrid has no self-authenticating
+    /// checkpoint certificates, so peer agreement *is* the trust
+    /// anchor). Re-anchors the USIG verifier windows afterwards: the
+    /// counters this replica saw before crashing are gone with its
+    /// memory.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::CorruptState`] when the bytes do not hash to the
+    /// claimed digest or fail to decode.
+    pub fn restore_durable_checkpoint(
+        &mut self,
+        cp: &DurableCheckpoint,
+    ) -> Result<(), ProtocolError> {
+        if digest_bytes(&cp.state) != cp.digest {
+            return Err(ProtocolError::CorruptState(
+                "snapshot bytes do not hash to the claimed digest".into(),
+            ));
+        }
+        if cp.seq.0 <= self.last_exec {
+            return Ok(()); // already at or past the snapshot
+        }
+        self.restore_checkpoint_state(&cp.state)?;
+        self.last_exec = cp.seq.0;
+        self.slots = self.slots.split_off(&(cp.seq.0 + 1));
+        self.last_snapshot = Some((cp.seq.0, cp.state.to_vec()));
+        self.verifier.resync();
+        Ok(())
     }
 }
 

@@ -98,6 +98,12 @@ pub trait UsigTrait: Send {
     fn create_ui(&mut self, digest: &Digest) -> UsigUi;
     /// The current counter value (last issued).
     fn counter(&self) -> u64;
+    /// Crash recovery: advances the counter to at least `counter`, so a
+    /// restarted replica never re-issues a value it already used (which
+    /// would be equivocation). The genuine counter only ever moves
+    /// forward; rolling back is exactly the compromise [`FaultyUsig`]
+    /// models.
+    fn advance_to(&mut self, _counter: u64) {}
 }
 
 /// The genuine trusted counter.
@@ -124,6 +130,10 @@ impl UsigTrait for Usig {
 
     fn counter(&self) -> u64 {
         self.counter
+    }
+
+    fn advance_to(&mut self, counter: u64) {
+        self.counter = self.counter.max(counter);
     }
 }
 
@@ -157,6 +167,10 @@ impl UsigTrait for FaultyUsig {
     fn counter(&self) -> u64 {
         self.inner.counter()
     }
+
+    fn advance_to(&mut self, counter: u64) {
+        self.inner.advance_to(counter);
+    }
 }
 
 /// Verifier-side state: the last counter accepted from each replica.
@@ -164,6 +178,16 @@ impl UsigTrait for FaultyUsig {
 pub struct UsigVerifier {
     keys: BTreeMap<ReplicaId, PublicKey>,
     last_seen: BTreeMap<ReplicaId, u64>,
+    /// Replicas whose UIs may arrive with a *forward* gap: set by
+    /// [`UsigVerifier::resync`] after crash recovery, when this verifier
+    /// provably missed messages issued while its replica was down.
+    /// Backward movement (repeats — the equivocation vector) is still
+    /// rejected; only "suppressed message" detection is waived, and only
+    /// until the verifier re-anchors on the peer's live stream (the
+    /// first exactly-sequential UI clears the waiver — a stale replayed
+    /// message accepted during resync therefore cannot wedge the peer;
+    /// the next live UI simply re-anchors further forward).
+    gap_allowed: std::collections::BTreeSet<ReplicaId>,
 }
 
 impl UsigVerifier {
@@ -173,7 +197,21 @@ impl UsigVerifier {
             .into_iter()
             .map(|r| (r, usig_keypair(master_seed, r).public_key()))
             .collect();
-        UsigVerifier { keys, last_seen: BTreeMap::new() }
+        UsigVerifier {
+            keys,
+            last_seen: BTreeMap::new(),
+            gap_allowed: std::collections::BTreeSet::new(),
+        }
+    }
+
+    /// Marks every peer's next UI as allowed to arrive with a forward
+    /// counter gap. Called exactly once, after crash recovery restores
+    /// this replica: the counters it saw before the crash are gone with
+    /// its memory, so the strict `last + 1` window must re-anchor on the
+    /// first live message from each peer. Monotonicity — the
+    /// non-equivocation property — is preserved throughout.
+    pub fn resync(&mut self) {
+        self.gap_allowed = self.keys.keys().copied().collect();
     }
 
     /// Verifies a UI from `replica` over `digest` and advances the
@@ -192,13 +230,22 @@ impl UsigVerifier {
     ) -> Result<(), UsigError> {
         let expected = self.last_seen.get(&replica).copied().unwrap_or(0) + 1;
         if ui.counter != expected {
-            return Err(UsigError::NonSequential { expected, got: ui.counter });
+            // After a resync, forward re-anchoring is allowed until the
+            // first sequential UI proves we joined the live stream;
+            // repeats and rollbacks never are.
+            if !(ui.counter > expected && self.gap_allowed.contains(&replica)) {
+                return Err(UsigError::NonSequential { expected, got: ui.counter });
+            }
         }
         let Some(key) = self.keys.get(&replica) else {
             return Err(UsigError::BadSignature);
         };
         if !KeyPair::verify(key, &ui_bytes(replica, ui.counter, digest), &ui.signature) {
             return Err(UsigError::BadSignature);
+        }
+        if ui.counter == expected {
+            // Anchored on the live stream: strict sequencing resumes.
+            self.gap_allowed.remove(&replica);
         }
         self.last_seen.insert(replica, ui.counter);
         Ok(())
@@ -291,6 +338,85 @@ mod tests {
         verifier.verify(ReplicaId(0), &digest(1), &ui).unwrap();
         assert!(matches!(
             verifier.verify(ReplicaId(0), &digest(1), &ui),
+            Err(UsigError::NonSequential { .. })
+        ));
+    }
+
+    #[test]
+    fn advance_to_never_rolls_back() {
+        let mut usig = Usig::new(SEED, ReplicaId(0));
+        let _ = usig.create_ui(&digest(1));
+        let _ = usig.create_ui(&digest(2));
+        usig.advance_to(10);
+        assert_eq!(usig.counter(), 10);
+        usig.advance_to(3); // lower than current: no-op
+        assert_eq!(usig.counter(), 10);
+        assert_eq!(usig.create_ui(&digest(3)).counter, 11);
+    }
+
+    #[test]
+    fn resync_allows_forward_gaps_until_anchored() {
+        let mut usig = Usig::new(SEED, ReplicaId(0));
+        let mut verifier = UsigVerifier::new(SEED, [ReplicaId(0)]);
+        // Counters 1..=4 issued while this verifier was "down".
+        for i in 1..=4u8 {
+            let _ = usig.create_ui(&digest(i));
+        }
+        verifier.resync();
+        let d5 = digest(5);
+        let ui5 = usig.create_ui(&d5);
+        verifier.verify(ReplicaId(0), &d5, &ui5).unwrap();
+        // A sequential follow-up anchors the window...
+        let d6 = digest(6);
+        let ui6 = usig.create_ui(&d6);
+        verifier.verify(ReplicaId(0), &d6, &ui6).unwrap();
+        // ...after which gaps are suppressed messages again.
+        let _skipped = usig.create_ui(&digest(7));
+        let d8 = digest(8);
+        let ui8 = usig.create_ui(&d8);
+        assert!(matches!(
+            verifier.verify(ReplicaId(0), &d8, &ui8),
+            Err(UsigError::NonSequential { .. })
+        ));
+    }
+
+    #[test]
+    fn stale_replay_during_resync_cannot_wedge_a_peer() {
+        let mut usig = Usig::new(SEED, ReplicaId(0));
+        let mut verifier = UsigVerifier::new(SEED, [ReplicaId(0)]);
+        let d2 = digest(2);
+        let (_ui1, ui2) = (usig.create_ui(&digest(1)), usig.create_ui(&d2));
+        for i in 3..=9u8 {
+            let _ = usig.create_ui(&digest(i)); // the peer's live stream is far ahead
+        }
+        verifier.resync();
+        // An adversary replays the peer's old-but-genuine counter 2
+        // first: it re-anchors low...
+        verifier.verify(ReplicaId(0), &d2, &ui2).unwrap();
+        // ...but the next *live* message still verifies (forward gap
+        // remains allowed until a sequential anchor), so the peer is
+        // not wedged.
+        let d10 = digest(10);
+        let ui10 = usig.create_ui(&d10);
+        verifier.verify(ReplicaId(0), &d10, &ui10).unwrap();
+        // Replays below the anchor stay rejected throughout.
+        assert!(matches!(
+            verifier.verify(ReplicaId(0), &d2, &ui2),
+            Err(UsigError::NonSequential { .. })
+        ));
+    }
+
+    #[test]
+    fn resync_never_allows_replays() {
+        let mut usig = Usig::new(SEED, ReplicaId(0));
+        let mut verifier = UsigVerifier::new(SEED, [ReplicaId(0)]);
+        let d = digest(1);
+        let ui = usig.create_ui(&d);
+        verifier.verify(ReplicaId(0), &d, &ui).unwrap();
+        verifier.resync();
+        // A replayed (non-forward) counter is still equivocation.
+        assert!(matches!(
+            verifier.verify(ReplicaId(0), &d, &ui),
             Err(UsigError::NonSequential { .. })
         ));
     }

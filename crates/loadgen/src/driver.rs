@@ -222,13 +222,14 @@ fn client_loop(config: &DriverConfig, index: usize) -> io::Result<ClientStats> {
     };
     let mut inflight: BTreeMap<u64, Flight> = BTreeMap::new();
 
-    let mut issue = |tcp: &mut PipelinedTcpClient,
-                     inflight: &mut BTreeMap<u64, Flight>,
-                     stats: &mut ClientStats|
-     -> io::Result<()> {
+    // Builds one authenticated request plus its quorum-tracking
+    // completion handler; `issue_all` below coalesces any number of
+    // them into a single REQUESTS frame (client-side batching — the
+    // mirror of the replicas' send-path batching).
+    let mut build = |sequence: u64| -> (Request, splitbft_net::tcp::ReplyHandler) {
         let timestamp = Timestamp(next_ts);
         next_ts += 1;
-        let op = config.workload.next_op(&mut rng, stats.issued);
+        let op = config.workload.next_op(&mut rng, sequence);
         let id = RequestId { client, timestamp };
         let auth = mac.tag(&Request::auth_bytes(id, &op, false));
         let request = Request { id, op, encrypted: false, auth };
@@ -245,25 +246,55 @@ fn client_loop(config: &DriverConfig, index: usize) -> io::Result<ClientStats> {
                 false
             }
         });
-        tcp.submit(0, &request, handler)?;
-        inflight.insert(timestamp.0, Flight { request, last_sent: issued_at });
-        stats.issued += 1;
+        (request, handler)
+    };
+
+    let mut issue_all = |count: usize,
+                         tcp: &mut PipelinedTcpClient,
+                         inflight: &mut BTreeMap<u64, Flight>,
+                         stats: &mut ClientStats|
+     -> io::Result<()> {
+        if count == 0 {
+            return Ok(());
+        }
+        let mut batch = Vec::with_capacity(count);
+        for offset in 0..count {
+            // Each request in the coalesced frame keeps its own
+            // workload sequence number (blockchain ops embed it to stay
+            // distinct).
+            batch.push(build(stats.issued + offset as u64));
+        }
+        let issued_at = Instant::now();
+        let flights: Vec<(u64, Flight)> = batch
+            .iter()
+            .map(|(request, _)| {
+                (request.id.timestamp.0, Flight { request: request.clone(), last_sent: issued_at })
+            })
+            .collect();
+        tcp.submit_batch(0, batch)?;
+        for (ts, flight) in flights {
+            inflight.insert(ts, flight);
+        }
+        stats.issued += count as u64;
         Ok(())
     };
 
     loop {
-        // Issue phase.
+        // Issue phase: everything due right now goes out in one frame.
         match open_period {
             None => {
-                while inflight.len() < pipeline && Instant::now() < deadline {
-                    issue(&mut tcp, &mut inflight, &mut stats)?;
+                if Instant::now() < deadline {
+                    let want = pipeline.saturating_sub(inflight.len());
+                    issue_all(want, &mut tcp, &mut inflight, &mut stats)?;
                 }
             }
             Some(period) => {
+                let mut due = 0;
                 while next_issue <= Instant::now() && Instant::now() < deadline {
-                    issue(&mut tcp, &mut inflight, &mut stats)?;
+                    due += 1;
                     next_issue += period;
                 }
+                issue_all(due, &mut tcp, &mut inflight, &mut stats)?;
             }
         }
 

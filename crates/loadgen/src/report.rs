@@ -252,6 +252,140 @@ impl BenchReport {
     }
 }
 
+/// One point of an open-loop saturation sweep: what one offered rate
+/// achieved.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Offered load, requests per second.
+    pub offered_rps: f64,
+    /// Achieved throughput (completions per second of window).
+    pub achieved_rps: f64,
+    /// Median completion latency.
+    pub p50_us: u64,
+    /// 99th-percentile completion latency.
+    pub p99_us: u64,
+    /// Requests that never completed within the drain window.
+    pub timed_out: u64,
+}
+
+impl SweepPoint {
+    /// `true` while the cluster keeps up with the offered load (within
+    /// 10% — scheduling slop, not saturation).
+    pub fn keeping_up(&self) -> bool {
+        self.achieved_rps >= 0.9 * self.offered_rps
+    }
+}
+
+/// An open-loop rate sweep across one protocol: the latency/throughput
+/// curve and its knee. Serialized as `BENCH_rate_sweep_<name>.json`
+/// (schema [`SWEEP_SCHEMA`]).
+#[derive(Debug, Clone)]
+pub struct RateSweepReport {
+    /// Report name; the file is `BENCH_rate_sweep_<name>.json`.
+    pub name: String,
+    /// Protocol under test.
+    pub protocol: String,
+    /// Cluster size.
+    pub n: usize,
+    /// Replicated application.
+    pub app: String,
+    /// Concurrent clients per point.
+    pub clients: usize,
+    /// Measurement window per point.
+    pub duration: Duration,
+    /// The measured points, in offered-rate order.
+    pub points: Vec<SweepPoint>,
+}
+
+/// Schema identifier of [`RateSweepReport`] files.
+pub const SWEEP_SCHEMA: &str = "splitbft-bench-rate-sweep/v1";
+
+impl RateSweepReport {
+    /// The knee of the curve: the highest offered rate the cluster
+    /// still kept up with ([`SweepPoint::keeping_up`]). `None` when
+    /// even the lowest offered rate saturated it.
+    pub fn knee(&self) -> Option<&SweepPoint> {
+        self.points
+            .iter()
+            .filter(|p| p.keeping_up())
+            .max_by(|a, b| a.offered_rps.total_cmp(&b.offered_rps))
+    }
+
+    /// The report as a JSON document.
+    pub fn to_json(&self) -> String {
+        let points: Vec<String> = self
+            .points
+            .iter()
+            .map(|p| {
+                format!(
+                    r#"{{"offered_rps":{:.3},"achieved_rps":{:.3},"p50_us":{},"p99_us":{},"timed_out":{},"keeping_up":{}}}"#,
+                    p.offered_rps, p.achieved_rps, p.p50_us, p.p99_us, p.timed_out, p.keeping_up(),
+                )
+            })
+            .collect();
+        let knee = match self.knee() {
+            Some(p) => format!("{:.3}", p.offered_rps),
+            None => "null".to_string(),
+        };
+        format!(
+            concat!(
+                "{{\n",
+                "  \"schema\": \"{schema}\",\n",
+                "  \"name\": \"{name}\",\n",
+                "  \"protocol\": \"{protocol}\",\n",
+                "  \"n\": {n},\n",
+                "  \"app\": \"{app}\",\n",
+                "  \"clients\": {clients},\n",
+                "  \"duration_secs\": {duration:.3},\n",
+                "  \"knee_offered_rps\": {knee},\n",
+                "  \"points\": [{points}]\n",
+                "}}\n",
+            ),
+            schema = SWEEP_SCHEMA,
+            name = json_escape(&self.name),
+            protocol = json_escape(&self.protocol),
+            n = self.n,
+            app = json_escape(&self.app),
+            clients = self.clients,
+            duration = self.duration.as_secs_f64(),
+            knee = knee,
+            points = points.join(", "),
+        )
+    }
+
+    /// The file name this report writes to.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_rate_sweep_{}.json", sanitize_name(&self.name))
+    }
+
+    /// Writes the report into `dir`, returning the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, dir: &Path) -> io::Result<PathBuf> {
+        let path = dir.join(self.file_name());
+        let mut file = std::fs::File::create(&path)?;
+        file.write_all(self.to_json().as_bytes())?;
+        Ok(path)
+    }
+
+    /// A human-readable knee summary.
+    pub fn summary_line(&self) -> String {
+        match self.knee() {
+            Some(p) => format!(
+                "{}: knee ≈ {:.0} req/s offered ({:.0} achieved, p50 {} µs, p99 {} µs)",
+                self.protocol, p.offered_rps, p.achieved_rps, p.p50_us, p.p99_us,
+            ),
+            None => format!(
+                "{}: saturated at every offered rate (lowest {:.0} req/s)",
+                self.protocol,
+                self.points.first().map_or(0.0, |p| p.offered_rps),
+            ),
+        }
+    }
+}
+
 /// Keeps report names shell- and filesystem-safe.
 fn sanitize_name(name: &str) -> String {
     name.chars()
@@ -351,5 +485,54 @@ mod tests {
     #[test]
     fn escaping_handles_quotes() {
         assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+
+    fn sweep_point(offered: f64, achieved: f64) -> SweepPoint {
+        SweepPoint {
+            offered_rps: offered,
+            achieved_rps: achieved,
+            p50_us: 500,
+            p99_us: 2_000,
+            timed_out: 0,
+        }
+    }
+
+    #[test]
+    fn sweep_knee_is_last_rate_the_cluster_keeps_up_with() {
+        let sweep = RateSweepReport {
+            name: "knee test".into(),
+            protocol: "splitbft".into(),
+            n: 4,
+            app: "counter".into(),
+            clients: 4,
+            duration: Duration::from_secs(5),
+            points: vec![
+                sweep_point(100.0, 99.0),   // keeping up
+                sweep_point(1_000.0, 980.0), // keeping up
+                sweep_point(5_000.0, 3_100.0), // saturated
+            ],
+        };
+        assert_eq!(sweep.knee().unwrap().offered_rps, 1_000.0);
+        let json = sweep.to_json();
+        assert!(json.contains(SWEEP_SCHEMA));
+        assert!(json.contains("\"knee_offered_rps\": 1000.000"));
+        assert!(json.contains("\"keeping_up\":false"));
+        assert_eq!(sweep.file_name(), "BENCH_rate_sweep_knee_test.json");
+    }
+
+    #[test]
+    fn sweep_with_no_sustainable_rate_has_no_knee() {
+        let sweep = RateSweepReport {
+            name: "flat".into(),
+            protocol: "pbft".into(),
+            n: 4,
+            app: "counter".into(),
+            clients: 4,
+            duration: Duration::from_secs(5),
+            points: vec![sweep_point(10_000.0, 2_000.0)],
+        };
+        assert!(sweep.knee().is_none());
+        assert!(sweep.to_json().contains("\"knee_offered_rps\": null"));
+        assert!(sweep.summary_line().contains("saturated"));
     }
 }

@@ -28,7 +28,9 @@ use crate::transport::{
     ProtocolOutput,
 };
 use splitbft_types::wire::{decode, encode, frame};
-use splitbft_types::{ClientId, ReplicaId, Reply, Request};
+use splitbft_types::{
+    ClientId, ReplicaId, Reply, Request, SeqNum, StateTransferRequest, StateTransferResponse,
+};
 use std::collections::HashMap;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -69,6 +71,20 @@ pub struct PeerAddr {
     pub addr: SocketAddr,
 }
 
+/// State-transfer policy for a node that hosts a durable (or merely
+/// lagging-tolerant) protocol.
+///
+/// When set, the node broadcasts a `STATE_REQUEST` to every peer at
+/// startup and re-requests on each timer tick while it is making no
+/// progress; peer checkpoints are applied once `agreement` responders
+/// vouch for the same `(seq, digest)` — with `agreement = f + 1` at
+/// least one of them is correct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Matching peer checkpoints required before restoring (`f + 1`).
+    pub agreement: usize,
+}
+
 /// Configuration for one [`TcpNode`].
 #[derive(Debug, Clone)]
 pub struct TcpNodeConfig {
@@ -85,18 +101,32 @@ pub struct TcpNodeConfig {
     /// `None` (the default) leaves timeouts to explicit triggers, which
     /// is right for tests and demos that never need a view change.
     pub timeout_every: Option<Duration>,
+    /// If set, run the state-transfer client (see [`RecoveryPolicy`]).
+    /// Peer `STATE_REQUEST`s are answered regardless, so a cluster can
+    /// mix recovering and never-recovering nodes.
+    pub recovery: Option<RecoveryPolicy>,
 }
 
 impl TcpNodeConfig {
-    /// A config with default batching and no timer.
+    /// A config with default batching, no timer, and no state-transfer
+    /// client.
     pub fn new(id: ReplicaId, listen: SocketAddr, peers: Vec<PeerAddr>) -> Self {
-        TcpNodeConfig { id, listen, peers, batch: BatchPolicy::default(), timeout_every: None }
+        TcpNodeConfig {
+            id,
+            listen,
+            peers,
+            batch: BatchPolicy::default(),
+            timeout_every: None,
+            recovery: None,
+        }
     }
 }
 
 enum Event<M> {
     Peer(M),
     Requests(Vec<Request>),
+    StateRequest(StateTransferRequest),
+    StateResponse(StateTransferResponse),
     Timeout,
     Shutdown,
 }
@@ -142,6 +172,10 @@ pub struct TcpNode {
     threads: Vec<JoinHandle<()>>,
     conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
     inbound: InboundRegistry,
+    /// Mirror of the hosted protocol's `progress()`, updated by the
+    /// core loop after every event. Lets orchestrators (benches, tests)
+    /// watch a replica catch up without touching protocol state.
+    progress: Arc<AtomicU64>,
 }
 
 impl std::fmt::Debug for TcpNode {
@@ -238,13 +272,18 @@ impl TcpNode {
         }
 
         // Core loop: the only thread touching protocol state.
+        let progress = Arc::new(AtomicU64::new(0));
         {
             let clients = Arc::clone(&clients);
             let id = config.id;
+            let recovery = config.recovery;
+            let progress = Arc::clone(&progress);
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("node-{}-core", id.0))
-                    .spawn(move || core_loop(protocol, events_rx, outboxes, clients))
+                    .spawn(move || {
+                        core_loop(id, protocol, events_rx, outboxes, clients, recovery, progress)
+                    })
                     .expect("spawn core loop"),
             );
         }
@@ -262,6 +301,7 @@ impl TcpNode {
             threads,
             conn_threads,
             inbound,
+            progress,
         })
     }
 
@@ -273,6 +313,13 @@ impl TcpNode {
     /// The bound listen address (useful with port 0 configs).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The hosted protocol's latest `progress()` value (e.g. highest
+    /// executed sequence number), as observed after the most recent
+    /// event. Safe to poll from any thread.
+    pub fn progress(&self) -> u64 {
+        self.progress.load(Ordering::SeqCst)
     }
 
     /// Stops every thread and closes every connection, then joins them.
@@ -369,8 +416,20 @@ fn read_connection<P: Protocol>(
     shutdown: Arc<AtomicBool>,
 ) -> io::Result<()> {
     let (kind, hello) = read_frame(&mut stream)?;
+    // For replica connections, the hello-claimed peer id. State-transfer
+    // frames are only honored on peer connections and only when their
+    // embedded replica id matches the hello, so one connection cannot
+    // speak for several replicas (the hello itself is unauthenticated —
+    // the same trust boundary as the rest of the transport; protocol
+    // payloads carry their own signatures/MACs).
+    let mut peer_id: Option<ReplicaId> = None;
     let registered_client = match kind {
-        frame_kind::PEER_HELLO => None,
+        frame_kind::PEER_HELLO => {
+            peer_id = Some(
+                decode(&hello).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?,
+            );
+            None
+        }
         frame_kind::CLIENT_HELLO => {
             let client: ClientId = decode(&hello)
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
@@ -411,6 +470,24 @@ fn read_connection<P: Protocol>(
                 frame_kind::REQUESTS => Event::Requests(
                     decode(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?,
                 ),
+                frame_kind::STATE_REQUEST => {
+                    let req: StateTransferRequest = decode(&payload)
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                    // Peer connections only, and the requester must be
+                    // who the connection claims to be.
+                    if peer_id != Some(req.replica) {
+                        continue;
+                    }
+                    Event::StateRequest(req)
+                }
+                frame_kind::STATE_RESPONSE => {
+                    let resp: StateTransferResponse = decode(&payload)
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                    if peer_id != Some(resp.replica) {
+                        continue;
+                    }
+                    Event::StateResponse(resp)
+                }
                 _ => continue, // tolerate unknown kinds from newer peers
             };
             if events_tx.send(event).is_err() {
@@ -430,11 +507,48 @@ fn read_connection<P: Protocol>(
     result
 }
 
+/// The state-transfer client's bookkeeping inside the core loop.
+struct Recovery {
+    policy: RecoveryPolicy,
+    /// Still hunting for peer state. Cleared once progress flows from
+    /// live traffic rather than transfers; a running replica that later
+    /// falls behind catches up through the protocol's own checkpoint
+    /// stream instead.
+    active: bool,
+    /// Progress as of the last tick *or* the last transfer application:
+    /// anything beyond it was made organically.
+    baseline: u64,
+    /// Latest response per peer for the current request round.
+    responses: HashMap<ReplicaId, StateTransferResponse>,
+}
+
+impl Recovery {
+    /// `baseline` is the protocol's progress at startup — anything the
+    /// local WAL/checkpoint recovery already restored is not "organic"
+    /// progress and must not end the hunt by itself.
+    fn new(policy: RecoveryPolicy, baseline: u64) -> Self {
+        Recovery { policy, active: true, baseline, responses: HashMap::new() }
+    }
+}
+
+/// Broadcasts a `STATE_REQUEST` to every peer outbox.
+fn request_state(id: ReplicaId, have_seq: u64, outboxes: &HashMap<ReplicaId, PeerOutbox>) {
+    let req = StateTransferRequest { replica: id, have_seq: SeqNum(have_seq) };
+    let framed = Arc::new(frame(frame_kind::STATE_REQUEST, &encode(&req)));
+    for outbox in outboxes.values() {
+        outbox.enqueue(Arc::clone(&framed));
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn core_loop<P: Protocol>(
+    id: ReplicaId,
     mut protocol: P,
     events_rx: Receiver<Event<P::Message>>,
     outboxes: HashMap<ReplicaId, PeerOutbox>,
     clients: ClientRegistry,
+    recovery: Option<RecoveryPolicy>,
+    progress_gauge: Arc<AtomicU64>,
 ) {
     // Request-aware view-change timer state. A periodic tick forwards to
     // the protocol's timeout handler only when a request has been pending
@@ -444,12 +558,51 @@ fn core_loop<P: Protocol>(
     // the second tick.
     let mut last_progress = protocol.progress();
     let mut armed = false;
+
+    // State-transfer client: ask every peer for their checkpoint + log
+    // suffix right away, then keep re-asking on timer ticks until this
+    // replica makes progress on its own.
+    let mut recovery: Option<Recovery> =
+        recovery.map(|policy| Recovery::new(policy, protocol.progress()));
+    if recovery.is_some() {
+        request_state(id, protocol.progress(), &outboxes);
+    }
+
     while let Ok(event) = events_rx.recv() {
         let outputs = match event {
             Event::Peer(msg) => protocol.on_message(msg),
             Event::Requests(requests) => protocol.on_client_requests(requests),
+            Event::StateRequest(req) => {
+                answer_state_request(id, &protocol, &req, &outboxes);
+                Vec::new()
+            }
+            Event::StateResponse(resp) => match &mut recovery {
+                // Only cluster members' responses count toward the
+                // f + 1 agreement (the reader already pinned the id to
+                // the connection's hello).
+                Some(rec) if rec.active && outboxes.contains_key(&resp.replica) => {
+                    apply_state_response(&mut protocol, rec, resp)
+                }
+                _ => Vec::new(),
+            },
             Event::Timeout => {
                 let progress = protocol.progress();
+                // Recovery retry: progress beyond the baseline means
+                // live traffic is executing again — the hunt is over.
+                // Otherwise re-request (peers answer with ever-newer
+                // checkpoints until the gap closes).
+                if let Some(rec) = &mut recovery {
+                    if rec.active {
+                        if progress > rec.baseline {
+                            rec.active = false;
+                            rec.responses.clear();
+                        } else {
+                            rec.baseline = progress;
+                            rec.responses.clear();
+                            request_state(id, progress, &outboxes);
+                        }
+                    }
+                }
                 let pending = protocol.has_pending_requests();
                 let fire = pending && armed && progress == last_progress;
                 armed = pending && !fire;
@@ -465,10 +618,104 @@ fn core_loop<P: Protocol>(
         for output in outputs {
             route(output, &outboxes, &clients);
         }
+        progress_gauge.store(protocol.progress(), Ordering::SeqCst);
     }
     for (_, outbox) in outboxes {
         outbox.close();
     }
+}
+
+/// Serves one peer's `STATE_REQUEST`: current durable checkpoint plus
+/// the retained log suffix above the requester's progress. `local` is
+/// the responding replica's own id.
+fn answer_state_request<P: Protocol>(
+    local: ReplicaId,
+    protocol: &P,
+    req: &StateTransferRequest,
+    outboxes: &HashMap<ReplicaId, PeerOutbox>,
+) {
+    let Some(outbox) = outboxes.get(&req.replica) else { return };
+    let checkpoint = protocol.durable_checkpoint();
+    let suffix = protocol.catch_up_messages(req.have_seq);
+    if checkpoint.is_none() && suffix.is_empty() {
+        return; // nothing to offer (genesis node)
+    }
+    let resp = StateTransferResponse {
+        replica: local,
+        checkpoint,
+        suffix: encode(&suffix).into(),
+    };
+    outbox.enqueue(Arc::new(frame(frame_kind::STATE_RESPONSE, &encode(&resp))));
+}
+
+/// Ingests one peer's state response: its catch-up messages feed the
+/// normal (verifying) message path immediately; its checkpoint is held
+/// until `agreement` peers vouch for the same `(seq, digest)`, then
+/// restored and the suffixes replayed.
+fn apply_state_response<P: Protocol>(
+    protocol: &mut P,
+    rec: &mut Recovery,
+    resp: StateTransferResponse,
+) -> Vec<ProtocolOutput<P::Message>> {
+    let mut outputs = feed_suffix(protocol, &resp);
+    rec.responses.insert(resp.replica, resp);
+
+    // Checkpoint agreement: group by (seq, digest), newest qualifying
+    // group first.
+    let mut groups: HashMap<(u64, splitbft_types::Digest), usize> = HashMap::new();
+    for r in rec.responses.values() {
+        if let Some(cp) = &r.checkpoint {
+            if cp.seq.0 > protocol.progress() {
+                *groups.entry((cp.seq.0, cp.digest)).or_insert(0) += 1;
+            }
+        }
+    }
+    let Some(((seq, digest), _)) = groups
+        .into_iter()
+        .filter(|(_, n)| *n >= rec.policy.agreement)
+        .max_by_key(|((seq, _), _)| *seq)
+    else {
+        return outputs;
+    };
+    let agreed = rec
+        .responses
+        .values()
+        .find(|r| {
+            r.checkpoint
+                .as_ref()
+                .is_some_and(|cp| cp.seq.0 == seq && cp.digest == digest)
+        })
+        .and_then(|r| r.checkpoint.clone())
+        .expect("group was built from these responses");
+    if protocol.restore_checkpoint(&agreed).is_ok() {
+        // Replay every stored suffix on top of the restored state: what
+        // was out of the watermark window before the restore lands now.
+        let responses: Vec<StateTransferResponse> = rec.responses.values().cloned().collect();
+        for r in &responses {
+            outputs.extend(feed_suffix(protocol, r));
+        }
+        rec.responses.clear();
+    }
+    // Progress made *by* the transfer is not organic progress: raise
+    // the baseline so only live-traffic execution ends the hunt.
+    rec.baseline = rec.baseline.max(protocol.progress());
+    outputs
+}
+
+/// Feeds one response's suffix messages through the protocol's normal
+/// verifying message path, collecting any outputs for routing.
+fn feed_suffix<P: Protocol>(
+    protocol: &mut P,
+    resp: &StateTransferResponse,
+) -> Vec<ProtocolOutput<P::Message>> {
+    let Ok(msgs) = decode::<Vec<P::Message>>(&resp.suffix) else {
+        return Vec::new(); // malformed suffix: ignore the responder
+    };
+    let mut outputs = Vec::new();
+    for msg in msgs {
+        outputs.extend(protocol.on_message(msg));
+    }
+    outputs
 }
 
 fn route<M: crate::transport::WireMessage>(
@@ -758,12 +1005,40 @@ impl PipelinedTcpClient {
         request: &Request,
         handler: ReplyHandler,
     ) -> io::Result<()> {
-        // Register *before* sending: a reply can race back between the
-        // write and any later registration.
-        self.pending.lock().expect("pending registry").insert(request.id, handler);
-        let result = self.send(primary_index, request);
+        self.submit_batch(primary_index, vec![(request.clone(), handler)])
+    }
+
+    /// Submits several requests in **one** `REQUESTS` frame — the
+    /// client-side counterpart of the replicas' send-path batching. A
+    /// deep pipeline refilling after a burst of completions pays one
+    /// syscall and one frame header for the whole refill instead of one
+    /// per request.
+    ///
+    /// All handlers are registered before the frame is written (a reply
+    /// can race back immediately); on send failure every handler is
+    /// deregistered again before the error is returned.
+    pub fn submit_batch(
+        &mut self,
+        primary_index: usize,
+        batch: Vec<(Request, ReplyHandler)>,
+    ) -> io::Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let mut requests = Vec::with_capacity(batch.len());
+        {
+            let mut pending = self.pending.lock().expect("pending registry");
+            for (request, handler) in batch {
+                pending.insert(request.id, handler);
+                requests.push(request);
+            }
+        }
+        let result = self.send(primary_index, &requests);
         if result.is_err() {
-            self.pending.lock().expect("pending registry").remove(&request.id);
+            let mut pending = self.pending.lock().expect("pending registry");
+            for request in &requests {
+                pending.remove(&request.id);
+            }
         }
         result
     }
@@ -791,8 +1066,8 @@ impl PipelinedTcpClient {
         self.pending.lock().expect("pending registry").remove(&request).is_some()
     }
 
-    fn send(&mut self, primary_index: usize, request: &Request) -> io::Result<()> {
-        let batch = vec![request.clone()];
+    fn send(&mut self, primary_index: usize, requests: &[Request]) -> io::Result<()> {
+        let batch: Vec<Request> = requests.to_vec();
         if let Some(Some(stream)) = self.streams.get_mut(primary_index) {
             if write_value(stream, frame_kind::REQUESTS, &batch).is_ok() {
                 return Ok(());
@@ -906,6 +1181,38 @@ mod tests {
 
         client.close();
         node.shutdown();
+    }
+
+    #[test]
+    fn submit_batch_coalesces_into_one_requests_frame() {
+        use crate::transport::read_value as read_typed;
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let accept = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let _: ClientId = read_typed(&mut conn, frame_kind::CLIENT_HELLO).unwrap();
+            // Exactly one REQUESTS frame carrying the whole batch.
+            let batch: Vec<Request> = read_typed(&mut conn, frame_kind::REQUESTS).unwrap();
+            batch.len()
+        });
+
+        let mut client =
+            PipelinedTcpClient::connect(ClientId(4), &[addr], Duration::from_secs(5)).unwrap();
+        let batch: Vec<(Request, crate::tcp::ReplyHandler)> = (1..=5u64)
+            .map(|i| {
+                let request = Request {
+                    id: RequestId { client: ClientId(4), timestamp: Timestamp(i) },
+                    op: bytes::Bytes::from_static(b"op"),
+                    encrypted: false,
+                    auth: [0u8; 32],
+                };
+                (request, Box::new(|_: &Reply| true) as crate::tcp::ReplyHandler)
+            })
+            .collect();
+        client.submit_batch(0, batch).unwrap();
+        assert_eq!(client.outstanding(), 5, "all five handlers registered");
+        assert_eq!(accept.join().unwrap(), 5, "one frame, five requests");
+        client.close();
     }
 
     #[test]

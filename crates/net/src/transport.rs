@@ -24,7 +24,9 @@
 use splitbft_types::wire::{
     decode, encode, frame, Decode, Encode, FrameHeader, FRAME_HEADER_LEN,
 };
-use splitbft_types::{ClientId, ReplicaId, Reply, Request};
+use splitbft_types::{
+    ClientId, DurableCheckpoint, DurableEvent, ProtocolError, ReplicaId, Reply, Request, SeqNum,
+};
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -116,6 +118,63 @@ pub trait Protocol: Send + 'static {
     fn has_pending_requests(&self) -> bool {
         true
     }
+
+    // --- durability hooks ---------------------------------------------------
+    //
+    // The durability plane (`splitbft-store` + the state-transfer client
+    // in `crate::tcp`) is opt-in: every hook defaults to "no durable
+    // state", so protocols that have not wired it keep hosting
+    // unchanged. A protocol that opts in implements all five.
+
+    /// Drains the consensus events recorded since the last drain —
+    /// accepted proposals, commit points, view entries, trusted-counter
+    /// ticks, checkpoint stabilizations (see
+    /// [`splitbft_types::durable::DurableEvent`]).
+    ///
+    /// Durable runtimes call this after *every* handler invocation and
+    /// append the events to the write-ahead log — with an fsync —
+    /// **before** routing the handler's outputs, so nothing reaches the
+    /// network that a crash could un-happen.
+    fn drain_durable_events(&mut self) -> Vec<DurableEvent> {
+        Vec::new()
+    }
+
+    /// Replays one WAL event during crash recovery. Called in log order
+    /// on a freshly constructed replica before any networking starts;
+    /// implementations must not assume peers are reachable and should
+    /// produce no outputs.
+    fn replay_durable_event(&mut self, _event: DurableEvent) {}
+
+    /// The replica's durable state at its latest stable checkpoint, or
+    /// `None` while still at genesis. Durable runtimes seal this to disk
+    /// whenever its sequence number advances, and serve it to lagging
+    /// peers over `STATE_TRANSFER`.
+    fn durable_checkpoint(&self) -> Option<DurableCheckpoint> {
+        None
+    }
+
+    /// Restores protocol and application state from a checkpoint
+    /// produced by [`Protocol::durable_checkpoint`] — either unsealed
+    /// from local storage or agreed on by `f + 1` peers. Implementations
+    /// must re-validate the opaque bytes (certificate signatures,
+    /// snapshot digests) rather than trust them.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError`] when the bytes fail validation; the caller then
+    /// falls back to other recovery sources instead of aborting.
+    fn restore_checkpoint(&mut self, _cp: &DurableCheckpoint) -> Result<(), ProtocolError> {
+        Err(ProtocolError::Other("protocol has no durable-state support".into()))
+    }
+
+    /// Protocol messages that let a peer whose progress is `have_seq`
+    /// catch up above the stable checkpoint through its normal
+    /// [`Protocol::on_message`] path (e.g. retained proposals plus their
+    /// commit votes). Served verbatim in `STATE_RESPONSE` frames; the
+    /// receiver re-verifies them like any network input.
+    fn catch_up_messages(&self, _have_seq: SeqNum) -> Vec<Self::Message> {
+        Vec::new()
+    }
 }
 
 /// Frame discriminators used by the socket transport (the `kind` byte of
@@ -131,6 +190,12 @@ pub mod frame_kind {
     pub const REQUESTS: u8 = 4;
     /// A reply to a client; payload: `Reply`.
     pub const REPLY: u8 = 5;
+    /// A recovering replica asks a peer for state; payload:
+    /// `StateTransferRequest`.
+    pub const STATE_REQUEST: u8 = 6;
+    /// A peer's checkpoint + log suffix; payload:
+    /// `StateTransferResponse`.
+    pub const STATE_RESPONSE: u8 = 7;
 }
 
 fn wire_to_io(e: splitbft_types::wire::WireError) -> io::Error {

@@ -15,6 +15,17 @@
 //! send-path batch sizes via `--sweep-batch-frames`) in one invocation,
 //! writing one report per combination plus a summary table.
 //!
+//! `--sweep-rate 500,2000,8000` runs an **open-loop saturation sweep**:
+//! one fresh cluster and measurement per offered rate, folded into a
+//! single `BENCH_rate_sweep_<protocol>.json` whose points chart the
+//! latency/throughput curve and whose `knee_offered_rps` marks the
+//! highest offered load the cluster still kept up with.
+//!
+//! `--data-dir <dir>` launches self-orchestrated replicas with the
+//! durability plane enabled (WAL + sealed checkpoints under
+//! `<dir>/replica-<i>/` and peer state transfer) — the configuration
+//! the crash-recovery e2e exercises.
+//!
 //! For counter workloads the harness independently verifies commits: it
 //! reads the counter through a regular closed-loop client before and
 //! after the run, and reports the difference as `committed` — which
@@ -26,7 +37,7 @@ use crate::{
     ProtocolKind,
 };
 use splitbft_loadgen::driver::{self, DriverConfig, LoadMode};
-use splitbft_loadgen::report::{BatchSummary, BenchReport};
+use splitbft_loadgen::report::{BatchSummary, BenchReport, RateSweepReport, SweepPoint};
 use splitbft_loadgen::workload::Workload;
 use splitbft_net::tcp::{PeerAddr, TcpNode};
 use splitbft_net::transport::BatchPolicy;
@@ -108,12 +119,20 @@ pub struct BenchInvocation {
     pub duration: Duration,
     /// Open-loop offered rate; `None` = closed loop.
     pub rate: Option<f64>,
+    /// Open-loop saturation sweep (`--sweep-rate a,b,c`): one run per
+    /// offered rate per protocol, summarized into a single
+    /// `BENCH_rate_sweep_*.json` charting the latency/throughput knee.
+    pub sweep_rates: Vec<f64>,
     /// Workload knobs.
     pub workload: Workload,
     /// Send-path batch policies to run (one per report).
     pub batch_variants: Vec<BatchPolicy>,
     /// Replica view-change timer period.
     pub timeout_every: Option<Duration>,
+    /// Durability root for self-orchestrated replicas (`--data-dir`):
+    /// enables the WAL + sealed-checkpoint plane and peer state
+    /// transfer on every node.
+    pub data_dir: Option<PathBuf>,
     /// Report output directory.
     pub out_dir: PathBuf,
     /// Report name override (suffixed per combination when sweeping).
@@ -160,7 +179,7 @@ const KNOWN_FLAGS: &[&str] = &[
     "--duration", "--rate", "--keys", "--value-size", "--read-ratio", "--payload",
     "--batch-frames", "--batch-bytes", "--batch-linger-us", "--sweep-batch-frames",
     "--timeout-ms", "--out", "--name", "--window-ms", "--retry-ms", "--drain-secs",
-    "--client-base",
+    "--client-base", "--data-dir", "--sweep-rate",
 ];
 
 /// Parses the `bench` subcommand's arguments.
@@ -254,6 +273,34 @@ pub fn parse_args(args: &[String]) -> Result<BenchInvocation, String> {
             Some(r.parse::<f64>().map_err(|_| format!("--rate got unparsable value {r:?}"))?)
         }
     };
+    let sweep_rates: Vec<f64> = match flag(args, "--sweep-rate") {
+        None => Vec::new(),
+        Some(list) => {
+            if rate.is_some() {
+                return Err("--sweep-rate already chooses the offered rates; drop --rate".into());
+            }
+            let mut rates = list
+                .split(',')
+                .map(|v| {
+                    v.trim()
+                        .parse::<f64>()
+                        .map_err(|_| format!("--sweep-rate got {v:?}"))
+                        .and_then(|r| {
+                            if r > 0.0 {
+                                Ok(r)
+                            } else {
+                                Err(format!("--sweep-rate rates must be positive, got {v:?}"))
+                            }
+                        })
+                })
+                .collect::<Result<Vec<f64>, String>>()?;
+            if rates.is_empty() {
+                return Err("--sweep-rate needs at least one rate".into());
+            }
+            rates.sort_by(f64::total_cmp);
+            rates
+        }
+    };
 
     Ok(BenchInvocation {
         config_path,
@@ -265,9 +312,11 @@ pub fn parse_args(args: &[String]) -> Result<BenchInvocation, String> {
         pipeline: parse_flag(args, "--pipeline", 1usize)?,
         duration: parse_duration(&flag(args, "--duration").unwrap_or_else(|| "5s".into()))?,
         rate,
+        sweep_rates,
         workload,
         batch_variants,
         timeout_every: (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms)),
+        data_dir: flag(args, "--data-dir").map(PathBuf::from),
         out_dir: PathBuf::from(flag(args, "--out").unwrap_or_else(|| ".".into())),
         name: flag(args, "--name"),
         window: Duration::from_millis(parse_flag(args, "--window-ms", 1_000u64)?.max(1)),
@@ -286,10 +335,14 @@ pub fn parse_args(args: &[String]) -> Result<BenchInvocation, String> {
 /// completed **zero** requests.
 pub fn run(args: &[String]) -> Result<Vec<BenchReport>, String> {
     let invocation = parse_args(args)?;
+    if !invocation.sweep_rates.is_empty() {
+        return run_rate_sweep(&invocation);
+    }
     let mut reports = Vec::new();
     let combos: Vec<(ProtocolKind, BatchPolicy)> = resolve_combos(&invocation)?;
     for (protocol, batch) in combos {
-        let report = run_one(&invocation, protocol, batch).map_err(|e| e.to_string())?;
+        let report =
+            run_one(&invocation, protocol, batch, invocation.rate).map_err(|e| e.to_string())?;
         println!("{}", report.summary_line());
         let path = report
             .write_to(&invocation.out_dir)
@@ -301,6 +354,61 @@ pub fn run(args: &[String]) -> Result<Vec<BenchReport>, String> {
         return Err(format!("bench {:?} completed zero requests", empty.name));
     }
     Ok(reports)
+}
+
+/// The open-loop saturation sweep: one fresh cluster and run per
+/// (protocol, offered rate), folded into one `BENCH_rate_sweep_*.json`
+/// per protocol charting the latency/throughput knee.
+fn run_rate_sweep(invocation: &BenchInvocation) -> Result<Vec<BenchReport>, String> {
+    let combos = resolve_combos(invocation)?;
+    let protocols: Vec<ProtocolKind> = {
+        let mut seen = Vec::new();
+        for (p, _) in &combos {
+            if !seen.contains(p) {
+                seen.push(*p);
+            }
+        }
+        seen
+    };
+    let batch = invocation.batch_variants[0];
+    let mut all_runs = Vec::new();
+    for protocol in protocols {
+        let mut points = Vec::new();
+        for &rate in &invocation.sweep_rates {
+            let report =
+                run_one(invocation, protocol, batch, Some(rate)).map_err(|e| e.to_string())?;
+            println!("{}", report.summary_line());
+            points.push(SweepPoint {
+                offered_rps: rate,
+                achieved_rps: report.throughput_rps,
+                p50_us: report.latency.p50_us,
+                p99_us: report.latency.p99_us,
+                timed_out: report.timed_out,
+            });
+            all_runs.push(report);
+        }
+        let sweep = RateSweepReport {
+            name: invocation
+                .name
+                .clone()
+                .map_or_else(|| protocol.to_string(), |n| format!("{n}_{protocol}")),
+            protocol: protocol.to_string(),
+            n: invocation.replicas,
+            app: invocation.app.to_string(),
+            clients: invocation.clients.max(1),
+            duration: invocation.duration,
+            points,
+        };
+        println!("{}", sweep.summary_line());
+        let path = sweep
+            .write_to(&invocation.out_dir)
+            .map_err(|e| format!("writing sweep report: {e}"))?;
+        println!("  wrote {}", path.display());
+    }
+    if let Some(empty) = all_runs.iter().find(|r| r.completed == 0) {
+        return Err(format!("bench {:?} completed zero requests", empty.name));
+    }
+    Ok(all_runs)
 }
 
 fn resolve_combos(
@@ -326,8 +434,13 @@ fn run_one(
     invocation: &BenchInvocation,
     protocol: ProtocolKind,
     batch: BatchPolicy,
+    rate: Option<f64>,
 ) -> io::Result<BenchReport> {
-    let options = NodeOptions { batch, timeout_every: invocation.timeout_every };
+    let options = NodeOptions {
+        batch,
+        timeout_every: invocation.timeout_every,
+        data_dir: invocation.data_dir.clone(),
+    };
 
     // A cluster: launched here, or described by the external file.
     let (cluster, file) = match &invocation.config_path {
@@ -362,7 +475,7 @@ fn run_one(
         config.clients = invocation.clients.max(1);
         config.pipeline = invocation.pipeline.max(1);
         config.duration = invocation.duration;
-        config.mode = match invocation.rate {
+        config.mode = match rate {
             None => LoadMode::Closed,
             Some(rate) => LoadMode::Open { rate },
         };
@@ -508,6 +621,36 @@ mod tests {
             parse_args(&args(&["--protocol", "pbft", "--batch-frames", "0"])).is_err(),
             "batch limits must be positive, matching the TOML parser"
         );
+    }
+
+    #[test]
+    fn sweep_rate_parses_sorted_and_rejects_bad_combos() {
+        let inv = parse_args(&args(&[
+            "--protocol", "splitbft", "--sweep-rate", "2000,500,8000",
+        ]))
+        .unwrap();
+        assert_eq!(inv.sweep_rates, vec![500.0, 2000.0, 8000.0]);
+        assert!(
+            parse_args(&args(&[
+                "--protocol", "pbft", "--sweep-rate", "100", "--rate", "50",
+            ]))
+            .is_err(),
+            "--sweep-rate and --rate are exclusive"
+        );
+        assert!(
+            parse_args(&args(&["--protocol", "pbft", "--sweep-rate", "0"])).is_err(),
+            "rates must be positive"
+        );
+        assert!(
+            parse_args(&args(&["--protocol", "pbft", "--sweep-rate", "fast"])).is_err(),
+            "rates must parse"
+        );
+    }
+
+    #[test]
+    fn data_dir_flag_flows_into_the_invocation() {
+        let inv = parse_args(&args(&["--protocol", "pbft", "--data-dir", "/tmp/x"])).unwrap();
+        assert_eq!(inv.data_dir, Some(PathBuf::from("/tmp/x")));
     }
 
     #[test]

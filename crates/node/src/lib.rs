@@ -20,6 +20,9 @@
 //! batch_max_frames = 64   # send-path batching: frames per write
 //! batch_max_bytes = 262144 #   bytes per write
 //! batch_linger_us = 0     #   flush interval (0 = flush when queue dry)
+//! # data_dir = "/var/lib/splitbft"  # durability root (omit = in-memory);
+//! #                                 # replica i persists under
+//! #                                 # <data_dir>/replica-<i>/
 //!
 //! [[replica]]
 //! id = 0
@@ -61,14 +64,16 @@ use bytes::Bytes;
 use splitbft_app::{Application, Blockchain, CounterApp, KeyValueStore};
 use splitbft_core::{SplitBftClient, SplitBftReplica, SplitClientEvent};
 use splitbft_hybrid::{HybridClient, HybridClientEvent, HybridConfig, HybridReplica, Usig};
-use splitbft_net::tcp::{BoundTcpNode, PeerAddr, TcpClient, TcpNode, TcpNodeConfig};
-use splitbft_net::transport::BatchPolicy;
+use splitbft_net::tcp::{BoundTcpNode, PeerAddr, RecoveryPolicy, TcpClient, TcpNode, TcpNodeConfig};
+use splitbft_net::transport::{BatchPolicy, Protocol};
 use splitbft_pbft::{ClientEvent, PbftClient, Replica as PbftReplica};
+use splitbft_store::{replica_sealing_identity, DurableProtocol};
 use splitbft_tee::{CostModel, ExecMode};
 use splitbft_types::{ClientId, ClusterConfig, ReplicaId, Reply};
 use std::fmt;
 use std::io;
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::str::FromStr;
 use std::time::{Duration, Instant};
 
@@ -144,13 +149,18 @@ impl fmt::Display for AppKind {
 
 /// Runtime knobs of a deployed node, read from the cluster file and
 /// overridable per invocation with CLI flags.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NodeOptions {
     /// Send-path batching limits of the peer outboxes.
     pub batch: BatchPolicy,
     /// Period of the request-aware view-change timer; `None` disables
     /// it (`timeout_ms = 0` in the cluster file).
     pub timeout_every: Option<Duration>,
+    /// Root of the durability plane (`data_dir` in the cluster file or
+    /// `--data-dir` on the CLI). Each replica keeps its WAL and sealed
+    /// checkpoints under `<data_dir>/replica-<id>/`; `None` hosts the
+    /// replica purely in memory, as before.
+    pub data_dir: Option<PathBuf>,
 }
 
 impl Default for NodeOptions {
@@ -158,6 +168,7 @@ impl Default for NodeOptions {
         NodeOptions {
             batch: BatchPolicy::default(),
             timeout_every: Some(Duration::from_millis(2_000)),
+            data_dir: None,
         }
     }
 }
@@ -271,6 +282,9 @@ pub fn parse_cluster_toml(text: &str) -> Result<ClusterFile, ConfigError> {
                     .map_err(|_| err(format!("batch_linger_us must be an integer, got {value:?}")))?;
                 options.batch.linger = Duration::from_micros(us);
             }
+            (None, "data_dir") => {
+                options.data_dir = Some(PathBuf::from(parse_string(value)?));
+            }
             (None, other) => return Err(err(format!("unknown top-level key {other:?}"))),
             (Some(i), "id") => {
                 replicas[i].0 = Some(
@@ -375,10 +389,63 @@ pub fn start_replica_on(
     let mut config = TcpNodeConfig::new(bound.id(), bound.local_addr()?, peers);
     config.batch = options.batch;
     config.timeout_every = options.timeout_every;
+    let durability = match &options.data_dir {
+        None => None,
+        Some(base) => {
+            config.recovery = Some(RecoveryPolicy {
+                agreement: fault_tolerance_for(protocol, config.peers.len())? + 1,
+            });
+            Some(base.join(format!("replica-{}", bound.id().0)))
+        }
+    };
     match app {
-        AppKind::Counter => start_with_app(bound, config, protocol, seed, CounterApp::new()),
-        AppKind::Kvs => start_with_app(bound, config, protocol, seed, KeyValueStore::new()),
-        AppKind::Blockchain => start_with_app(bound, config, protocol, seed, Blockchain::new()),
+        AppKind::Counter => {
+            start_with_app(bound, config, protocol, seed, CounterApp::new(), durability)
+        }
+        AppKind::Kvs => {
+            start_with_app(bound, config, protocol, seed, KeyValueStore::new(), durability)
+        }
+        AppKind::Blockchain => {
+            start_with_app(bound, config, protocol, seed, Blockchain::new(), durability)
+        }
+    }
+}
+
+/// Hosts `protocol` directly, or wrapped in the durability plane when a
+/// data directory is configured — recovering whatever WAL and sealed
+/// checkpoints a previous incarnation left there, and logging what was
+/// found.
+fn start_durable<P: Protocol>(
+    bound: BoundTcpNode,
+    config: TcpNodeConfig,
+    seed: u64,
+    protocol: P,
+    durability: Option<PathBuf>,
+) -> io::Result<TcpNode> {
+    match durability {
+        None => bound.start(config, protocol),
+        Some(dir) => {
+            let identity = replica_sealing_identity(seed, bound.id());
+            let durable = DurableProtocol::recover(protocol, &dir, identity)?;
+            let report = durable.recovery_report();
+            if report.recovered_anything() || !report.checkpoint_errors.is_empty() {
+                eprintln!(
+                    "replica {}: recovered checkpoint {:?}, replayed {} WAL events{}",
+                    bound.id().0,
+                    report.restored_checkpoint.map(|s| s.0),
+                    report.replayed_events,
+                    if report.checkpoint_errors.is_empty() {
+                        String::new()
+                    } else {
+                        format!(
+                            " ({} corrupt checkpoint(s) skipped — peer state transfer covers)",
+                            report.checkpoint_errors.len()
+                        )
+                    },
+                );
+            }
+            bound.start(config, durable)
+        }
     }
 }
 
@@ -388,27 +455,30 @@ fn start_with_app<A: Application + 'static>(
     protocol: ProtocolKind,
     seed: u64,
     app: A,
+    durability: Option<PathBuf>,
 ) -> io::Result<TcpNode> {
     let id = config.id;
     let n = config.peers.len();
     match protocol {
         ProtocolKind::Pbft => {
-            bound.start(config, PbftReplica::new(cluster_config(n)?, id, seed, app))
+            let replica = PbftReplica::new(cluster_config(n)?, id, seed, app);
+            start_durable(bound, config, seed, replica, durability)
         }
-        ProtocolKind::SplitBft => bound.start(
-            config,
-            SplitBftReplica::new(
+        ProtocolKind::SplitBft => {
+            let replica = SplitBftReplica::new(
                 cluster_config(n)?,
                 id,
                 seed,
                 app,
                 ExecMode::Hardware,
                 CostModel::paper_calibrated(),
-            ),
-        ),
+            );
+            start_durable(bound, config, seed, replica, durability)
+        }
         ProtocolKind::MinBft => {
             let cluster = HybridConfig::new(n).map_err(invalid)?;
-            bound.start(config, HybridReplica::new(cluster, id, seed, Usig::new(seed, id), app))
+            let replica = HybridReplica::new(cluster, id, seed, Usig::new(seed, id), app);
+            start_durable(bound, config, seed, replica, durability)
         }
     }
 }

@@ -46,24 +46,27 @@ splitbft-node — run a PBFT / SplitBFT / MinBFT replica, client, or bench over 
 
 USAGE:
     splitbft-node serve  --config <cluster.toml> --replica <id> [--protocol <p>]
-                         [--timeout-ms <ms>] [--batch-frames <n>]
+                         [--data-dir <dir>] [--timeout-ms <ms>] [--batch-frames <n>]
                          [--batch-bytes <n>] [--batch-linger-us <us>]
     splitbft-node client --config <cluster.toml> [--protocol <p>] [--client <id>]
                          [--op <bytes>] [--requests <n>] [--timeout-secs <s>]
     splitbft-node bench  (--protocol <p> | --compare) [--config <cluster.toml>]
                          [--app counter|kvs|blockchain] [--replicas <n>]
                          [--clients <n>] [--pipeline <n>] [--duration <5s>]
-                         [--rate <req/s>] [--keys <n>] [--value-size <n>]
+                         [--rate <req/s>] [--sweep-rate <a,b,..>]
+                         [--keys <n>] [--value-size <n>]
                          [--read-ratio <f>] [--payload <n>]
                          [--batch-frames <n>] [--sweep-batch-frames <a,b,..>]
-                         [--out <dir>] [--name <name>]
+                         [--data-dir <dir>] [--out <dir>] [--name <name>]
 
 The cluster file lists every replica's id and address plus the shared
 seed, protocol, application, and runtime knobs (view-change timer,
-send-path batching); see the splitbft_node crate docs. `bench` without
---config self-orchestrates a localhost cluster, writes one
-BENCH_<name>.json per run, and exits nonzero if a run completes zero
-requests.
+send-path batching, data_dir); see the splitbft_node crate docs.
+`--data-dir` makes the replica durable: consensus events are WAL'd and
+checkpoints sealed under <dir>/replica-<id>/, and a restarted replica
+recovers from them plus peer state transfer. `bench` without --config
+self-orchestrates a localhost cluster, writes one BENCH_<name>.json per
+run, and exits nonzero if a run completes zero requests.
 ";
 
 fn load(args: &[String]) -> Result<(ClusterFile, ProtocolKind), String> {
@@ -80,10 +83,13 @@ fn load(args: &[String]) -> Result<(ClusterFile, ProtocolKind), String> {
 
 /// Applies the serve CLI's runtime-knob overrides on top of the file's.
 fn options_from(args: &[String], file: &ClusterFile) -> Result<NodeOptions, String> {
-    let mut options = file.options;
+    let mut options = file.options.clone();
     if let Some(ms) = flag(args, "--timeout-ms") {
         let ms: u64 = ms.parse().map_err(|_| "--timeout-ms must be an integer".to_string())?;
         options.timeout_every = (ms > 0).then(|| Duration::from_millis(ms));
+    }
+    if let Some(dir) = flag(args, "--data-dir") {
+        options.data_dir = Some(dir.into());
     }
     apply_batch_flags(args, &mut options.batch)?;
     Ok(options)

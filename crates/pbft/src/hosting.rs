@@ -12,7 +12,9 @@ use crate::action::Action;
 use crate::replica::Replica;
 use splitbft_app::Application;
 use splitbft_net::transport::{Protocol, ProtocolOutput};
-use splitbft_types::{ConsensusMessage, Request};
+use splitbft_types::{
+    ConsensusMessage, DurableCheckpoint, DurableEvent, ProtocolError, Request, SeqNum,
+};
 
 fn to_outputs(actions: Vec<Action>) -> Vec<ProtocolOutput<ConsensusMessage>> {
     actions
@@ -55,6 +57,27 @@ impl<A: Application + 'static> Protocol for Replica<A> {
 
     fn has_pending_requests(&self) -> bool {
         Replica::has_pending_requests(self)
+    }
+
+    fn drain_durable_events(&mut self) -> Vec<DurableEvent> {
+        self.enable_durable_events();
+        Replica::drain_durable_events(self)
+    }
+
+    fn replay_durable_event(&mut self, event: DurableEvent) {
+        Replica::replay_durable_event(self, event)
+    }
+
+    fn durable_checkpoint(&self) -> Option<DurableCheckpoint> {
+        Replica::durable_checkpoint(self)
+    }
+
+    fn restore_checkpoint(&mut self, cp: &DurableCheckpoint) -> Result<(), ProtocolError> {
+        self.restore_durable_checkpoint(cp)
+    }
+
+    fn catch_up_messages(&self, have_seq: SeqNum) -> Vec<ConsensusMessage> {
+        Replica::catch_up_messages(self, have_seq)
     }
 }
 

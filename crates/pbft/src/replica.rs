@@ -31,11 +31,12 @@ use crate::verify::{
 use crate::viewchange::{plan_new_view, validate_new_view, NewViewPlan, ViewChangeTracker};
 use splitbft_app::Application;
 use splitbft_crypto::{client_mac_key, digest_bytes, digest_of, KeyPair, KeyRegistry};
-use splitbft_types::wire::{Decode, Encode, Reader};
+use splitbft_types::wire::{decode, encode, Decode, Encode, Reader};
 use splitbft_types::{
     Checkpoint, CheckpointCertificate, ClientId, ClusterConfig, Commit, ConsensusMessage, Digest,
-    NewView, PrePrepare, Prepare, PrepareCertificate, ProtocolError, ReplicaId, Reply, Request,
-    RequestBatch, SeqNum, Signed, SignerId, Timestamp, View, ViewChange,
+    DurableCheckpoint, DurableEvent, NewView, PrePrepare, Prepare, PrepareCertificate,
+    ProtocolError, ReplicaId, Reply, Request, RequestBatch, SeqNum, Signed, SignerId, Timestamp,
+    View, ViewChange,
 };
 use std::collections::BTreeMap;
 
@@ -89,6 +90,13 @@ pub struct Replica<A> {
     /// Entries clear on execution and on starting a view change (each
     /// stall buys one failover attempt; client retransmission re-arms).
     pending_requests: BTreeMap<ClientId, Timestamp>,
+    /// Durable consensus events buffered for the hosting runtime's WAL.
+    /// Only populated when a durable runtime opted in via
+    /// [`Replica::enable_durable_events`]; plain in-memory hosting pays
+    /// nothing.
+    durable: Vec<DurableEvent>,
+    /// Whether durable events are being recorded.
+    durable_enabled: bool,
 }
 
 impl<A: Application> Replica<A> {
@@ -121,6 +129,8 @@ impl<A: Application> Replica<A> {
             last_exec: SeqNum::zero(),
             last_replies: BTreeMap::new(),
             pending_requests: BTreeMap::new(),
+            durable: Vec::new(),
+            durable_enabled: false,
         }
     }
 
@@ -184,6 +194,129 @@ impl<A: Application> Replica<A> {
         !self.pending_requests.is_empty()
     }
 
+    // --- durability --------------------------------------------------------
+
+    /// Records `event` if a durable runtime opted in. Takes a closure so
+    /// disabled replicas do not even build the event (the `Committed`
+    /// variant clones the whole batch).
+    fn record(&mut self, event: impl FnOnce() -> DurableEvent) {
+        if self.durable_enabled {
+            self.durable.push(event());
+        }
+    }
+
+    /// Starts recording durable consensus events for
+    /// [`Replica::drain_durable_events`]. Called once by durable
+    /// runtimes; in-memory hosting leaves it off and pays nothing.
+    pub fn enable_durable_events(&mut self) {
+        self.durable_enabled = true;
+    }
+
+    /// Drains the durable events recorded since the last drain.
+    pub fn drain_durable_events(&mut self) -> Vec<DurableEvent> {
+        std::mem::take(&mut self.durable)
+    }
+
+    /// Replays one WAL event during crash recovery. Replay is idempotent
+    /// (`Committed` below the current execution point is skipped) and
+    /// produces no outputs.
+    pub fn replay_durable_event(&mut self, event: DurableEvent) {
+        match event {
+            DurableEvent::Accepted { seq, .. } => {
+                // Never reuse a slot this replica already proposed or
+                // accepted — a restarted primary re-proposing a used
+                // sequence number would equivocate.
+                if self.next_seq < seq {
+                    self.next_seq = seq;
+                }
+            }
+            DurableEvent::Committed { seq, batch } => {
+                if seq == self.last_exec.next() {
+                    let _ = self.execute_batch(seq, &batch);
+                    self.last_exec = seq;
+                    if self.next_seq < seq {
+                        self.next_seq = seq;
+                    }
+                }
+            }
+            DurableEvent::EnteredView { view } => {
+                if self.view < view {
+                    self.view = view;
+                    self.status = Status::Normal;
+                }
+            }
+            // Trusted counters are the hybrid's concern; the stable
+            // marker only matters to the WAL's garbage collector.
+            DurableEvent::CounterIssued { .. } | DurableEvent::StableCheckpoint { .. } => {}
+        }
+    }
+
+    /// The replica's durable state at its latest stable checkpoint: the
+    /// stable [`CheckpointCertificate`] itself, which is
+    /// self-authenticating (`2f + 1` signed `Checkpoint`s carrying the
+    /// snapshot). `None` at genesis.
+    pub fn durable_checkpoint(&self) -> Option<DurableCheckpoint> {
+        let cert = self.checkpoints.stable_proof();
+        let digest = cert.state_digest()?;
+        Some(DurableCheckpoint {
+            seq: cert.seq(),
+            digest,
+            state: encode(cert).into(),
+        })
+    }
+
+    /// Restores from a [`DurableCheckpoint`] produced by
+    /// [`Replica::durable_checkpoint`] — the sealed local copy or an
+    /// `f + 1`-agreed peer copy. The embedded certificate is deep
+    /// verified (structure + every signature + snapshot digest) before
+    /// anything is applied.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::CorruptState`] when the bytes do not decode or
+    /// do not match the claimed `(seq, digest)`; certificate validation
+    /// errors pass through.
+    pub fn restore_durable_checkpoint(
+        &mut self,
+        cp: &DurableCheckpoint,
+    ) -> Result<(), ProtocolError> {
+        let cert: CheckpointCertificate = decode(&cp.state)
+            .map_err(|e| ProtocolError::CorruptState(format!("checkpoint decode: {e}")))?;
+        if cert.seq() != cp.seq || cert.state_digest() != Some(cp.digest) {
+            return Err(ProtocolError::CorruptState(
+                "checkpoint certificate does not match its claimed seq/digest".into(),
+            ));
+        }
+        verify::verify_checkpoint_certificate(&self.registry, &cert, &self.config, &self.scheme)?;
+        if verify::certified_snapshot(&cert).is_none() {
+            return Err(ProtocolError::CorruptState(
+                "no embedded snapshot matches the certified digest".into(),
+            ));
+        }
+        if self.checkpoints.install_certificate(cert.clone()) {
+            let _ = self.apply_stable_checkpoint(cert);
+        }
+        Ok(())
+    }
+
+    /// Retained messages that let a peer at `have_seq` catch up through
+    /// its normal message handlers: for every slot above
+    /// `max(have_seq, stable)` up to the last executed one, the accepted
+    /// proposal plus all collected commit votes.
+    pub fn catch_up_messages(&self, have_seq: SeqNum) -> Vec<ConsensusMessage> {
+        let from = have_seq.max(self.checkpoints.stable_seq());
+        let mut msgs = Vec::new();
+        for seq in (from.0 + 1)..=self.last_exec.0 {
+            let Some(slot) = self.log.slot(SeqNum(seq)) else { continue };
+            let Some(pp) = &slot.pre_prepare else { continue };
+            msgs.push(ConsensusMessage::PrePrepare(pp.clone()));
+            for commit in slot.commits.values() {
+                msgs.push(ConsensusMessage::Commit(commit.clone()));
+            }
+        }
+        msgs
+    }
+
     // --- event handlers ------------------------------------------------
 
     /// Handles a batch of client requests. The primary orders fresh,
@@ -231,6 +364,7 @@ impl<A: Application> Replica<A> {
         self.log
             .insert_pre_prepare(pp.clone())
             .expect("own fresh slot cannot conflict");
+        self.record(|| DurableEvent::Accepted { view: pp.payload.view, seq, digest });
         actions.push(Action::Broadcast { msg: ConsensusMessage::PrePrepare(pp) });
         actions
     }
@@ -335,6 +469,7 @@ impl<A: Application> Replica<A> {
         let seq = pp.payload.seq;
         let digest = pp.payload.digest;
         self.log.insert_pre_prepare(pp)?;
+        self.record(|| DurableEvent::Accepted { view, seq, digest });
 
         let mut actions = Vec::new();
         if !self.is_primary() && !self.log.slot(seq).map_or(false, |s| s.prepare_sent) {
@@ -425,6 +560,7 @@ impl<A: Application> Replica<A> {
                 .and_then(|s| s.pre_prepare.clone())
                 .expect("committed implies proposal");
             actions.push(Action::CommittedBatch { seq: next, digest: pp.payload.digest });
+            self.record(|| DurableEvent::Committed { seq: next, batch: pp.payload.batch.clone() });
             actions.extend(self.execute_batch(next, &pp.payload.batch));
             self.last_exec = next;
 
@@ -577,6 +713,7 @@ impl<A: Application> Replica<A> {
         }
         self.log.collect_garbage(seq);
         self.prepared_certs = self.prepared_certs.split_off(&SeqNum(seq.0 + 1));
+        self.record(|| DurableEvent::StableCheckpoint { seq });
         actions.push(Action::StableCheckpoint { seq });
         actions
     }
@@ -590,6 +727,7 @@ impl<A: Application> Replica<A> {
         let target = target.max(self.view.next());
         self.status = Status::InViewChange;
         self.view = target;
+        self.record(|| DurableEvent::EnteredView { view: target });
         // Each stall converts into exactly one failover attempt: clients
         // that still care keep retransmitting, which re-arms the timer
         // in the (possibly again faulty) next view.
@@ -713,6 +851,7 @@ impl<A: Application> Replica<A> {
         self.view = view;
         self.status = Status::Normal;
         self.view_changes.collect_garbage(view);
+        self.record(|| DurableEvent::EnteredView { view });
         actions.push(Action::EnteredView { view });
         actions
     }

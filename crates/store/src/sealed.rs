@@ -1,0 +1,244 @@
+//! Sealed checkpoint files.
+//!
+//! Checkpoints are serialized with the wire codec and sealed with
+//! [`splitbft_tee::seal`] under the replica's measurement before they
+//! touch untrusted storage — the paper's enclave-recovery story
+//! (§4): only the same replica code on the same platform can unseal its
+//! own state, so a compromised host can destroy a checkpoint (a
+//! liveness loss recovered via peer state transfer) but cannot read or
+//! forge one.
+//!
+//! Each checkpoint lives in its own `checkpoint-<seq>.sealed` file,
+//! written via temp-file + rename so a crash mid-write never corrupts
+//! an existing checkpoint. The two newest files are retained: if the
+//! latest turns out torn or tampered at recovery, the previous one
+//! still bounds the WAL replay.
+
+use splitbft_crypto::digest_bytes;
+use splitbft_tee::seal::{seal_data, unseal_data, SealingIdentity};
+use splitbft_types::wire::{decode, encode};
+use splitbft_types::{DurableCheckpoint, ProtocolError, ReplicaId};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Context bound into every sealed checkpoint (the AEAD's associated
+/// data): a blob sealed as something else can never unseal as a
+/// checkpoint.
+const CHECKPOINT_AAD: &[u8] = b"splitbft-store-checkpoint";
+
+/// How many sealed checkpoints to retain.
+const KEEP: usize = 2;
+
+/// Derives the sealing identity a replica's store uses: a per-platform
+/// secret (simulated per replica, as each replica models one machine)
+/// bound to the store's measurement. Restarting the same replica on the
+/// same "platform" re-derives the same identity and can unseal; any
+/// other replica or code cannot.
+pub fn replica_sealing_identity(master_seed: u64, replica: ReplicaId) -> SealingIdentity {
+    let platform = digest_bytes(
+        &[b"splitbft-platform".as_slice(), &master_seed.to_le_bytes(), &replica.0.to_le_bytes()]
+            .concat(),
+    );
+    SealingIdentity {
+        platform_secret: platform.0,
+        measurement: digest_bytes(b"splitbft-store-v1").0,
+    }
+}
+
+/// The on-disk collection of sealed checkpoints for one replica.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    identity: SealingIdentity,
+}
+
+impl CheckpointStore {
+    /// A store rooted at `dir` (created by the caller) sealing under
+    /// `identity`.
+    pub fn new(dir: &Path, identity: SealingIdentity) -> Self {
+        CheckpointStore { dir: dir.to_path_buf(), identity }
+    }
+
+    fn path_for(&self, seq: u64) -> PathBuf {
+        self.dir.join(format!("checkpoint-{seq}.sealed"))
+    }
+
+    /// Seals and atomically writes `cp`, then prunes all but the two
+    /// newest checkpoints.
+    ///
+    /// The data is fsynced before the rename and the directory after
+    /// it: the caller garbage-collects the WAL past this checkpoint the
+    /// moment `save` returns, so a power loss must not be able to lose
+    /// the checkpoint *and* the log entries it replaced.
+    pub fn save(&self, cp: &DurableCheckpoint) -> io::Result<PathBuf> {
+        use std::io::Write as _;
+        let sealed = seal_data(&self.identity, cp.seq.0, CHECKPOINT_AAD, &encode(cp));
+        let path = self.path_for(cp.seq.0);
+        let tmp = path.with_extension("sealed.tmp");
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(&sealed)?;
+            file.sync_data()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        // Durable directory entry (best effort where the platform
+        // supports fsync on directories, as Linux does).
+        if let Ok(dir) = std::fs::File::open(&self.dir) {
+            let _ = dir.sync_data();
+        }
+        for (_, old) in self.list()?.into_iter().rev().skip(KEEP) {
+            let _ = std::fs::remove_file(old);
+        }
+        Ok(path)
+    }
+
+    /// All checkpoint files, sorted by sequence number ascending.
+    fn list(&self) -> io::Result<Vec<(u64, PathBuf)>> {
+        let mut found = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(seq) = name
+                .strip_prefix("checkpoint-")
+                .and_then(|rest| rest.strip_suffix(".sealed"))
+                .and_then(|seq| seq.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            found.push((seq, entry.path()));
+        }
+        found.sort_by_key(|(seq, _)| *seq);
+        Ok(found)
+    }
+
+    /// Unseals one checkpoint file.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::CorruptState`] naming the file for unreadable,
+    /// unsealable (wrong platform / measurement / tampered) or
+    /// undecodable contents — typed all the way, no panics.
+    fn load_one(&self, seq: u64, path: &Path) -> Result<DurableCheckpoint, ProtocolError> {
+        let sealed = std::fs::read(path).map_err(|e| {
+            ProtocolError::CorruptState(format!("cannot read {}: {e}", path.display()))
+        })?;
+        let plain = unseal_data(&self.identity, seq, CHECKPOINT_AAD, &sealed).map_err(|e| {
+            ProtocolError::CorruptState(format!("cannot unseal {}: {e}", path.display()))
+        })?;
+        let cp: DurableCheckpoint = decode(&plain).map_err(|e| {
+            ProtocolError::CorruptState(format!("cannot decode {}: {e}", path.display()))
+        })?;
+        if cp.seq.0 != seq {
+            return Err(ProtocolError::CorruptState(format!(
+                "{} claims seq {} but contains seq {}",
+                path.display(),
+                seq,
+                cp.seq.0
+            )));
+        }
+        Ok(cp)
+    }
+
+    /// Loads the newest checkpoint that unseals and decodes, newest
+    /// first. Corrupt files are skipped (and reported in the second
+    /// return value) so one bad file degrades recovery instead of
+    /// aborting it — the caller falls back to older checkpoints, the
+    /// WAL, and finally peer state transfer.
+    pub fn load_latest(&self) -> io::Result<(Option<DurableCheckpoint>, Vec<ProtocolError>)> {
+        let mut errors = Vec::new();
+        for (seq, path) in self.list()?.into_iter().rev() {
+            match self.load_one(seq, &path) {
+                Ok(cp) => return Ok((Some(cp), errors)),
+                Err(e) => errors.push(e),
+            }
+        }
+        Ok((None, errors))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use splitbft_types::SeqNum;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "splitbft-sealed-{}-{}",
+            name,
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn cp(seq: u64) -> DurableCheckpoint {
+        let state = Bytes::from(format!("state at {seq}"));
+        DurableCheckpoint { seq: SeqNum(seq), digest: digest_bytes(&state), state }
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = tmp("roundtrip");
+        let store = CheckpointStore::new(&dir, replica_sealing_identity(42, ReplicaId(1)));
+        store.save(&cp(128)).unwrap();
+        let (loaded, errors) = store.load_latest().unwrap();
+        assert_eq!(loaded, Some(cp(128)));
+        assert!(errors.is_empty());
+    }
+
+    #[test]
+    fn newest_wins_and_old_ones_are_pruned() {
+        let dir = tmp("prune");
+        let store = CheckpointStore::new(&dir, replica_sealing_identity(42, ReplicaId(1)));
+        for seq in [64, 128, 192, 256] {
+            store.save(&cp(seq)).unwrap();
+        }
+        let (loaded, _) = store.load_latest().unwrap();
+        assert_eq!(loaded.unwrap().seq, SeqNum(256));
+        // Only KEEP files remain.
+        let files = std::fs::read_dir(&dir).unwrap().count();
+        assert_eq!(files, KEEP);
+    }
+
+    #[test]
+    fn tampered_checkpoint_falls_back_to_previous() {
+        let dir = tmp("tamper");
+        let store = CheckpointStore::new(&dir, replica_sealing_identity(42, ReplicaId(1)));
+        store.save(&cp(64)).unwrap();
+        store.save(&cp(128)).unwrap();
+        // Flip a bit in the newest sealed file.
+        let path = dir.join("checkpoint-128.sealed");
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] ^= 1;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (loaded, errors) = store.load_latest().unwrap();
+        assert_eq!(loaded.unwrap().seq, SeqNum(64), "falls back to the older checkpoint");
+        assert_eq!(errors.len(), 1);
+        assert!(matches!(errors[0], ProtocolError::CorruptState(_)));
+        assert!(errors[0].to_string().contains("checkpoint-128"));
+    }
+
+    #[test]
+    fn other_replica_cannot_unseal() {
+        let dir = tmp("other");
+        let store = CheckpointStore::new(&dir, replica_sealing_identity(42, ReplicaId(1)));
+        store.save(&cp(64)).unwrap();
+        let thief = CheckpointStore::new(&dir, replica_sealing_identity(42, ReplicaId(2)));
+        let (loaded, errors) = thief.load_latest().unwrap();
+        assert!(loaded.is_none());
+        assert_eq!(errors.len(), 1);
+    }
+
+    #[test]
+    fn empty_store_is_not_an_error() {
+        let dir = tmp("empty");
+        let store = CheckpointStore::new(&dir, replica_sealing_identity(42, ReplicaId(1)));
+        let (loaded, errors) = store.load_latest().unwrap();
+        assert!(loaded.is_none());
+        assert!(errors.is_empty());
+    }
+}

@@ -58,6 +58,12 @@ pub enum ProtocolError {
         /// The kind of certificate rejected.
         kind: &'static str,
     },
+    /// Durable replica state (a sealed checkpoint or WAL record) could
+    /// not be restored: unsealing failed, bytes did not decode, or the
+    /// content did not match its claimed digest. Recovery treats this as
+    /// "no local state" and falls back to peer state transfer rather
+    /// than aborting startup.
+    CorruptState(String),
     /// Anything else worth reporting.
     Other(String),
 }
@@ -85,6 +91,9 @@ impl fmt::Display for ProtocolError {
             }
             ProtocolError::BadCertificate { kind } => {
                 write!(f, "structurally invalid {kind} certificate")
+            }
+            ProtocolError::CorruptState(reason) => {
+                write!(f, "corrupt durable state: {reason}")
             }
             ProtocolError::Other(msg) => f.write_str(msg),
         }
@@ -118,6 +127,13 @@ mod tests {
 
         let e = ProtocolError::OutOfWindow { seq: SeqNum(300), low: SeqNum(0), high: SeqNum(256) };
         assert!(e.to_string().contains("s300"));
+    }
+
+    #[test]
+    fn corrupt_state_names_the_reason() {
+        let e = ProtocolError::CorruptState("checkpoint-12 failed to unseal".into());
+        assert!(e.to_string().contains("corrupt durable state"));
+        assert!(e.to_string().contains("checkpoint-12"));
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //! - [`message`] — the PBFT/SplitBFT message vocabulary (`Request`,
 //!   `PrePrepare`, `Prepare`, `Commit`, `Reply`, `Checkpoint`, `ViewChange`,
 //!   `NewView`) plus quorum certificates.
+//! - [`durable`] — the durability plane's vocabulary: WAL records
+//!   ([`DurableEvent`]), sealed checkpoints ([`DurableCheckpoint`]), and
+//!   the `STATE_TRANSFER` request/response pair.
 //! - [`compartment`] — the three compartment kinds of the paper
 //!   (Preparation, Confirmation, Execution).
 //! - [`config`] — cluster and batching configuration with the `3f + 1`
@@ -42,6 +45,7 @@
 pub mod compartment;
 pub mod config;
 pub mod digest;
+pub mod durable;
 pub mod error;
 pub mod ids;
 pub mod message;
@@ -50,6 +54,7 @@ pub mod wire;
 pub use compartment::CompartmentKind;
 pub use config::{BatchConfig, ClusterConfig, TimerConfig};
 pub use digest::Digest;
+pub use durable::{DurableCheckpoint, DurableEvent, StateTransferRequest, StateTransferResponse};
 pub use error::ProtocolError;
 pub use ids::{ClientId, EnclaveId, ReplicaId, RequestId, SeqNum, SignerId, Timestamp, View};
 pub use message::{

@@ -16,6 +16,12 @@ use bytes::Bytes;
 use std::collections::BTreeSet;
 use std::fmt;
 
+// The STATE_TRANSFER vocabulary (requests/responses a recovering replica
+// exchanges with peers) lives in [`crate::durable`] next to the WAL and
+// checkpoint records it moves; it is re-exported here because it is part
+// of the replica-to-replica message surface.
+pub use crate::durable::{StateTransferRequest, StateTransferResponse};
+
 /// An opaque 64-byte signature produced by `splitbft-crypto`.
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Signature(pub [u8; 64]);

@@ -35,6 +35,14 @@
 //! match, `length <= MAX_FRAME_LEN`) and `splitbft-net` for the TCP
 //! transport built on top.
 //!
+//! The `kind` byte is owned by the transport (`splitbft-net`'s
+//! `frame_kind` module assigns them): peer/client hellos, protocol
+//! messages, client requests and replies, plus the durability plane's
+//! `STATE_REQUEST`/`STATE_RESPONSE` pair carrying
+//! [`crate::durable::StateTransferRequest`] and
+//! [`crate::durable::StateTransferResponse`]. Unknown kinds are skipped
+//! by receivers, so new kinds are backward-compatible.
+//!
 //! # Example
 //!
 //! ```
