@@ -1,0 +1,343 @@
+//! Subprocess cluster management for chaos runs.
+//!
+//! Every replica is a real `splitbft-node serve` **subprocess** (the
+//! same binary the operator deploys) with a per-replica data directory
+//! and its stderr captured to a log file — `SIGKILL` means exactly what
+//! it means in production, and the recovery markers the runtime prints
+//! (`state-transfer: …`) survive the process to be parsed as rejoin
+//! evidence.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom};
+use std::net::{SocketAddr, TcpListener};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+/// Everything needed to spawn one replica of the cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Path to the `splitbft-node` binary (usually
+    /// `std::env::current_exe()` when invoked as a subcommand).
+    pub serve_binary: PathBuf,
+    /// Protocol name as the CLI spells it (`pbft`, `splitbft`,
+    /// `minbft`).
+    pub protocol: String,
+    /// Cluster size.
+    pub n: usize,
+    /// Master seed shared by replicas and probes.
+    pub seed: u64,
+    /// View-change timer period written into the cluster file.
+    pub timeout_ms: u64,
+    /// WAL group-commit linger written into the cluster file
+    /// (`0` = one fsync per event).
+    pub wal_group_commit_us: u64,
+    /// Scratch root: cluster file, data dirs, and stderr logs live
+    /// under it.
+    pub root: PathBuf,
+}
+
+/// A live (partially live, mid-chaos) subprocess cluster.
+///
+/// Children are killed on drop, so a failing orchestration never leaks
+/// replica processes into the caller.
+#[derive(Debug)]
+pub struct ChaosCluster {
+    spec: ClusterSpec,
+    children: Vec<Option<Child>>,
+    /// Replica listen addresses in id order.
+    pub addrs: Vec<SocketAddr>,
+    config_path: PathBuf,
+}
+
+impl Drop for ChaosCluster {
+    fn drop(&mut self) {
+        for child in self.children.iter_mut().flatten() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Reserves `n` distinct localhost ports by binding and releasing
+/// ephemeral listeners. (A small race with other processes remains; a
+/// collision surfaces as the replica's serve failing loudly.)
+fn free_ports(n: usize) -> io::Result<Vec<u16>> {
+    let listeners: Vec<TcpListener> =
+        (0..n).map(|_| TcpListener::bind("127.0.0.1:0")).collect::<io::Result<_>>()?;
+    listeners.iter().map(|l| Ok(l.local_addr()?.port())).collect()
+}
+
+impl ChaosCluster {
+    /// Writes the cluster file and prepares (but does not start) the
+    /// cluster. Call [`ChaosCluster::start`] per replica, or
+    /// [`ChaosCluster::start_all`].
+    pub fn prepare(spec: ClusterSpec) -> io::Result<Self> {
+        std::fs::create_dir_all(&spec.root)?;
+        let ports = free_ports(spec.n)?;
+        let addrs: Vec<SocketAddr> = ports
+            .iter()
+            .map(|p| format!("127.0.0.1:{p}").parse().expect("loopback literal"))
+            .collect();
+        let mut toml = format!(
+            "protocol = \"{}\"\nseed = {}\napp = \"counter\"\ntimeout_ms = {}\nwal_group_commit_us = {}\n",
+            spec.protocol, spec.seed, spec.timeout_ms, spec.wal_group_commit_us,
+        );
+        for (id, port) in ports.iter().enumerate() {
+            toml.push_str(&format!("\n[[replica]]\nid = {id}\naddr = \"127.0.0.1:{port}\"\n"));
+        }
+        let config_path = spec.root.join("cluster.toml");
+        std::fs::write(&config_path, toml)?;
+        let children = (0..spec.n).map(|_| None).collect();
+        Ok(ChaosCluster { spec, children, addrs, config_path })
+    }
+
+    /// The scratch root this cluster lives under.
+    pub fn root(&self) -> &Path {
+        &self.spec.root
+    }
+
+    /// The stderr log file of one replica (all incarnations append).
+    pub fn log_path(&self, replica: usize) -> PathBuf {
+        self.spec.root.join(format!("replica-{replica}.stderr.log"))
+    }
+
+    /// The durability root shared by all replicas (each persists under
+    /// `data/replica-<id>/`).
+    pub fn data_dir(&self) -> PathBuf {
+        self.spec.root.join("data")
+    }
+
+    /// Spawns (or respawns) replica `id` from its data directory.
+    /// Stderr is *appended* to the replica's log so recovery markers
+    /// from every incarnation accumulate in order.
+    ///
+    /// # Errors
+    ///
+    /// Spawn failures; starting an already-running replica is refused.
+    pub fn start(&mut self, id: usize) -> io::Result<()> {
+        if self.children[id].is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!("replica {id} is already running"),
+            ));
+        }
+        let log = OpenOptions::new().create(true).append(true).open(self.log_path(id))?;
+        let child = Command::new(&self.spec.serve_binary)
+            .args([
+                "serve",
+                "--config",
+                self.config_path.to_str().ok_or_else(non_utf8)?,
+                "--replica",
+                &id.to_string(),
+                "--data-dir",
+                self.data_dir().to_str().ok_or_else(non_utf8)?,
+            ])
+            .stdout(Stdio::null())
+            .stderr(Stdio::from(log))
+            .spawn()?;
+        self.children[id] = Some(child);
+        Ok(())
+    }
+
+    /// Starts every replica.
+    pub fn start_all(&mut self) -> io::Result<()> {
+        for id in 0..self.spec.n {
+            self.start(id)?;
+        }
+        Ok(())
+    }
+
+    /// `SIGKILL`s replica `id` — no flush, no goodbye. A no-op if it is
+    /// not running.
+    pub fn kill(&mut self, id: usize) {
+        if let Some(mut child) = self.children[id].take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+
+    /// `true` while replica `id`'s process is alive.
+    pub fn running(&mut self, id: usize) -> bool {
+        match &mut self.children[id] {
+            None => false,
+            Some(child) => match child.try_wait() {
+                Ok(None) => true,
+                _ => {
+                    self.children[id] = None;
+                    false
+                }
+            },
+        }
+    }
+
+    /// Kills every replica and removes the scratch root (unless
+    /// `keep_data`).
+    pub fn teardown(mut self, keep_data: bool) {
+        for id in 0..self.children.len() {
+            self.kill(id);
+        }
+        if !keep_data {
+            let _ = std::fs::remove_dir_all(&self.spec.root);
+        }
+    }
+}
+
+fn non_utf8() -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidInput, "non-UTF-8 path")
+}
+
+/// A cursor over one replica's stderr log, yielding only the bytes
+/// appended since the last read — phase-scoped evidence scanning.
+#[derive(Debug)]
+pub struct LogCursor {
+    path: PathBuf,
+    offset: u64,
+}
+
+impl LogCursor {
+    /// A cursor starting at the log's current end (earlier incarnations'
+    /// output is skipped).
+    pub fn at_end(path: PathBuf) -> Self {
+        let offset = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        LogCursor { path, offset }
+    }
+
+    /// A cursor reading from the beginning.
+    pub fn from_start(path: PathBuf) -> Self {
+        LogCursor { path, offset: 0 }
+    }
+
+    /// Everything appended since the previous call (lossy UTF-8).
+    pub fn read_new(&mut self) -> String {
+        let Ok(mut file) = File::open(&self.path) else { return String::new() };
+        if file.seek(SeekFrom::Start(self.offset)).is_err() {
+            return String::new();
+        }
+        let mut bytes = Vec::new();
+        if file.read_to_end(&mut bytes).is_err() {
+            return String::new();
+        }
+        self.offset += bytes.len() as u64;
+        String::from_utf8_lossy(&bytes).into_owned()
+    }
+}
+
+/// Rejoin evidence distilled from a replica's stderr markers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RejoinEvidence {
+    /// Total messages fed through the state-transfer log-suffix path
+    /// (`state-transfer: … applied N suffix message(s) …`). Each is
+    /// re-verified by the protocol, so this counts what was *offered*.
+    pub suffix_messages_applied: u64,
+    /// Execution progress the suffix applications actually bought (the
+    /// `(progress B -> A)` deltas summed) — the honest proof of a
+    /// log-path rejoin, since offered messages can be rejected.
+    pub suffix_progress: u64,
+    /// A peer checkpoint was restored (`state-transfer: … restored
+    /// checkpoint …`).
+    pub checkpoint_restored: bool,
+    /// WAL events replayed by local crash recovery (`replica N:
+    /// recovered …, replayed N WAL events`).
+    pub wal_events_replayed: u64,
+}
+
+impl RejoinEvidence {
+    /// Parses the marker lines out of a log excerpt. Unknown lines are
+    /// ignored — the log also carries ordinary diagnostics.
+    pub fn parse(log: &str) -> Self {
+        let mut evidence = RejoinEvidence::default();
+        for line in log.lines() {
+            if let Some(rest) = line.strip_prefix("state-transfer: ") {
+                if rest.contains("restored checkpoint") {
+                    evidence.checkpoint_restored = true;
+                } else if let Some(n) = number_before(rest, " suffix message") {
+                    evidence.suffix_messages_applied += n;
+                    evidence.suffix_progress += progress_delta(rest).unwrap_or(0);
+                }
+            } else if let Some(n) = number_before(line, " WAL events") {
+                evidence.wal_events_replayed += n;
+            }
+        }
+        evidence
+    }
+
+    /// Merges a later excerpt's evidence into this one.
+    pub fn merge(&mut self, other: RejoinEvidence) {
+        self.suffix_messages_applied += other.suffix_messages_applied;
+        self.suffix_progress += other.suffix_progress;
+        self.checkpoint_restored |= other.checkpoint_restored;
+        self.wal_events_replayed += other.wal_events_replayed;
+    }
+}
+
+/// The execution-progress delta from a suffix marker's trailing
+/// `(progress B -> A)`, saturating at zero.
+fn progress_delta(line: &str) -> Option<u64> {
+    let rest = &line[line.find("(progress ")? + "(progress ".len()..];
+    let (before, rest) = rest.split_once(" -> ")?;
+    let after = rest.split(')').next()?;
+    Some(after.trim().parse::<u64>().ok()?.saturating_sub(before.trim().parse().ok()?))
+}
+
+/// The integer immediately preceding `marker` in `line`, if any —
+/// `"applied 12 suffix message(s)"` → `12` for marker
+/// `" suffix message"`.
+fn number_before(line: &str, marker: &str) -> Option<u64> {
+    let end = line.find(marker)?;
+    let head = &line[..end];
+    let digits: String =
+        head.chars().rev().take_while(char::is_ascii_digit).collect::<Vec<_>>().into_iter().rev().collect();
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evidence_parses_the_runtime_markers() {
+        let log = "\
+replica 3: recovered checkpoint Some(40), replayed 7 WAL events
+state-transfer: replica 3 applied 12 suffix message(s) from replica 0 (progress 40 -> 43)
+state-transfer: replica 3 applied 3 suffix message(s) from replica 1 (progress 43 -> 43)
+state-transfer: replica 3 restored checkpoint seq=40 from 2 agreeing peer(s)
+replica 3 serving splitbft on 127.0.0.1:7103 (4 replicas, app Counter)
+";
+        let evidence = RejoinEvidence::parse(log);
+        assert_eq!(evidence.suffix_messages_applied, 15);
+        assert_eq!(evidence.suffix_progress, 3, "only real execution progress counts");
+        assert!(evidence.checkpoint_restored);
+        assert_eq!(evidence.wal_events_replayed, 7);
+
+        // Lines without the delta (older format / truncated) still
+        // count their messages, contributing zero progress.
+        let bare =
+            RejoinEvidence::parse("state-transfer: replica 1 applied 5 suffix message(s) from replica 0\n");
+        assert_eq!(bare.suffix_messages_applied, 5);
+        assert_eq!(bare.suffix_progress, 0);
+    }
+
+    #[test]
+    fn evidence_ignores_unrelated_noise() {
+        let evidence = RejoinEvidence::parse("error: something unrelated\nsuffix message\n");
+        assert_eq!(evidence, RejoinEvidence::default());
+    }
+
+    #[test]
+    fn log_cursor_yields_only_new_bytes() {
+        let dir = std::env::temp_dir().join(format!("splitbft-chaos-cursor-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log");
+        std::fs::write(&path, "first\n").unwrap();
+        let mut cursor = LogCursor::from_start(path.clone());
+        assert_eq!(cursor.read_new(), "first\n");
+        assert_eq!(cursor.read_new(), "");
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        use std::io::Write as _;
+        file.write_all(b"second\n").unwrap();
+        drop(file);
+        assert_eq!(cursor.read_new(), "second\n");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,366 @@
+//! Chaos orchestration plane: scripted whole-cluster failure sequences
+//! against live subprocess clusters under load.
+//!
+//! The durability plane (WAL, sealed checkpoints, peer state transfer)
+//! made single crashes survivable; this crate makes *failure sequences*
+//! a first-class, repeatable workload. A [`schedule::Schedule`] is a
+//! deterministic list of fault steps — rolling restarts of every
+//! replica, repeated SIGKILLs of one, primary-targeted kills across
+//! view changes, staggered cold starts — that [`run_scenario`] executes
+//! against a real `splitbft-node serve` subprocess cluster while a
+//! background load generator keeps committing. After each phase it
+//! asserts the recovery story end to end:
+//!
+//! 1. **commits advance** — a quorum counter read strictly increased;
+//! 2. **the victim rejoins** — it executes a *fresh* request itself;
+//! 3. **how it rejoined is observable** — the runtime's
+//!    `state-transfer:` stderr markers are parsed into
+//!    [`cluster::RejoinEvidence`], distinguishing the log-suffix path
+//!    from a checkpoint restore from pure WAL replay.
+//!
+//! Results land as `BENCH_chaos_<scenario>_<protocol>.json`
+//! ([`report::ChaosReport`]), next to the regular bench reports.
+//!
+//! The `splitbft-node chaos` subcommand is the command-line entry
+//! point; this crate stays protocol-agnostic (the protocol is a string
+//! in the cluster file, the quorum size a number), so it never depends
+//! on the node crate that embeds it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod probe;
+pub mod report;
+pub mod schedule;
+
+pub use cluster::{ChaosCluster, ClusterSpec, LogCursor, RejoinEvidence};
+pub use report::{ChaosReport, GroupCommitDelta, GroupCommitSample, PhaseOutcome};
+pub use schedule::{FaultStep, Phase, Schedule};
+
+use splitbft_loadgen::driver::{self, DriverConfig};
+use splitbft_types::{ClientId, ReplicaId};
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Everything one chaos run needs.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Path to the `splitbft-node` binary to spawn replicas from.
+    pub serve_binary: PathBuf,
+    /// Protocol name as the CLI spells it.
+    pub protocol: String,
+    /// Cluster size.
+    pub n: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// `f + 1` for the protocol at size `n` (the caller knows the
+    /// protocol's arithmetic).
+    pub reply_quorum: usize,
+    /// View-change timer period for the replicas.
+    pub timeout_ms: u64,
+    /// WAL group-commit linger for the replicas (`0` = off).
+    pub wal_group_commit_us: u64,
+    /// Scratch root (cluster file, data dirs, stderr logs).
+    pub root: PathBuf,
+    /// Background-load client threads.
+    pub load_clients: usize,
+    /// Outstanding requests per load client.
+    pub load_pipeline: usize,
+    /// Offered background load in requests/second (open loop). Chaos
+    /// load is *fixed-rate by design*: a closed loop saturates the
+    /// surviving replicas, and a victim that replays at less than
+    /// saturation speed can then never reach the live edge to rejoin.
+    /// A modest steady rate keeps commits advancing while leaving
+    /// victims headroom to catch up.
+    pub load_rate: f64,
+    /// Budget for each victim's rejoin.
+    pub rejoin_timeout: Duration,
+    /// Budget for each commit probe.
+    pub probe_timeout: Duration,
+    /// Keep the scratch root on teardown (post-mortems).
+    pub keep_data: bool,
+}
+
+impl ChaosConfig {
+    /// Sensible defaults around the required knobs.
+    pub fn new(
+        serve_binary: PathBuf,
+        protocol: impl Into<String>,
+        n: usize,
+        reply_quorum: usize,
+        root: PathBuf,
+    ) -> Self {
+        ChaosConfig {
+            serve_binary,
+            protocol: protocol.into(),
+            n,
+            seed: 42,
+            reply_quorum,
+            timeout_ms: 400,
+            wal_group_commit_us: 200,
+            root,
+            load_clients: 3,
+            load_pipeline: 4,
+            load_rate: 150.0,
+            rejoin_timeout: Duration::from_secs(45),
+            probe_timeout: Duration::from_secs(30),
+            keep_data: false,
+        }
+    }
+}
+
+/// Client-id lanes: the background load uses `1000+`, probes count up
+/// from here so no id is ever reused across roles.
+const PROBE_CLIENT_BASE: u32 = 64;
+
+/// Background load that survives the whole scenario: short driver
+/// chunks in a loop (each chunk reconnects, so replicas restarted
+/// mid-run are picked back up), accumulated into one total.
+struct BackgroundLoad {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<(u64, u64, u64)>,
+}
+
+impl BackgroundLoad {
+    fn start(config: &ChaosConfig, addrs: Vec<std::net::SocketAddr>) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let seed = config.seed;
+        let quorum = config.reply_quorum;
+        let clients = config.load_clients.max(1);
+        let pipeline = config.load_pipeline.max(1);
+        let rate = config.load_rate.max(1.0);
+        let handle = std::thread::Builder::new()
+            .name("chaos-load".into())
+            .spawn(move || {
+                let (mut issued, mut completed, mut timed_out) = (0u64, 0u64, 0u64);
+                while !stop_flag.load(Ordering::SeqCst) {
+                    let mut cfg = DriverConfig::new(addrs.clone(), seed, quorum);
+                    cfg.clients = clients;
+                    cfg.pipeline = pipeline;
+                    cfg.mode = driver::LoadMode::Open { rate };
+                    cfg.duration = Duration::from_secs(2);
+                    cfg.retry_every = Duration::from_millis(500);
+                    cfg.drain_timeout = Duration::from_secs(5);
+                    cfg.connect_timeout = Duration::from_secs(3);
+                    // Leadership-agnostic: kills move the primary mid-run,
+                    // so every submission broadcasts (out-of-range index)
+                    // instead of betting on a view-0 address.
+                    cfg.primary_index = usize::MAX;
+                    match driver::run(&cfg) {
+                        Ok(stats) => {
+                            issued += stats.issued;
+                            completed += stats.completed;
+                            timed_out += stats.timed_out;
+                        }
+                        // No quorum up yet (staggered start) or all
+                        // replicas briefly unreachable: back off, retry.
+                        Err(_) => std::thread::sleep(Duration::from_millis(300)),
+                    }
+                }
+                (issued, completed, timed_out)
+            })
+            .expect("spawn chaos load thread");
+        BackgroundLoad { stop, handle }
+    }
+
+    fn stop(self) -> (u64, u64, u64) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.handle.join().expect("chaos load thread panicked")
+    }
+}
+
+/// Executes one scenario end to end and writes nothing — the caller
+/// owns report persistence (and may attach a group-commit A/B first).
+///
+/// # Errors
+///
+/// Cluster/spawn I/O errors, and a failed phase assertion (commits
+/// stalled where they must advance, or a victim that never rejoined) —
+/// the partial report is embedded in the error message; the full
+/// outcome is also printed per phase as it happens.
+pub fn run_scenario(config: &ChaosConfig, schedule: &Schedule) -> io::Result<ChaosReport> {
+    let spec = ClusterSpec {
+        serve_binary: config.serve_binary.clone(),
+        protocol: config.protocol.clone(),
+        n: config.n,
+        seed: config.seed,
+        timeout_ms: config.timeout_ms,
+        wal_group_commit_us: config.wal_group_commit_us,
+        root: config.root.clone(),
+    };
+    let mut cluster = ChaosCluster::prepare(spec)?;
+    let mut probe_client = PROBE_CLIENT_BASE;
+    let mut next_probe = || {
+        probe_client += 1;
+        ClientId(probe_client)
+    };
+    // Which replicas we believe are up: commit probes are skipped while
+    // fewer than n-1 run (below every protocol's consensus quorum here),
+    // so staggered starts don't burn probe timeouts against a cluster
+    // that cannot commit yet.
+    let mut live = vec![schedule.start_all; config.n];
+    let quorum_live = config.n.saturating_sub(1).max(1);
+
+    if schedule.start_all {
+        cluster.start_all()?;
+        // Up once a quorum answers a read end to end.
+        probe::read_counter(
+            &cluster.addrs,
+            config.seed,
+            config.reply_quorum,
+            next_probe(),
+            config.probe_timeout,
+        )?;
+    }
+
+    let load = BackgroundLoad::start(config, cluster.addrs.clone());
+    let mut phases = Vec::with_capacity(schedule.phases.len());
+    let mut failure: Option<String> = None;
+
+    'phases: for phase in &schedule.phases {
+        let mut log_cursor = phase
+            .victim
+            .map(|v| LogCursor::at_end(cluster.log_path(v)));
+        let commits_before = if live.iter().filter(|l| **l).count() >= quorum_live {
+            probe::read_counter(
+                &cluster.addrs,
+                config.seed,
+                config.reply_quorum,
+                next_probe(),
+                config.probe_timeout,
+            )
+            .ok()
+        } else {
+            None
+        };
+        let mut rejoined = None;
+
+        for step in &phase.steps {
+            match *step {
+                FaultStep::Kill(replica) => {
+                    cluster.kill(replica);
+                    live[replica] = false;
+                }
+                FaultStep::Start(replica) => {
+                    live[replica] = true;
+                    // A victim's fresh incarnation starts logging now;
+                    // scan from here so evidence is phase-scoped.
+                    if let Err(e) = cluster.start(replica) {
+                        failure = Some(format!(
+                            "{}: starting replica {replica} failed: {e}",
+                            phase.name
+                        ));
+                        break 'phases;
+                    }
+                }
+                FaultStep::Sleep(duration) => std::thread::sleep(duration),
+                FaultStep::AwaitRejoin(replica) => {
+                    let ok = probe::await_executed_by(
+                        &cluster.addrs,
+                        config.seed,
+                        ReplicaId(replica as u32),
+                        next_probe(),
+                        config.rejoin_timeout,
+                    );
+                    rejoined = Some(rejoined.unwrap_or(true) && ok);
+                }
+            }
+        }
+
+        // "Commits advance" means *eventually within the phase budget*:
+        // a freshly restarted primary (or a cluster mid-view-change)
+        // legitimately needs a moment before the counter moves again,
+        // so the after-probe polls until it exceeds the before-value or
+        // the budget runs out.
+        let commits_after = if live.iter().filter(|l| **l).count() >= quorum_live {
+            let deadline = std::time::Instant::now() + config.probe_timeout;
+            let mut after = None;
+            loop {
+                after = probe::read_counter(
+                    &cluster.addrs,
+                    config.seed,
+                    config.reply_quorum,
+                    next_probe(),
+                    Duration::from_secs(5).min(config.probe_timeout),
+                )
+                .ok()
+                .or(after);
+                let advanced_enough = !phase.expect_advance
+                    || match (commits_before, after) {
+                        (Some(before), Some(now)) => now > before,
+                        (None, Some(_)) => true,
+                        _ => false,
+                    };
+                if advanced_enough || std::time::Instant::now() >= deadline {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(400));
+            }
+            after
+        } else {
+            None
+        };
+        let advanced = matches!((commits_before, commits_after), (Some(b), Some(a)) if a > b)
+            || (commits_before.is_none() && commits_after.is_some());
+        let evidence = log_cursor
+            .as_mut()
+            .map(|c| RejoinEvidence::parse(&c.read_new()))
+            .unwrap_or_default();
+
+        let outcome = PhaseOutcome {
+            name: phase.name.clone(),
+            victim: phase.victim,
+            commits_before,
+            commits_after,
+            advanced,
+            expected_advance: phase.expect_advance,
+            rejoined,
+            evidence,
+        };
+        eprintln!(
+            "chaos: phase {:<24} commits {:?} -> {:?}, rejoined {:?}, suffix {} msg(s), checkpoint {}, {}",
+            outcome.name,
+            outcome.commits_before,
+            outcome.commits_after,
+            outcome.rejoined,
+            outcome.evidence.suffix_messages_applied,
+            outcome.evidence.checkpoint_restored,
+            if outcome.ok() { "ok" } else { "FAILED" },
+        );
+        if !outcome.ok() && failure.is_none() {
+            failure = Some(format!(
+                "phase {:?}: advanced={} (expected {}), rejoined={:?}",
+                outcome.name, outcome.advanced, outcome.expected_advance, outcome.rejoined
+            ));
+        }
+        phases.push(outcome);
+    }
+
+    let (issued, completed, timed_out) = load.stop();
+    cluster.teardown(config.keep_data);
+
+    let report = ChaosReport {
+        scenario: schedule.scenario.clone(),
+        protocol: config.protocol.clone(),
+        n: config.n,
+        seed: config.seed,
+        wal_group_commit_us: config.wal_group_commit_us,
+        phases,
+        load_issued: issued,
+        load_completed: completed,
+        load_timed_out: timed_out,
+        group_commit: None,
+    };
+    match failure {
+        Some(reason) => Err(io::Error::other(format!(
+            "chaos scenario {} failed: {reason}",
+            report.scenario
+        ))),
+        None => Ok(report),
+    }
+}

@@ -1,0 +1,127 @@
+//! Cluster-side probes: committed-counter reads and rejoin detection.
+//!
+//! Both probes speak the raw framed transport with per-request MACs and
+//! verify replies with the same `f + 1` matching-quorum rule the load
+//! generator uses — protocol-independent, so one probe serves all three
+//! stacks. Reads are *ordered* operations: every replica executes them
+//! at the same slot, so a matching quorum pins one committed counter
+//! value, not a racy snapshot.
+
+use bytes::Bytes;
+use splitbft_crypto::client_mac_key;
+use splitbft_loadgen::quorum::QuorumTracker;
+use splitbft_net::tcp::TcpClient;
+use splitbft_types::{ClientId, ReplicaId, Request, RequestId, Timestamp};
+use std::io;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// Wall-clock microseconds — the timestamp base that keeps re-used
+/// probe client ids issuing fresh requests across incarnations.
+fn wall_clock_ts() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(1)
+        .max(1)
+}
+
+fn authenticated_read(seed: u64, client: ClientId, ts: u64) -> Request {
+    let mac = client_mac_key(seed, client);
+    let id = RequestId { client, timestamp: Timestamp(ts) };
+    let op = Bytes::from_static(b"read");
+    let auth = mac.tag(&Request::auth_bytes(id, &op, false));
+    Request { id, op, encrypted: false, auth }
+}
+
+/// Reads the replicated counter: issues `read` requests to every
+/// reachable replica until a `quorum` of MAC-verified matching replies
+/// agrees on a value.
+///
+/// # Errors
+///
+/// `TimedOut` when no quorum forms within `timeout`; connect errors
+/// when no replica is reachable at all.
+pub fn read_counter(
+    addrs: &[SocketAddr],
+    seed: u64,
+    quorum: usize,
+    client: ClientId,
+    timeout: Duration,
+) -> io::Result<u64> {
+    let mac = client_mac_key(seed, client);
+    let mut tcp = TcpClient::connect(client, addrs, timeout.min(Duration::from_secs(10)))?;
+    let deadline = Instant::now() + timeout;
+    let mut ts = wall_clock_ts();
+    let result = loop {
+        if Instant::now() >= deadline {
+            tcp.close();
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("no counter quorum within {timeout:?}"),
+            ));
+        }
+        ts += 1;
+        let request = authenticated_read(seed, client, ts);
+        let _ = tcp.send_all(std::slice::from_ref(&request));
+        let mut tracker = QuorumTracker::new(mac.clone(), quorum);
+        // One round: collect replies to *this* timestamp; stragglers
+        // answering an older probe are ignored, and an unanswered round
+        // falls through to a retransmission with a fresh timestamp.
+        let round_deadline = (Instant::now() + Duration::from_millis(1_500)).min(deadline);
+        let mut agreed = None;
+        while Instant::now() < round_deadline && agreed.is_none() {
+            match tcp.replies().recv_timeout(Duration::from_millis(200)) {
+                Ok(reply) if reply.request.timestamp.0 == ts => {
+                    agreed = tracker.on_reply(&reply);
+                }
+                _ => {}
+            }
+        }
+        if let Some(result) = agreed {
+            break result;
+        }
+    };
+    tcp.close();
+    let bytes: [u8; 8] = result[..].try_into().map_err(|_| {
+        io::Error::new(io::ErrorKind::InvalidData, "counter read returned a non-u64 result")
+    })?;
+    Ok(u64::from_le_bytes(bytes))
+}
+
+/// Waits until replica `from` itself executes a *fresh* request,
+/// observed as a reply carrying its id with a timestamp issued here.
+/// Execution is strictly sequential in every protocol, so this proves
+/// the replica caught up (WAL + checkpoint + state transfer) and
+/// rejoined live ordering. Returns `false` on deadline.
+pub fn await_executed_by(
+    addrs: &[SocketAddr],
+    seed: u64,
+    from: ReplicaId,
+    client: ClientId,
+    deadline: Duration,
+) -> bool {
+    let Ok(mut tcp) = TcpClient::connect(client, addrs, Duration::from_secs(10)) else {
+        return false;
+    };
+    let start = Instant::now();
+    let mut ts = wall_clock_ts();
+    let mut rejoined = false;
+    'outer: while start.elapsed() < deadline {
+        ts += 1;
+        let request = authenticated_read(seed, client, ts);
+        let _ = tcp.send_all(std::slice::from_ref(&request));
+        let round_deadline = Instant::now() + Duration::from_millis(1_500);
+        while Instant::now() < round_deadline {
+            match tcp.replies().recv_timeout(Duration::from_millis(200)) {
+                Ok(reply) if reply.replica == from && reply.request.timestamp.0 >= ts => {
+                    rejoined = true;
+                    break 'outer;
+                }
+                _ => {}
+            }
+        }
+    }
+    tcp.close();
+    rejoined
+}

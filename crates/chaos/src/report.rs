@@ -1,0 +1,337 @@
+//! `BENCH_chaos_*.json` — the chaos run report.
+//!
+//! Schema `splitbft-chaos/v1`, hand-rolled like the bench reports (the
+//! workspace has no serde). One file per (scenario, protocol) run:
+//! per-phase commit deltas and rejoin evidence, the background load's
+//! totals, and — when the orchestrator measured it — the WAL
+//! group-commit A/B fsync delta.
+
+use crate::cluster::RejoinEvidence;
+use splitbft_loadgen::report::{json_escape, sanitize_name};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Schema identifier embedded in every chaos report.
+pub const SCHEMA: &str = "splitbft-chaos/v1";
+
+/// What one phase observed.
+#[derive(Debug, Clone)]
+pub struct PhaseOutcome {
+    /// Phase name from the schedule.
+    pub name: String,
+    /// The victimized replica, if the phase had one.
+    pub victim: Option<usize>,
+    /// Committed counter before the phase (`None` when no quorum was up
+    /// to answer, e.g. early staggered-start phases).
+    pub commits_before: Option<u64>,
+    /// Committed counter after the phase's steps completed.
+    pub commits_after: Option<u64>,
+    /// Whether commits advanced across the phase.
+    pub advanced: bool,
+    /// Whether the phase demanded advancement (from the schedule).
+    pub expected_advance: bool,
+    /// Whether the victim executed a fresh request after its restart
+    /// (`None` for phases without an `AwaitRejoin` step).
+    pub rejoined: Option<bool>,
+    /// Stderr-marker evidence scanned from the victim's log.
+    pub evidence: RejoinEvidence,
+}
+
+impl PhaseOutcome {
+    /// `true` when every assertion the phase carries held.
+    pub fn ok(&self) -> bool {
+        (!self.expected_advance || self.advanced) && self.rejoined != Some(false)
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"name\": \"{name}\", \"victim\": {victim}, ",
+                "\"commits_before\": {before}, \"commits_after\": {after}, ",
+                "\"advanced\": {advanced}, \"expected_advance\": {expected}, ",
+                "\"rejoined\": {rejoined}, ",
+                "\"suffix_messages_applied\": {suffix}, ",
+                "\"suffix_progress\": {suffix_progress}, ",
+                "\"checkpoint_restored\": {checkpoint}, ",
+                "\"wal_events_replayed\": {wal}, \"ok\": {ok}}}"
+            ),
+            name = json_escape(&self.name),
+            victim = opt_num(self.victim.map(|v| v as u64)),
+            before = opt_num(self.commits_before),
+            after = opt_num(self.commits_after),
+            advanced = self.advanced,
+            expected = self.expected_advance,
+            rejoined = match self.rejoined {
+                None => "null".into(),
+                Some(r) => r.to_string(),
+            },
+            suffix = self.evidence.suffix_messages_applied,
+            suffix_progress = self.evidence.suffix_progress,
+            checkpoint = self.evidence.checkpoint_restored,
+            wal = self.evidence.wal_events_replayed,
+            ok = self.ok(),
+        )
+    }
+}
+
+/// One side of the WAL group-commit A/B measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupCommitSample {
+    /// The `wal_group_commit_us` linger this side ran with.
+    pub linger_us: u64,
+    /// Total WAL fsyncs across all replicas during the window.
+    pub fsyncs: u64,
+    /// Client-verified completions during the window.
+    pub completed: u64,
+}
+
+impl GroupCommitSample {
+    /// Fsyncs paid per committed request (`None` with zero commits).
+    pub fn fsyncs_per_commit(&self) -> Option<f64> {
+        (self.completed > 0).then(|| self.fsyncs as f64 / self.completed as f64)
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"linger_us\": {}, \"fsyncs\": {}, \"completed\": {}, \"fsyncs_per_commit\": {}}}",
+            self.linger_us,
+            self.fsyncs,
+            self.completed,
+            self.fsyncs_per_commit().map_or("null".into(), |v| format!("{v:.3}")),
+        )
+    }
+}
+
+/// The group-commit A/B: identical short measurement windows with the
+/// linger off (`0`) and on.
+#[derive(Debug, Clone, Copy)]
+pub struct GroupCommitDelta {
+    /// `wal_group_commit_us = 0` (one fsync per drained event).
+    pub off: GroupCommitSample,
+    /// The configured linger (fsyncs shared per drain batch).
+    pub on: GroupCommitSample,
+}
+
+impl GroupCommitDelta {
+    /// `true` when the linger measurably reduced fsyncs per commit.
+    pub fn improved(&self) -> bool {
+        match (self.off.fsyncs_per_commit(), self.on.fsyncs_per_commit()) {
+            (Some(off), Some(on)) => on < off,
+            _ => false,
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"off\": {}, \"on\": {}, \"improved\": {}}}",
+            self.off.to_json(),
+            self.on.to_json(),
+            self.improved(),
+        )
+    }
+}
+
+/// A complete chaos run: `BENCH_chaos_<scenario>_<protocol>.json`.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Scenario name (`rolling-restart`, …).
+    pub scenario: String,
+    /// Protocol under test.
+    pub protocol: String,
+    /// Cluster size.
+    pub n: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// The configured WAL group-commit linger of the cluster.
+    pub wal_group_commit_us: u64,
+    /// Per-phase outcomes, in order.
+    pub phases: Vec<PhaseOutcome>,
+    /// Background load totals across the whole run.
+    pub load_issued: u64,
+    /// Client-verified completions of the background load.
+    pub load_completed: u64,
+    /// Background-load requests that never completed.
+    pub load_timed_out: u64,
+    /// The group-commit A/B, when measured.
+    pub group_commit: Option<GroupCommitDelta>,
+}
+
+impl ChaosReport {
+    /// `true` when every phase's assertions held.
+    pub fn ok(&self) -> bool {
+        self.phases.iter().all(PhaseOutcome::ok)
+    }
+
+    /// Total suffix messages fed to victims across all phases.
+    pub fn suffix_messages_applied(&self) -> u64 {
+        self.phases.iter().map(|p| p.evidence.suffix_messages_applied).sum()
+    }
+
+    /// Total execution progress victims gained *during* suffix
+    /// application — the observable proof that rejoins used the log
+    /// path (offered messages can be rejected; executed slots cannot).
+    pub fn suffix_progress(&self) -> u64 {
+        self.phases.iter().map(|p| p.evidence.suffix_progress).sum()
+    }
+
+    /// The report as a JSON document.
+    pub fn to_json(&self) -> String {
+        let phases: Vec<String> = self.phases.iter().map(PhaseOutcome::to_json).collect();
+        format!(
+            concat!(
+                "{{\n",
+                "  \"schema\": \"{schema}\",\n",
+                "  \"scenario\": \"{scenario}\",\n",
+                "  \"protocol\": \"{protocol}\",\n",
+                "  \"n\": {n},\n",
+                "  \"seed\": {seed},\n",
+                "  \"wal_group_commit_us\": {linger},\n",
+                "  \"ok\": {ok},\n",
+                "  \"suffix_messages_applied\": {suffix},\n",
+                "  \"suffix_progress\": {suffix_progress},\n",
+                "  \"load\": {{\"issued\": {issued}, \"completed\": {completed}, \"timed_out\": {timed_out}}},\n",
+                "  \"group_commit\": {group_commit},\n",
+                "  \"phases\": [\n    {phases}\n  ]\n",
+                "}}\n",
+            ),
+            schema = SCHEMA,
+            scenario = json_escape(&self.scenario),
+            protocol = json_escape(&self.protocol),
+            n = self.n,
+            seed = self.seed,
+            linger = self.wal_group_commit_us,
+            ok = self.ok(),
+            suffix = self.suffix_messages_applied(),
+            suffix_progress = self.suffix_progress(),
+            issued = self.load_issued,
+            completed = self.load_completed,
+            timed_out = self.load_timed_out,
+            group_commit = self.group_commit.map_or("null".into(), |g| g.to_json()),
+            phases = phases.join(",\n    "),
+        )
+    }
+
+    /// The file name this report writes to.
+    pub fn file_name(&self) -> String {
+        format!(
+            "BENCH_chaos_{}_{}.json",
+            sanitize_name(&self.scenario),
+            sanitize_name(&self.protocol)
+        )
+    }
+
+    /// Writes the report into `dir`, returning the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, dir: &Path) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(self.file_name());
+        let mut file = std::fs::File::create(&path)?;
+        file.write_all(self.to_json().as_bytes())?;
+        Ok(path)
+    }
+
+    /// One human-readable summary line.
+    pub fn summary_line(&self) -> String {
+        let rejoins =
+            self.phases.iter().filter(|p| p.rejoined == Some(true)).count();
+        format!(
+            "chaos {:<16} {:<9} n={} | {} phase(s), {} rejoin(s), {} suffix msg(s) | load {}/{} completed | {}",
+            self.scenario,
+            self.protocol,
+            self.n,
+            self.phases.len(),
+            rejoins,
+            self.suffix_messages_applied(),
+            self.load_completed,
+            self.load_issued,
+            if self.ok() { "OK" } else { "FAILED" },
+        )
+    }
+}
+
+fn opt_num(v: Option<u64>) -> String {
+    v.map_or("null".into(), |v| v.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ChaosReport {
+        ChaosReport {
+            scenario: "rolling-restart".into(),
+            protocol: "splitbft".into(),
+            n: 4,
+            seed: 42,
+            wal_group_commit_us: 200,
+            phases: vec![PhaseOutcome {
+                name: "restart-replica-0".into(),
+                victim: Some(0),
+                commits_before: Some(10),
+                commits_after: Some(55),
+                advanced: true,
+                expected_advance: true,
+                rejoined: Some(true),
+                evidence: RejoinEvidence {
+                    suffix_messages_applied: 12,
+                    suffix_progress: 9,
+                    checkpoint_restored: true,
+                    wal_events_replayed: 7,
+                },
+            }],
+            load_issued: 400,
+            load_completed: 390,
+            load_timed_out: 10,
+            group_commit: Some(GroupCommitDelta {
+                off: GroupCommitSample { linger_us: 0, fsyncs: 900, completed: 300 },
+                on: GroupCommitSample { linger_us: 200, fsyncs: 220, completed: 320 },
+            }),
+        }
+    }
+
+    #[test]
+    fn json_contains_every_schema_key() {
+        let json = sample().to_json();
+        for key in [
+            "\"schema\"", "\"scenario\"", "\"protocol\"", "\"n\"", "\"seed\"",
+            "\"wal_group_commit_us\"", "\"ok\"", "\"suffix_messages_applied\"",
+            "\"load\"", "\"issued\"", "\"completed\"", "\"timed_out\"",
+            "\"group_commit\"", "\"fsyncs_per_commit\"", "\"improved\"",
+            "\"phases\"", "\"victim\"", "\"commits_before\"", "\"commits_after\"",
+            "\"advanced\"", "\"rejoined\"", "\"checkpoint_restored\"",
+            "\"wal_events_replayed\"", "\"suffix_progress\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        assert!(json.contains(SCHEMA));
+    }
+
+    #[test]
+    fn group_commit_delta_detects_improvement() {
+        let report = sample();
+        let delta = report.group_commit.unwrap();
+        assert!(delta.improved(), "3 fsyncs/commit vs ~0.7 must count as improved");
+        assert!(report.ok());
+        assert_eq!(report.file_name(), "BENCH_chaos_rolling-restart_splitbft.json");
+    }
+
+    #[test]
+    fn failed_phase_fails_the_report() {
+        let mut report = sample();
+        report.phases[0].rejoined = Some(false);
+        assert!(!report.ok());
+        assert!(report.summary_line().contains("FAILED"));
+    }
+
+    #[test]
+    fn write_and_read_back() {
+        let dir = std::env::temp_dir().join(format!("splitbft-chaos-report-{}", std::process::id()));
+        let path = sample().write_to(&dir).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"scenario\": \"rolling-restart\""));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

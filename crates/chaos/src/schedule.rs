@@ -1,0 +1,229 @@
+//! Deterministic fault schedules: the scenario catalog.
+//!
+//! A [`Schedule`] is a fixed list of [`Phase`]s, each a sequence of
+//! [`FaultStep`]s the orchestrator executes verbatim — no randomness,
+//! no timing jitter beyond the OS itself, so a failing run names the
+//! exact phase and step that broke. The catalog mirrors the failure
+//! sequences operators actually perform or fear:
+//!
+//! - [`rolling_restart`] — kill + restart every replica in sequence
+//!   (the "upgrade the whole fleet" drill);
+//! - [`repeated_kill`] — SIGKILL the same replica over and over (a
+//!   crash-looping node must not poison its data dir);
+//! - [`primary_kill`] — target whoever is expected to lead, forcing a
+//!   view change each round;
+//! - [`staggered_start`] — bring the cluster up one replica at a time
+//!   under client traffic that started before quorum existed.
+
+use std::time::Duration;
+
+/// One orchestrator action inside a phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultStep {
+    /// `SIGKILL` the replica's process — no flush, no goodbye.
+    Kill(usize),
+    /// (Re)start the replica's process from its data directory.
+    Start(usize),
+    /// Wait for the replica to execute a *fresh* request (observed by a
+    /// reply carrying its id), proving it caught up and rejoined.
+    AwaitRejoin(usize),
+    /// Let the cluster run undisturbed.
+    Sleep(Duration),
+}
+
+/// A named step sequence with its own commit-advance assertion window.
+#[derive(Debug, Clone)]
+pub struct Phase {
+    /// Phase name (lands in the report).
+    pub name: String,
+    /// The replica this phase victimizes, if any (drives the rejoin
+    /// evidence scan of its stderr log).
+    pub victim: Option<usize>,
+    /// Steps, executed in order.
+    pub steps: Vec<FaultStep>,
+    /// Whether commits must have advanced by the end of the phase
+    /// (`false` only for phases that cannot have a quorum yet, e.g. the
+    /// early steps of a staggered start).
+    pub expect_advance: bool,
+}
+
+/// A complete scenario.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Scenario name (lands in the report file name).
+    pub scenario: String,
+    /// Whether the whole cluster starts before phase 1 (`false` for
+    /// staggered start, whose phases start the replicas themselves).
+    pub start_all: bool,
+    /// The phases, in order.
+    pub phases: Vec<Phase>,
+}
+
+impl Schedule {
+    /// Looks a scenario up by its CLI name.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message listing the known scenarios.
+    pub fn by_name(name: &str, n: usize, rounds: usize) -> Result<Schedule, String> {
+        match name {
+            "rolling-restart" => Ok(rolling_restart(n)),
+            "repeated-kill" => Ok(repeated_kill(n - 1, rounds)),
+            "primary-kill" => Ok(primary_kill(n, rounds)),
+            "staggered-start" => Ok(staggered_start(n)),
+            other => Err(format!(
+                "unknown scenario {other:?} (expected rolling-restart, repeated-kill, \
+                 primary-kill, or staggered-start)"
+            )),
+        }
+    }
+
+    /// Every scenario name [`Schedule::by_name`] accepts.
+    pub const NAMES: &'static [&'static str] =
+        &["rolling-restart", "repeated-kill", "primary-kill", "staggered-start"];
+}
+
+/// The pause between a kill and the restart: long enough for the
+/// cluster to notice and commit past the victim, short enough that the
+/// victim's rejoin exercises the log-suffix path rather than waiting
+/// out a whole checkpoint interval.
+const KILL_GAP: Duration = Duration::from_millis(1_200);
+
+/// Kill + restart every replica in id order, awaiting a full rejoin
+/// (including the victim executing fresh requests) before moving on.
+pub fn rolling_restart(n: usize) -> Schedule {
+    let phases = (0..n)
+        .map(|replica| Phase {
+            name: format!("restart-replica-{replica}"),
+            victim: Some(replica),
+            steps: vec![
+                FaultStep::Kill(replica),
+                FaultStep::Sleep(KILL_GAP),
+                FaultStep::Start(replica),
+                FaultStep::AwaitRejoin(replica),
+            ],
+            expect_advance: true,
+        })
+        .collect();
+    Schedule { scenario: "rolling-restart".into(), start_all: true, phases }
+}
+
+/// SIGKILL the same replica `rounds` times in a row — each round must
+/// recover from a data directory the previous crash left behind.
+pub fn repeated_kill(victim: usize, rounds: usize) -> Schedule {
+    let phases = (0..rounds.max(1))
+        .map(|round| Phase {
+            name: format!("kill-{victim}-round-{round}"),
+            victim: Some(victim),
+            steps: vec![
+                FaultStep::Kill(victim),
+                FaultStep::Sleep(KILL_GAP),
+                FaultStep::Start(victim),
+                FaultStep::AwaitRejoin(victim),
+            ],
+            expect_advance: true,
+        })
+        .collect();
+    Schedule { scenario: "repeated-kill".into(), start_all: true, phases }
+}
+
+/// Kill the expected leader each round: replica `r % n` in round `r`,
+/// tracking the view-change succession (view `v`'s primary is
+/// `v % n` in every protocol here). Each downed leader is restarted and
+/// must rejoin before the next round fires.
+pub fn primary_kill(n: usize, rounds: usize) -> Schedule {
+    let phases = (0..rounds.max(1))
+        .map(|round| {
+            let victim = round % n;
+            Phase {
+                name: format!("kill-primary-{victim}-round-{round}"),
+                victim: Some(victim),
+                steps: vec![
+                    FaultStep::Kill(victim),
+                    // Longer gap: the cluster has to view-change before
+                    // commits can resume.
+                    FaultStep::Sleep(KILL_GAP * 2),
+                    FaultStep::Start(victim),
+                    FaultStep::AwaitRejoin(victim),
+                ],
+                expect_advance: true,
+            }
+        })
+        .collect();
+    Schedule { scenario: "primary-kill".into(), start_all: true, phases }
+}
+
+/// Start the cluster one replica at a time under client traffic that
+/// began before any quorum existed. Commits are only required to
+/// advance once enough replicas are up.
+pub fn staggered_start(n: usize) -> Schedule {
+    // 3f+1 stacks commit with one replica down, so the quorum exists
+    // once n-1 replicas run; before that nothing may be asserted.
+    let quorum_at = n.saturating_sub(1).max(1);
+    let mut phases: Vec<Phase> = (0..n)
+        .map(|replica| Phase {
+            name: format!("start-replica-{replica}"),
+            // The last starter is the scenario's victim from the moment
+            // it starts, so its recovery/state-transfer markers (printed
+            // during *this* phase) land in the report's evidence rather
+            // than being skipped by a cursor created one phase later.
+            victim: (replica == n - 1).then_some(replica),
+            steps: vec![
+                FaultStep::Start(replica),
+                FaultStep::Sleep(Duration::from_millis(700)),
+            ],
+            expect_advance: replica + 1 >= quorum_at,
+        })
+        .collect();
+    phases.push(Phase {
+        name: "late-starter-catches-up".into(),
+        victim: Some(n - 1),
+        steps: vec![FaultStep::AwaitRejoin(n - 1)],
+        expect_advance: true,
+    });
+    Schedule { scenario: "staggered-start".into(), start_all: false, phases }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_deterministic_and_complete() {
+        for name in Schedule::NAMES {
+            let schedule = Schedule::by_name(name, 4, 3).unwrap();
+            assert!(!schedule.phases.is_empty(), "{name} has no phases");
+            // Determinism: building the same scenario twice yields the
+            // same step sequence.
+            let again = Schedule::by_name(name, 4, 3).unwrap();
+            for (a, b) in schedule.phases.iter().zip(&again.phases) {
+                assert_eq!(a.steps, b.steps);
+                assert_eq!(a.name, b.name);
+            }
+        }
+        assert!(Schedule::by_name("coffee-spill", 4, 1).is_err());
+    }
+
+    #[test]
+    fn rolling_restart_covers_every_replica() {
+        let schedule = rolling_restart(4);
+        assert!(schedule.start_all);
+        assert_eq!(schedule.phases.len(), 4);
+        for (i, phase) in schedule.phases.iter().enumerate() {
+            assert_eq!(phase.victim, Some(i));
+            assert!(phase.steps.contains(&FaultStep::Kill(i)));
+            assert!(phase.steps.contains(&FaultStep::Start(i)));
+            assert!(phase.steps.contains(&FaultStep::AwaitRejoin(i)));
+        }
+    }
+
+    #[test]
+    fn staggered_start_asserts_only_after_quorum() {
+        let schedule = staggered_start(4);
+        assert!(!schedule.start_all);
+        assert!(!schedule.phases[0].expect_advance);
+        assert!(!schedule.phases[1].expect_advance);
+        assert!(schedule.phases[2].expect_advance, "n-1 replicas form a quorum");
+        assert!(schedule.phases.last().unwrap().expect_advance);
+    }
+}

@@ -15,7 +15,7 @@
 use crate::ecall::{CompartmentInput, CompartmentOutput};
 use crate::scheme::{enclave_signer, SPLITBFT_SCHEME};
 use splitbft_crypto::{KeyPair, KeyRegistry};
-use splitbft_pbft::verify::verify_signed_from;
+use splitbft_pbft::verify::{verify_signed_from, verify_view_change};
 use splitbft_pbft::CheckpointTracker;
 use splitbft_types::{
     Checkpoint, ClusterConfig, CompartmentKind, Commit, ConsensusMessage, Digest, NewView,
@@ -59,7 +59,33 @@ pub struct ConfirmationCompartment {
     /// `true` between sending a `ViewChange` for `view` and applying the
     /// matching `NewView`.
     awaiting_new_view: bool,
+    /// Consecutive timeouts spent awaiting the same `NewView`. While
+    /// below the advance threshold the compartment *re-broadcasts* its
+    /// current `ViewChange` instead of targeting the next view — the
+    /// backoff that stops one fast-ticking replica from leapfrogging a
+    /// view ahead of the cluster forever (each hop resets the others'
+    /// quorum hunt, so unbounded divergence is a real wedge, not a
+    /// theoretical one).
+    stalled_timeouts: u32,
+    /// Peer `ViewChange` votes by target view — the PBFT *join rule*'s
+    /// evidence: once `f + 1` distinct replicas vote for a view above
+    /// ours, at least one correct replica timed out, so this
+    /// compartment joins that view change instead of walking its own
+    /// view up one step per timeout (which can diverge forever when
+    /// timeouts interleave across replicas).
+    join_votes: BTreeMap<View, std::collections::BTreeSet<ReplicaId>>,
 }
+
+/// Distinct future target views tracked for the join rule. Correct
+/// replicas advance one view per timeout, so legitimate targets cluster
+/// just above the current view; anything further is byzantine noise.
+const MAX_JOIN_TARGETS: usize = 16;
+
+/// Timeouts spent re-broadcasting the same `ViewChange` before the
+/// target advances anyway (the escape hatch for a dead target-primary).
+/// Imported from the PBFT baseline so both stacks damp escalation at
+/// the same cadence — view-change convergence depends on it.
+use splitbft_pbft::STALLS_BEFORE_ADVANCE;
 
 impl ConfirmationCompartment {
     /// Creates the Confirmation enclave logic for `replica`.
@@ -79,6 +105,8 @@ impl ConfirmationCompartment {
             checkpoints: CheckpointTracker::new(),
             prepared_certs: BTreeMap::new(),
             awaiting_new_view: false,
+            stalled_timeouts: 0,
+            join_votes: BTreeMap::new(),
         }
     }
 
@@ -106,6 +134,9 @@ impl ConfirmationCompartment {
             CompartmentInput::Message(ConsensusMessage::Prepare(p)) => self.on_prepare(p),
             CompartmentInput::Message(ConsensusMessage::Checkpoint(c)) => self.on_checkpoint(c),
             CompartmentInput::Message(ConsensusMessage::NewView(nv)) => self.on_new_view(nv),
+            CompartmentInput::Message(ConsensusMessage::ViewChange(vc)) => {
+                self.on_view_change_vote(vc)
+            }
             CompartmentInput::ViewTimeout => Ok(self.on_view_timeout()),
             other => Err(ProtocolError::Other(format!("not a Confirmation event: {other:?}"))),
         };
@@ -225,7 +256,20 @@ impl ConfirmationCompartment {
     /// which it "will no longer process Prepares or send commits in the
     /// old view" (§4).
     fn on_view_timeout(&mut self) -> Vec<CompartmentOutput> {
-        let target = self.view.next();
+        if self.awaiting_new_view && self.stalled_timeouts < STALLS_BEFORE_ADVANCE {
+            // Still waiting for the NewView of the current target:
+            // re-broadcast the vote (the target's primary may have
+            // missed it — or restarted without it) instead of hopping
+            // to yet another view.
+            self.stalled_timeouts += 1;
+            let signed = self.signed_view_change(self.view);
+            return vec![CompartmentOutput::Broadcast(ConsensusMessage::ViewChange(signed))];
+        }
+        self.start_view_change(self.view.next())
+    }
+
+    /// This compartment's `ViewChange` for `target`, freshly signed.
+    fn signed_view_change(&self, target: View) -> Signed<ViewChange> {
         let vc = ViewChange {
             new_view: target,
             stable_seq: self.checkpoints.stable_seq(),
@@ -237,9 +281,48 @@ impl ConfirmationCompartment {
                 .collect(),
             replica: self.replica,
         };
-        let signed = self.keypair.sign_payload(vc, self.signer);
+        self.keypair.sign_payload(vc, self.signer)
+    }
+
+    /// The join rule (handler 5'): a peer Confirmation enclave's
+    /// `ViewChange` vote. Once `f + 1` distinct replicas vote for a view
+    /// above ours, at least one correct replica suspects the primary —
+    /// join their view change instead of waiting for our own timeout
+    /// (whose `view + 1` target may never match theirs).
+    fn on_view_change_vote(
+        &mut self,
+        vc: Signed<ViewChange>,
+    ) -> Result<Vec<CompartmentOutput>, ProtocolError> {
+        verify_view_change(&self.registry, &vc, &self.config, &SPLITBFT_SCHEME)?;
+        let target = vc.payload.new_view;
+        if target <= self.view {
+            return Err(ProtocolError::WrongView { got: target, current: self.view });
+        }
+        self.join_votes.entry(target).or_default().insert(vc.payload.replica);
+        while self.join_votes.len() > MAX_JOIN_TARGETS {
+            self.join_votes.pop_last();
+        }
+        // Join the *smallest* sufficiently-supported future view.
+        let joinable = self
+            .join_votes
+            .iter()
+            .find(|(view, votes)| **view > self.view && votes.len() > self.config.f())
+            .map(|(view, _)| *view);
+        match joinable {
+            Some(target) => Ok(self.start_view_change(target)),
+            None => Ok(Vec::new()),
+        }
+    }
+
+    /// Emits this compartment's `ViewChange` for `target` and enters it
+    /// (handler 5 proper — "will no longer process Prepares or send
+    /// commits in the old view", §4).
+    fn start_view_change(&mut self, target: View) -> Vec<CompartmentOutput> {
+        let signed = self.signed_view_change(target);
         self.view = target;
         self.awaiting_new_view = true;
+        self.stalled_timeouts = 0;
+        self.join_votes = self.join_votes.split_off(&target.next());
         // Old-view agreement state is void in the new view.
         for slot in self.slots.values_mut() {
             slot.commit_sent = false;
@@ -302,6 +385,8 @@ impl ConfirmationCompartment {
 
         self.view = target;
         self.awaiting_new_view = false;
+        self.stalled_timeouts = 0;
+        self.join_votes = self.join_votes.split_off(&target.next());
         // Fresh view: old candidate proposals and votes are view-bound
         // and dead; drop them, then adopt the re-issued proposals.
         self.slots.clear();

@@ -10,7 +10,7 @@ use crate::replica::{ReplicaEvent, SplitBftReplica};
 use splitbft_app::Application;
 use splitbft_net::transport::{Protocol, ProtocolOutput};
 use splitbft_types::{
-    ConsensusMessage, DurableCheckpoint, DurableEvent, ProtocolError, Request,
+    ConsensusMessage, DurableCheckpoint, DurableEvent, ProtocolError, Request, SeqNum,
 };
 
 fn to_outputs(events: Vec<ReplicaEvent>) -> Vec<ProtocolOutput<ConsensusMessage>> {
@@ -69,9 +69,14 @@ impl<A: Application + 'static> Protocol for SplitBftReplica<A> {
         self.restore_durable_checkpoint(cp)
     }
 
-    // `catch_up_messages` keeps the empty default: compartments discard
-    // executed slots, so peers catch up from the certificate plus the
-    // ongoing checkpoint stream.
+    fn catch_up_messages(&self, have_seq: SeqNum) -> Vec<ConsensusMessage> {
+        // The broker's suffix ring: committed proposals + their commit
+        // votes, retained above the stable checkpoint even though the
+        // compartments themselves discard executed slots. Lagging peers
+        // recover from this log path like pbft does, instead of riding
+        // the (slow) checkpoint stream.
+        SplitBftReplica::catch_up_messages(self, have_seq)
+    }
 }
 
 #[cfg(test)]

@@ -72,6 +72,7 @@ pub mod hosting;
 pub mod prep;
 pub mod replica;
 pub mod scheme;
+pub mod suffix;
 
 pub use adapter::{Compartment, EnclaveAdapter};
 pub use client::{SplitBftClient, SplitClientEvent};
@@ -81,3 +82,4 @@ pub use exec::ExecutionCompartment;
 pub use prep::PreparationCompartment;
 pub use replica::{CompartmentFaults, EcallRecord, ReplicaEvent, SplitBftReplica};
 pub use scheme::{compartment_measurement, enclave_signer, SPLITBFT_SCHEME};
+pub use suffix::{SuffixRing, DEFAULT_SUFFIX_CAP};

@@ -18,6 +18,7 @@ use crate::conf::ConfirmationCompartment;
 use crate::ecall::{CompartmentInput, CompartmentOutput, ECALL_HANDLE, OCALL_OUTPUT};
 use crate::exec::ExecutionCompartment;
 use crate::prep::PreparationCompartment;
+use crate::suffix::SuffixRing;
 use bytes::Bytes;
 use splitbft_app::Application;
 use splitbft_tee::attest::{PlatformAuthority, Quote};
@@ -143,6 +144,11 @@ pub struct SplitBftReplica<A: Application> {
     /// was called).
     durable: Vec<DurableEvent>,
     durable_enabled: bool,
+    /// Committed-certificate suffix ring serving the log path of peer
+    /// state transfer (see [`crate::suffix`]). Harvested alongside the
+    /// WAL batches, so it is also gated on `durable_enabled` — pure
+    /// in-memory hosting pays nothing for it.
+    suffix: SuffixRing,
 }
 
 impl<A: Application> SplitBftReplica<A> {
@@ -219,6 +225,7 @@ impl<A: Application> SplitBftReplica<A> {
             seen_batches: BTreeMap::new(),
             durable: Vec::new(),
             durable_enabled: false,
+            suffix: SuffixRing::default(),
         }
     }
 
@@ -244,7 +251,10 @@ impl<A: Application> SplitBftReplica<A> {
             // Single-compartment events.
             ConsensusMessage::Prepare(_) => &[Confirmation],
             ConsensusMessage::Commit(_) => &[Execution],
-            ConsensusMessage::ViewChange(_) => &[Preparation],
+            // ViewChange also feeds Confirmation's join rule: f + 1
+            // distinct votes for a higher view make it join that view
+            // change instead of diverging one view per local timeout.
+            ConsensusMessage::ViewChange(_) => &[Preparation, Confirmation],
         }
     }
 
@@ -417,13 +427,20 @@ impl<A: Application> SplitBftReplica<A> {
     // --- durability --------------------------------------------------------
 
     /// Remembers the batch of a passing `PrePrepare` so the commit point
-    /// can be WAL'd with its full batch (commits carry only the digest).
+    /// can be WAL'd with its full batch (commits carry only the digest),
+    /// and harvests `PrePrepare`/`Commit`/`NewView` traffic into the
+    /// suffix ring serving lagging peers. The ring recomputes the batch
+    /// digest anyway, so `seen_batches` reuses it — one hash per
+    /// proposal, not two.
     fn note_batch_of(&mut self, msg: &ConsensusMessage) {
         if !self.durable_enabled {
             return;
         }
-        if let ConsensusMessage::PrePrepare(pp) = msg {
-            let digest = splitbft_crypto::digest_of(&pp.payload.batch);
+        // The Execution compartment's view bounds which NewViews the
+        // ring may retain (see suffix::NEW_VIEW_SLACK).
+        let current_view = self.exec.enclave().inner().inner().view();
+        let digest = self.suffix.observe(msg, current_view);
+        if let (ConsensusMessage::PrePrepare(pp), Some(digest)) = (msg, digest) {
             self.seen_batches
                 .entry(pp.payload.seq)
                 .or_default()
@@ -444,7 +461,9 @@ impl<A: Application> SplitBftReplica<A> {
                 ReplicaEvent::Broadcast(msg) => self.note_batch_of(msg),
                 ReplicaEvent::Committed { kind: CompartmentKind::Execution, seq, digest } => {
                     // Only the batch whose bytes hash to the committed
-                    // digest may enter the WAL for this slot.
+                    // digest may enter the WAL for this slot; the suffix
+                    // ring freezes to the same digest.
+                    self.suffix.mark_committed(*seq, *digest);
                     let batch = self
                         .seen_batches
                         .remove(seq)
@@ -455,6 +474,7 @@ impl<A: Application> SplitBftReplica<A> {
                 }
                 ReplicaEvent::StableCheckpoint { kind: CompartmentKind::Execution, seq } => {
                     self.seen_batches = self.seen_batches.split_off(&SeqNum(seq.0 + 1));
+                    self.suffix.gc(*seq);
                     self.durable.push(DurableEvent::StableCheckpoint { seq: *seq });
                 }
                 ReplicaEvent::EnteredView { kind: CompartmentKind::Execution, view } => {
@@ -533,6 +553,21 @@ impl<A: Application> SplitBftReplica<A> {
             ));
         }
         Ok(())
+    }
+
+    /// Retained messages letting a peer at `have_seq` catch up above
+    /// the stable checkpoint through its normal verifying message path:
+    /// for every committed slot the suffix ring still holds, the
+    /// committed `PrePrepare` plus its `Commit` votes (see
+    /// [`crate::suffix`]). Empty until durable hosting enables
+    /// harvesting.
+    pub fn catch_up_messages(&self, have_seq: SeqNum) -> Vec<ConsensusMessage> {
+        self.suffix.messages_from(have_seq)
+    }
+
+    /// Read access to the suffix ring (tests and diagnostics).
+    pub fn suffix_ring(&self) -> &SuffixRing {
+        &self.suffix
     }
 
     /// Installs a client session key in the Execution enclave (the tail

@@ -272,6 +272,103 @@ fn view_change_moves_all_compartments_to_view_one() {
 }
 
 #[test]
+fn staggered_timeouts_converge_through_the_join_rule() {
+    // The divergence chaos testing exposed: with the primary dead,
+    // replica 1's timer fires *twice* before its first ViewChange
+    // reaches anyone (its Confirmation walks to view 2), while replicas
+    // 2 and 3 fire once (view 1). Without the join rule the cluster can
+    // wedge: r1's Confirmation refuses view-1 work, leaving only 2f
+    // commit voters. With it, the stragglers' next timeout plus r1's
+    // retained view-2 vote converge everyone on a common view.
+    let mut cluster = Cluster::new(4, 128, CounterApp::new);
+    cluster.submit(0, vec![plain_request(0, 1, Bytes::from_static(b"inc"))]);
+    cluster.down[0] = true;
+
+    // r1 times out twice back to back; nothing is delivered in between
+    // (messages sit in the peers' queues until `run`).
+    let events = cluster.replicas[1].on_view_timeout();
+    cluster.handle_events(1, events);
+    let events = cluster.replicas[1].on_view_timeout();
+    cluster.handle_events(1, events);
+    // r2 and r3 time out once.
+    for i in [2usize, 3] {
+        let events = cluster.replicas[i].on_view_timeout();
+        cluster.handle_events(i, events);
+    }
+    cluster.run();
+
+    // A second timeout round for whoever is still behind (the live
+    // cluster's timer keeps ticking); the join rule must fold everyone
+    // into one view rather than letting targets leapfrog forever.
+    for _ in 0..2 {
+        let views: Vec<View> =
+            (1..4).map(|i| cluster.replicas[i].views().1).collect();
+        if views.iter().all(|v| *v == views[0])
+            && !cluster.replicas[1].has_pending_requests()
+        {
+            break;
+        }
+        cluster.timeout_all_up();
+    }
+
+    let conf_views: Vec<View> = (1..4).map(|i| cluster.replicas[i].views().1).collect();
+    assert!(
+        conf_views.iter().all(|v| *v == conf_views[0]),
+        "confirmation views diverged permanently: {conf_views:?}"
+    );
+
+    // And the converged view is *live*: its primary orders fresh work.
+    let primary = (conf_views[0].0 as usize) % 4;
+    assert_ne!(primary, 0, "view 0's primary is down");
+    cluster.submit(primary, vec![plain_request(0, 2, Bytes::from_static(b"inc"))]);
+    for i in 1..4 {
+        assert_eq!(
+            cluster.replicas[i].app().value(),
+            2,
+            "replica {i} did not execute in the converged view"
+        );
+    }
+}
+
+#[test]
+fn confirmation_joins_a_view_change_on_f_plus_one_votes() {
+    // Direct compartment-level check that the join rule is live (not
+    // silently dead behind signature verification): two peer
+    // Confirmation enclaves vote for view 1; the third, which never
+    // timed out itself, must join on the f + 1 = 2nd vote.
+    use splitbft_core::{CompartmentInput, CompartmentOutput, ConfirmationCompartment};
+    let cfg = ClusterConfig::new(4).unwrap();
+    let mut confs: Vec<ConfirmationCompartment> =
+        (0..4u32).map(|i| ConfirmationCompartment::new(cfg.clone(), ReplicaId(i), SEED)).collect();
+
+    let vote_of = |outputs: Vec<CompartmentOutput>| {
+        outputs
+            .into_iter()
+            .find_map(|o| match o {
+                CompartmentOutput::Broadcast(msg @ ConsensusMessage::ViewChange(_)) => Some(msg),
+                _ => None,
+            })
+            .expect("timeout must broadcast a ViewChange")
+    };
+    let vote1 = vote_of(confs[1].handle(CompartmentInput::ViewTimeout));
+    let vote2 = vote_of(confs[2].handle(CompartmentInput::ViewTimeout));
+
+    assert_eq!(confs[3].view(), View(0));
+    confs[3].handle(CompartmentInput::Message(vote1));
+    assert_eq!(confs[3].view(), View(0), "one vote may be byzantine — no join yet");
+    let outputs = confs[3].handle(CompartmentInput::Message(vote2));
+    assert_eq!(confs[3].view(), View(1), "f + 1 votes must trigger the join");
+    assert!(
+        outputs.iter().any(|o| matches!(
+            o,
+            CompartmentOutput::Broadcast(ConsensusMessage::ViewChange(vc))
+                if vc.payload.new_view == View(1) && vc.payload.replica == ReplicaId(3)
+        )),
+        "joining must contribute this compartment's own vote"
+    );
+}
+
+#[test]
 fn f_muted_prep_enclaves_do_not_stop_the_cluster() {
     // One Preparation enclave (f = 1) goes mute: its replica stops
     // voting Prepare, but 2f prepares from the other backups suffice.

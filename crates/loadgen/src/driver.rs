@@ -77,6 +77,13 @@ pub struct DriverConfig {
     pub connect_timeout: Duration,
     /// First client id; client `i` uses `client_id_base + i`.
     pub client_id_base: u32,
+    /// Address-book index requests are first submitted to (the view-0
+    /// primary by default). A wrong guess still completes through the
+    /// retry broadcast, just slower. An **out-of-range** index (e.g.
+    /// `usize::MAX`) broadcasts every submission to all reachable
+    /// replicas — the leadership-agnostic mode chaos/failover harnesses
+    /// use when view changes move the primary mid-run.
+    pub primary_index: usize,
 }
 
 impl DriverConfig {
@@ -96,6 +103,7 @@ impl DriverConfig {
             drain_timeout: Duration::from_secs(30),
             connect_timeout: Duration::from_secs(10),
             client_id_base: 1_000,
+            primary_index: 0,
         }
     }
 }
@@ -271,7 +279,7 @@ fn client_loop(config: &DriverConfig, index: usize) -> io::Result<ClientStats> {
                 (request.id.timestamp.0, Flight { request: request.clone(), last_sent: issued_at })
             })
             .collect();
-        tcp.submit_batch(0, batch)?;
+        tcp.submit_batch(config.primary_index, batch)?;
         for (ts, flight) in flights {
             inflight.insert(ts, flight);
         }

@@ -57,5 +57,5 @@ pub mod workload;
 pub use driver::{DriverConfig, LoadMode, LoadStats};
 pub use hist::{LatencyHistogram, Windows};
 pub use quorum::QuorumTracker;
-pub use report::{BatchSummary, BenchReport, LatencySummary};
+pub use report::{BatchSummary, BenchReport, DurabilitySummary, LatencySummary};
 pub use workload::Workload;

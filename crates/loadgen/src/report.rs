@@ -42,6 +42,21 @@ pub struct BatchSummary {
     pub linger_us: u64,
 }
 
+/// What the durability plane cost during a run (only measurable for
+/// self-orchestrated clusters, whose in-process nodes expose fsync
+/// gauges).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DurabilitySummary {
+    /// The WAL group-commit linger the replicas ran with
+    /// (`0` = one fsync per drained event).
+    pub wal_group_commit_us: u64,
+    /// Total WAL fsyncs across all replicas during the run.
+    pub fsyncs: u64,
+    /// Fsyncs per client-verified completion (`None` with zero
+    /// completions). The number group-commit exists to shrink.
+    pub fsyncs_per_completed: Option<f64>,
+}
+
 /// One complete measurement: configuration, counts, latency
 /// percentiles, and the per-window throughput series.
 #[derive(Debug, Clone)]
@@ -86,6 +101,9 @@ pub struct BenchReport {
     pub window: Duration,
     /// Completions per window.
     pub window_counts: Vec<u64>,
+    /// Durability-plane cost, when the run could measure it (`null` in
+    /// the JSON otherwise).
+    pub durability: Option<DurabilitySummary>,
 }
 
 impl BenchReport {
@@ -136,7 +154,15 @@ impl BenchReport {
             },
             window: stats.windows.window(),
             window_counts: stats.windows.counts().to_vec(),
+            durability: None,
         }
+    }
+
+    /// Attaches the durability-plane measurement (builder style).
+    #[must_use]
+    pub fn with_durability(mut self, durability: DurabilitySummary) -> Self {
+        self.durability = Some(durability);
+        self
     }
 
     /// The report as a JSON document.
@@ -162,6 +188,15 @@ impl BenchReport {
             LoadMode::Closed => "closed",
             LoadMode::Open { .. } => "open",
         };
+        let durability = match &self.durability {
+            None => "null".to_string(),
+            Some(d) => format!(
+                r#"{{"wal_group_commit_us": {}, "fsyncs": {}, "fsyncs_per_completed": {}}}"#,
+                d.wal_group_commit_us,
+                d.fsyncs,
+                d.fsyncs_per_completed.map_or("null".into(), |v| format!("{v:.3}")),
+            ),
+        };
         format!(
             concat!(
                 "{{\n",
@@ -180,6 +215,7 @@ impl BenchReport {
                 "  \"batch\": {{\"max_frames\": {max_frames}, \"max_bytes\": {max_bytes}, \"linger_us\": {linger_us}}},\n",
                 "  \"requests\": {{\"issued\": {issued}, \"completed\": {completed}, \"timed_out\": {timed_out}}},\n",
                 "  \"committed\": {committed},\n",
+                "  \"durability\": {durability},\n",
                 "  \"throughput_rps\": {throughput:.3},\n",
                 "  \"latency_us\": {{\"p50\": {p50}, \"p95\": {p95}, \"p99\": {p99}, \"max\": {max}, \"mean\": {mean:.1}}},\n",
                 "  \"window_secs\": {window_secs:.3},\n",
@@ -205,6 +241,7 @@ impl BenchReport {
             completed = self.completed,
             timed_out = self.timed_out,
             committed = self.committed,
+            durability = durability,
             throughput = self.throughput_rps,
             p50 = self.latency.p50_us,
             p95 = self.latency.p95_us,
@@ -386,14 +423,17 @@ impl RateSweepReport {
     }
 }
 
-/// Keeps report names shell- and filesystem-safe.
-fn sanitize_name(name: &str) -> String {
+/// Keeps report names shell- and filesystem-safe. Shared by every
+/// `BENCH_*.json` writer in the workspace (the chaos reports reuse it).
+pub fn sanitize_name(name: &str) -> String {
     name.chars()
         .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == '-' { c } else { '_' })
         .collect()
 }
 
-fn json_escape(s: &str) -> String {
+/// Minimal JSON string escaping (quotes, backslashes, control chars) —
+/// the workspace has no serde, so every report writer shares this one.
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -457,6 +497,21 @@ mod tests {
             assert!(json.contains(key), "missing {key} in:\n{json}");
         }
         assert!(json.contains(SCHEMA));
+    }
+
+    #[test]
+    fn durability_section_serializes_when_present() {
+        let json = sample_report().to_json();
+        assert!(json.contains("\"durability\": null"), "absent by default:\n{json}");
+        let with = sample_report().with_durability(DurabilitySummary {
+            wal_group_commit_us: 200,
+            fsyncs: 120,
+            fsyncs_per_completed: Some(0.4),
+        });
+        let json = with.to_json();
+        assert!(json.contains("\"wal_group_commit_us\": 200"), "{json}");
+        assert!(json.contains("\"fsyncs\": 120"));
+        assert!(json.contains("\"fsyncs_per_completed\": 0.400"));
     }
 
     #[test]

@@ -175,6 +175,31 @@ pub trait Protocol: Send + 'static {
     fn catch_up_messages(&self, _have_seq: SeqNum) -> Vec<Self::Message> {
         Vec::new()
     }
+
+    /// Completes one *drain batch* of handler invocations: runtimes that
+    /// process several queued events back to back call this once at the
+    /// end of the batch, before routing anything the batch produced.
+    ///
+    /// This is the group-commit point of the durability plane. A durable
+    /// wrapper (`splitbft-store`'s `DurableProtocol` in group-commit
+    /// mode) appends WAL records during the handler calls but *withholds
+    /// their outputs*; this hook performs the batch's single fsync and
+    /// releases everything withheld, so the WAL-before-network invariant
+    /// holds with one fsync per batch instead of one per event.
+    ///
+    /// The default releases nothing (non-durable protocols return their
+    /// outputs directly from the handlers). Runtimes must call this
+    /// after **every** batch, even a batch of one.
+    fn flush_durable(&mut self) -> Vec<ProtocolOutput<Self::Message>> {
+        Vec::new()
+    }
+
+    /// Monotone count of WAL fsyncs this protocol has performed —
+    /// `0` forever for non-durable protocols. Benchmarks read it (via
+    /// the runtime's gauge) to quantify what group-commit saves.
+    fn durable_fsyncs(&self) -> u64 {
+        0
+    }
 }
 
 /// Frame discriminators used by the socket transport (the `kind` byte of

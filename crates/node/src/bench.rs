@@ -32,9 +32,9 @@
 //! must equal the clients' observed completions when nothing timed out.
 
 use crate::{
-    apply_batch_flags, cli_flag as flag, fault_tolerance_for, parse_cluster_toml,
-    reply_quorum_for, run_client, start_replica_on, AppKind, ClusterFile, NodeOptions,
-    ProtocolKind,
+    apply_batch_flags, cli_flag as flag, fault_tolerance_for, parse_cli_flag as parse_flag,
+    parse_cluster_toml, reply_quorum_for, run_client, start_replica_on, validate_cli_flags,
+    AppKind, ClusterFile, NodeOptions, ProtocolKind,
 };
 use splitbft_loadgen::driver::{self, DriverConfig, LoadMode};
 use splitbft_loadgen::report::{BatchSummary, BenchReport, RateSweepReport, SweepPoint};
@@ -90,6 +90,12 @@ impl LocalCluster {
         self.replicas.iter().map(|p| p.addr).collect()
     }
 
+    /// Total WAL fsyncs across every node so far (`0` unless the
+    /// cluster was launched with a data dir).
+    pub fn fsyncs(&self) -> u64 {
+        self.nodes.iter().map(TcpNode::fsyncs).sum()
+    }
+
     /// Stops every node and joins their threads.
     pub fn shutdown(self) {
         for node in self.nodes {
@@ -133,6 +139,9 @@ pub struct BenchInvocation {
     /// enables the WAL + sealed-checkpoint plane and peer state
     /// transfer on every node.
     pub data_dir: Option<PathBuf>,
+    /// WAL group-commit linger (`--wal-group-commit-us`); zero fsyncs
+    /// once per drained event.
+    pub wal_group_commit: Duration,
     /// Report output directory.
     pub out_dir: PathBuf,
     /// Report name override (suffixed per combination when sweeping).
@@ -145,17 +154,6 @@ pub struct BenchInvocation {
     pub drain_timeout: Duration,
     /// First load-generator client id.
     pub client_id_base: u32,
-}
-
-fn parse_flag<T: std::str::FromStr>(
-    args: &[String],
-    name: &str,
-    default: T,
-) -> Result<T, String> {
-    match flag(args, name) {
-        None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("{name} got unparsable value {v:?}")),
-    }
 }
 
 /// Parses `5s`, `500ms`, or a plain number of seconds.
@@ -179,7 +177,7 @@ const KNOWN_FLAGS: &[&str] = &[
     "--duration", "--rate", "--keys", "--value-size", "--read-ratio", "--payload",
     "--batch-frames", "--batch-bytes", "--batch-linger-us", "--sweep-batch-frames",
     "--timeout-ms", "--out", "--name", "--window-ms", "--retry-ms", "--drain-secs",
-    "--client-base", "--data-dir", "--sweep-rate",
+    "--client-base", "--data-dir", "--sweep-rate", "--wal-group-commit-us",
 ];
 
 /// Parses the `bench` subcommand's arguments.
@@ -190,20 +188,8 @@ const KNOWN_FLAGS: &[&str] = &[
 /// inconsistent combinations (e.g. `--compare` against `--config`).
 pub fn parse_args(args: &[String]) -> Result<BenchInvocation, String> {
     let compare = args.iter().any(|a| a == "--compare");
-    let mut i = 0;
-    while i < args.len() {
-        let arg = &args[i];
-        if arg == "--compare" {
-            i += 1;
-        } else if KNOWN_FLAGS.contains(&arg.as_str()) {
-            if i + 1 >= args.len() {
-                return Err(format!("{arg} needs a value"));
-            }
-            i += 2;
-        } else {
-            return Err(format!("unknown bench flag {arg:?}"));
-        }
-    }
+    validate_cli_flags(args, KNOWN_FLAGS, &["--compare"])
+        .map_err(|e| format!("bench: {e}"))?;
 
     let config_path = flag(args, "--config");
     if compare && config_path.is_some() {
@@ -317,6 +303,7 @@ pub fn parse_args(args: &[String]) -> Result<BenchInvocation, String> {
         batch_variants,
         timeout_every: (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms)),
         data_dir: flag(args, "--data-dir").map(PathBuf::from),
+        wal_group_commit: Duration::from_micros(parse_flag(args, "--wal-group-commit-us", 0u64)?),
         out_dir: PathBuf::from(flag(args, "--out").unwrap_or_else(|| ".".into())),
         name: flag(args, "--name"),
         window: Duration::from_millis(parse_flag(args, "--window-ms", 1_000u64)?.max(1)),
@@ -440,6 +427,7 @@ fn run_one(
         batch,
         timeout_every: invocation.timeout_every,
         data_dir: invocation.data_dir.clone(),
+        wal_group_commit: invocation.wal_group_commit,
     };
 
     // A cluster: launched here, or described by the external file.
@@ -516,6 +504,20 @@ fn run_one(
         ))
     })();
 
+    // Self-orchestrated durable runs report the durability plane's
+    // cost: fsync totals come from the in-process nodes' gauges.
+    let result = result.map(|report| match &cluster {
+        Some(cluster) if invocation.data_dir.is_some() => {
+            let fsyncs = cluster.fsyncs();
+            let completed = report.completed;
+            report.with_durability(splitbft_loadgen::report::DurabilitySummary {
+                wal_group_commit_us: invocation.wal_group_commit.as_micros() as u64,
+                fsyncs,
+                fsyncs_per_completed: (completed > 0).then(|| fsyncs as f64 / completed as f64),
+            })
+        }
+        _ => report,
+    });
     if let Some(cluster) = cluster {
         cluster.shutdown();
     }

@@ -23,6 +23,9 @@
 //! # data_dir = "/var/lib/splitbft"  # durability root (omit = in-memory);
 //! #                                 # replica i persists under
 //! #                                 # <data_dir>/replica-<i>/
+//! wal_group_commit_us = 0  # WAL group-commit linger: 0 = fsync per
+//!                          # event; >0 shares one fsync per core-loop
+//!                          # drain batch (needs data_dir)
 //!
 //! [[replica]]
 //! id = 0
@@ -59,6 +62,7 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod chaos;
 
 use bytes::Bytes;
 use splitbft_app::{Application, Blockchain, CounterApp, KeyValueStore};
@@ -161,6 +165,13 @@ pub struct NodeOptions {
     /// checkpoints under `<data_dir>/replica-<id>/`; `None` hosts the
     /// replica purely in memory, as before.
     pub data_dir: Option<PathBuf>,
+    /// WAL group-commit linger (`wal_group_commit_us` in the cluster
+    /// file, `--wal-group-commit-us` on the CLI). Zero — the default —
+    /// fsyncs once per drained core-loop event; a positive linger lets
+    /// the core loop coalesce every queued event plus up to this much
+    /// waiting time into one drain batch sharing a single fsync.
+    /// Meaningless without `data_dir`.
+    pub wal_group_commit: Duration,
 }
 
 impl Default for NodeOptions {
@@ -169,6 +180,7 @@ impl Default for NodeOptions {
             batch: BatchPolicy::default(),
             timeout_every: Some(Duration::from_millis(2_000)),
             data_dir: None,
+            wal_group_commit: Duration::ZERO,
         }
     }
 }
@@ -285,6 +297,12 @@ pub fn parse_cluster_toml(text: &str) -> Result<ClusterFile, ConfigError> {
             (None, "data_dir") => {
                 options.data_dir = Some(PathBuf::from(parse_string(value)?));
             }
+            (None, "wal_group_commit_us") => {
+                let us: u64 = value.parse().map_err(|_| {
+                    err(format!("wal_group_commit_us must be an integer, got {value:?}"))
+                })?;
+                options.wal_group_commit = Duration::from_micros(us);
+            }
             (None, other) => return Err(err(format!("unknown top-level key {other:?}"))),
             (Some(i), "id") => {
                 replicas[i].0 = Some(
@@ -395,7 +413,14 @@ pub fn start_replica_on(
             config.recovery = Some(RecoveryPolicy {
                 agreement: fault_tolerance_for(protocol, config.peers.len())? + 1,
             });
-            Some(base.join(format!("replica-{}", bound.id().0)))
+            // The runtime linger and the protocol's group-commit mode
+            // travel together: the core loop batches events, the
+            // DurableProtocol withholds outputs until the batch fsync.
+            config.group_commit = options.wal_group_commit;
+            Some(Durability {
+                dir: base.join(format!("replica-{}", bound.id().0)),
+                group_commit: !options.wal_group_commit.is_zero(),
+            })
         }
     };
     match app {
@@ -411,6 +436,14 @@ pub fn start_replica_on(
     }
 }
 
+/// How a replica persists, resolved from [`NodeOptions`].
+struct Durability {
+    /// This replica's own data directory.
+    dir: PathBuf,
+    /// Whether the [`DurableProtocol`] runs in group-commit mode.
+    group_commit: bool,
+}
+
 /// Hosts `protocol` directly, or wrapped in the durability plane when a
 /// data directory is configured — recovering whatever WAL and sealed
 /// checkpoints a previous incarnation left there, and logging what was
@@ -420,13 +453,14 @@ fn start_durable<P: Protocol>(
     config: TcpNodeConfig,
     seed: u64,
     protocol: P,
-    durability: Option<PathBuf>,
+    durability: Option<Durability>,
 ) -> io::Result<TcpNode> {
     match durability {
         None => bound.start(config, protocol),
-        Some(dir) => {
+        Some(Durability { dir, group_commit }) => {
             let identity = replica_sealing_identity(seed, bound.id());
-            let durable = DurableProtocol::recover(protocol, &dir, identity)?;
+            let durable = DurableProtocol::recover(protocol, &dir, identity)?
+                .with_group_commit(group_commit);
             let report = durable.recovery_report();
             if report.recovered_anything() || !report.checkpoint_errors.is_empty() {
                 eprintln!(
@@ -455,7 +489,7 @@ fn start_with_app<A: Application + 'static>(
     protocol: ProtocolKind,
     seed: u64,
     app: A,
-    durability: Option<PathBuf>,
+    durability: Option<Durability>,
 ) -> io::Result<TcpNode> {
     let id = config.id;
     let n = config.peers.len();
@@ -520,6 +554,43 @@ pub fn cli_flag(args: &[String], name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
 }
 
+/// Parses `--name value` with a fallback, shared by the bench and
+/// chaos argument parsers.
+pub(crate) fn parse_cli_flag<T: std::str::FromStr>(
+    args: &[String],
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match cli_flag(args, name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("{name} got unparsable value {v:?}")),
+    }
+}
+
+/// Rejects unknown flags and value-flags missing their value, given the
+/// subcommand's vocabulary (value-taking flags and bare switches).
+pub(crate) fn validate_cli_flags(
+    args: &[String],
+    value_flags: &[&str],
+    bare_flags: &[&str],
+) -> Result<(), String> {
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if bare_flags.contains(&arg.as_str()) {
+            i += 1;
+        } else if value_flags.contains(&arg.as_str()) {
+            if i + 1 >= args.len() {
+                return Err(format!("{arg} needs a value"));
+            }
+            i += 2;
+        } else {
+            return Err(format!("unknown flag {arg:?}"));
+        }
+    }
+    Ok(())
+}
+
 /// Applies the `--batch-frames` / `--batch-bytes` / `--batch-linger-us`
 /// CLI overrides onto `batch`, validating like the cluster-file parser
 /// (the frame and byte limits must be positive).
@@ -540,6 +611,26 @@ pub fn apply_batch_flags(args: &[String], batch: &mut BatchPolicy) -> Result<(),
         let us: u64 =
             us.parse().map_err(|_| format!("--batch-linger-us must be an integer, got {us:?}"))?;
         batch.linger = Duration::from_micros(us);
+    }
+    Ok(())
+}
+
+/// Applies the durability CLI overrides (`--data-dir`,
+/// `--wal-group-commit-us`) onto `options`, shared by the serve and
+/// bench subcommands.
+///
+/// # Errors
+///
+/// A human-readable message naming the offending flag.
+pub fn apply_durability_flags(args: &[String], options: &mut NodeOptions) -> Result<(), String> {
+    if let Some(dir) = cli_flag(args, "--data-dir") {
+        options.data_dir = Some(dir.into());
+    }
+    if let Some(us) = cli_flag(args, "--wal-group-commit-us") {
+        let us: u64 = us
+            .parse()
+            .map_err(|_| format!("--wal-group-commit-us must be an integer, got {us:?}"))?;
+        options.wal_group_commit = Duration::from_micros(us);
     }
     Ok(())
 }
@@ -745,6 +836,36 @@ addr = "127.0.0.1:7103"
             parse_cluster_toml("[[replica]]\nid = 0\n").is_err(),
             "missing addr"
         );
+    }
+
+    #[test]
+    fn wal_group_commit_key_parses() {
+        let file = parse_cluster_toml(
+            "wal_group_commit_us = 250\n[[replica]]\nid = 0\naddr = \"127.0.0.1:9000\"\n",
+        )
+        .unwrap();
+        assert_eq!(file.options.wal_group_commit, Duration::from_micros(250));
+        assert!(
+            parse_cluster_toml(
+                "wal_group_commit_us = \"fast\"\n[[replica]]\nid = 0\naddr = \"127.0.0.1:9000\"\n",
+            )
+            .is_err(),
+            "non-integer linger rejected"
+        );
+
+        let mut options = NodeOptions::default();
+        apply_durability_flags(
+            &["--wal-group-commit-us".into(), "500".into(), "--data-dir".into(), "/tmp/d".into()],
+            &mut options,
+        )
+        .unwrap();
+        assert_eq!(options.wal_group_commit, Duration::from_micros(500));
+        assert_eq!(options.data_dir, Some(PathBuf::from("/tmp/d")));
+        assert!(apply_durability_flags(
+            &["--wal-group-commit-us".into(), "soon".into()],
+            &mut options
+        )
+        .is_err());
     }
 
     #[test]

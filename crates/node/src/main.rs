@@ -17,8 +17,8 @@
 //! and the crate docs of `splitbft_node` for the cluster-file format.
 
 use splitbft_node::{
-    apply_batch_flags, bench, cli_flag as flag, parse_cluster_toml, run_client, run_replica,
-    ClusterFile, NodeOptions, ProtocolKind,
+    apply_batch_flags, apply_durability_flags, bench, chaos, cli_flag as flag,
+    parse_cluster_toml, run_client, run_replica, ClusterFile, NodeOptions, ProtocolKind,
 };
 use splitbft_types::{ClientId, ReplicaId};
 use std::process::ExitCode;
@@ -30,6 +30,7 @@ fn main() -> ExitCode {
         Some("serve") => serve(&args[1..]),
         Some("client") => client(&args[1..]),
         Some("bench") => run_to_exit(bench::run(&args[1..]).map(|_| ())),
+        Some("chaos") => run_to_exit(chaos::run(&args[1..]).map(|_| ())),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -42,11 +43,12 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "\
-splitbft-node — run a PBFT / SplitBFT / MinBFT replica, client, or bench over TCP
+splitbft-node — run a PBFT / SplitBFT / MinBFT replica, client, bench, or chaos run over TCP
 
 USAGE:
     splitbft-node serve  --config <cluster.toml> --replica <id> [--protocol <p>]
-                         [--data-dir <dir>] [--timeout-ms <ms>] [--batch-frames <n>]
+                         [--data-dir <dir>] [--wal-group-commit-us <us>]
+                         [--timeout-ms <ms>] [--batch-frames <n>]
                          [--batch-bytes <n>] [--batch-linger-us <us>]
     splitbft-node client --config <cluster.toml> [--protocol <p>] [--client <id>]
                          [--op <bytes>] [--requests <n>] [--timeout-secs <s>]
@@ -57,16 +59,28 @@ USAGE:
                          [--keys <n>] [--value-size <n>]
                          [--read-ratio <f>] [--payload <n>]
                          [--batch-frames <n>] [--sweep-batch-frames <a,b,..>]
-                         [--data-dir <dir>] [--out <dir>] [--name <name>]
+                         [--data-dir <dir>] [--wal-group-commit-us <us>]
+                         [--out <dir>] [--name <name>]
+    splitbft-node chaos  --scenario rolling-restart|repeated-kill|primary-kill|staggered-start
+                         (--protocol <p> | --compare) [--replicas <n>] [--rounds <n>]
+                         [--clients <n>] [--pipeline <n>] [--timeout-ms <ms>]
+                         [--wal-group-commit-us <us>] [--rejoin-secs <s>]
+                         [--probe-secs <s>] [--root <dir>] [--keep-data]
+                         [--skip-group-commit] [--out <dir>]
 
 The cluster file lists every replica's id and address plus the shared
 seed, protocol, application, and runtime knobs (view-change timer,
-send-path batching, data_dir); see the splitbft_node crate docs.
-`--data-dir` makes the replica durable: consensus events are WAL'd and
-checkpoints sealed under <dir>/replica-<id>/, and a restarted replica
-recovers from them plus peer state transfer. `bench` without --config
+send-path batching, data_dir, wal_group_commit_us); see the
+splitbft_node crate docs and docs/OPERATIONS.md. `--data-dir` makes the
+replica durable: consensus events are WAL'd and checkpoints sealed
+under <dir>/replica-<id>/, and a restarted replica recovers from them
+plus peer state transfer. `--wal-group-commit-us` shares one WAL fsync
+across each core-loop drain batch. `bench` without --config
 self-orchestrates a localhost cluster, writes one BENCH_<name>.json per
-run, and exits nonzero if a run completes zero requests.
+run, and exits nonzero if a run completes zero requests. `chaos` drives
+a live subprocess cluster through a scripted fault schedule under load,
+asserts commits advance and victims rejoin after every phase, and
+writes one BENCH_chaos_<scenario>_<protocol>.json per run.
 ";
 
 fn load(args: &[String]) -> Result<(ClusterFile, ProtocolKind), String> {
@@ -88,9 +102,7 @@ fn options_from(args: &[String], file: &ClusterFile) -> Result<NodeOptions, Stri
         let ms: u64 = ms.parse().map_err(|_| "--timeout-ms must be an integer".to_string())?;
         options.timeout_every = (ms > 0).then(|| Duration::from_millis(ms));
     }
-    if let Some(dir) = flag(args, "--data-dir") {
-        options.data_dir = Some(dir.into());
-    }
+    apply_durability_flags(args, &mut options)?;
     apply_batch_flags(args, &mut options.batch)?;
     Ok(options)
 }

@@ -44,6 +44,18 @@ use std::collections::BTreeMap;
 /// exhaustion by a byzantine peer flooding messages for far-future views).
 const MAX_FUTURE_BUFFER: usize = 4_096;
 
+/// Timeouts spent re-broadcasting the same `ViewChange` before the
+/// target advances anyway (the escape hatch for a dead target-primary).
+/// Public because the SplitBFT Confirmation compartment implements the
+/// same convergence fix and imports this constant — one damping knob,
+/// both stacks in lockstep.
+pub const STALLS_BEFORE_ADVANCE: u32 = 2;
+
+/// Most slots served per catch-up response (state transfer is chunked:
+/// a deeply lagging peer requests again with a higher `have_seq`).
+/// Shared with the SplitBFT broker's suffix ring for the same reason.
+pub const CATCH_UP_CHUNK_SLOTS: usize = 64;
+
 /// Where the replica is in the view-change life cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Status {
@@ -77,6 +89,17 @@ pub struct Replica<A> {
     /// Buffered messages for views above the current one, re-injected
     /// after entering a new view.
     future_buffer: Vec<ConsensusMessage>,
+    /// The latest `NewView` this replica emitted or accepted, retained
+    /// for peer catch-up: a replica that was down during the broadcast
+    /// can only join the view through this (self-certifying) message,
+    /// so it leads every served catch-up suffix.
+    last_new_view: Option<Signed<NewView>>,
+    /// Consecutive timeouts spent in view-change status awaiting the
+    /// same `NewView`. Below the threshold the replica *re-broadcasts*
+    /// its current `ViewChange` instead of targeting the next view —
+    /// without this backoff one fast-ticking replica leapfrogs a view
+    /// ahead of the cluster forever and the view change never converges.
+    stalled_timeouts: u32,
 
     app: A,
     /// Highest sequence number assigned by this replica as primary.
@@ -124,6 +147,8 @@ impl<A: Application> Replica<A> {
             view_changes: ViewChangeTracker::new(),
             prepared_certs: BTreeMap::new(),
             future_buffer: Vec::new(),
+            last_new_view: None,
+            stalled_timeouts: 0,
             app,
             next_seq: SeqNum::zero(),
             last_exec: SeqNum::zero(),
@@ -306,13 +331,28 @@ impl<A: Application> Replica<A> {
     pub fn catch_up_messages(&self, have_seq: SeqNum) -> Vec<ConsensusMessage> {
         let from = have_seq.max(self.checkpoints.stable_seq());
         let mut msgs = Vec::new();
+        // The latest NewView leads: a peer that was down during the
+        // view-change broadcast rejects everything from the current
+        // view until it processes this (a receiver already in the view
+        // simply drops it).
+        if let Some(nv) = &self.last_new_view {
+            msgs.push(ConsensusMessage::NewView(nv.clone()));
+        }
+        // Chunked: a deeply lagging peer catches up incrementally (its
+        // next state-request round carries a higher have_seq) instead
+        // of drowning in one giant suffix.
+        let mut served = 0usize;
         for seq in (from.0 + 1)..=self.last_exec.0 {
+            if served >= CATCH_UP_CHUNK_SLOTS {
+                break;
+            }
             let Some(slot) = self.log.slot(SeqNum(seq)) else { continue };
             let Some(pp) = &slot.pre_prepare else { continue };
             msgs.push(ConsensusMessage::PrePrepare(pp.clone()));
             for commit in slot.commits.values() {
                 msgs.push(ConsensusMessage::Commit(commit.clone()));
             }
+            served += 1;
         }
         msgs
     }
@@ -389,8 +429,32 @@ impl<A: Application> Replica<A> {
     /// The environment's view-change timer fired: vote to depose the
     /// current primary (or escalate to the next view if already changing).
     pub fn on_view_timeout(&mut self) -> Vec<Action> {
+        if self.status == Status::InViewChange && self.stalled_timeouts < STALLS_BEFORE_ADVANCE {
+            // Still awaiting the NewView for the view we already voted:
+            // re-broadcast the vote (the target's primary may have
+            // missed or restarted past it) instead of hopping onward.
+            self.stalled_timeouts += 1;
+            let signed = self.signed_view_change(self.view);
+            return vec![Action::Broadcast { msg: ConsensusMessage::ViewChange(signed) }];
+        }
         let target = self.view.next();
         self.start_view_change(target)
+    }
+
+    /// This replica's `ViewChange` for `target`, freshly signed.
+    fn signed_view_change(&self, target: View) -> Signed<ViewChange> {
+        let vc = ViewChange {
+            new_view: target,
+            stable_seq: self.checkpoints.stable_seq(),
+            checkpoint_proof: self.checkpoints.stable_proof().clone(),
+            prepared: self
+                .prepared_certs
+                .range(SeqNum(self.checkpoints.stable_seq().0 + 1)..)
+                .map(|(_, cert)| cert.clone())
+                .collect(),
+            replica: self.id,
+        };
+        self.keypair.sign_payload(vc, self.signer)
     }
 
     // --- normal operation ------------------------------------------------
@@ -727,24 +791,14 @@ impl<A: Application> Replica<A> {
         let target = target.max(self.view.next());
         self.status = Status::InViewChange;
         self.view = target;
+        self.stalled_timeouts = 0;
         self.record(|| DurableEvent::EnteredView { view: target });
         // Each stall converts into exactly one failover attempt: clients
         // that still care keep retransmitting, which re-arms the timer
         // in the (possibly again faulty) next view.
         self.pending_requests.clear();
 
-        let vc = ViewChange {
-            new_view: target,
-            stable_seq: self.checkpoints.stable_seq(),
-            checkpoint_proof: self.checkpoints.stable_proof().clone(),
-            prepared: self
-                .prepared_certs
-                .range(SeqNum(self.checkpoints.stable_seq().0 + 1)..)
-                .map(|(_, cert)| cert.clone())
-                .collect(),
-            replica: self.id,
-        };
-        let signed = self.keypair.sign_payload(vc, self.signer);
+        let signed = self.signed_view_change(target);
         self.view_changes.insert(signed.clone());
         let mut actions =
             vec![Action::Broadcast { msg: ConsensusMessage::ViewChange(signed) }];
@@ -799,6 +853,7 @@ impl<A: Application> Replica<A> {
             .collect();
         let nv = NewView { view: target, view_changes: quorum, pre_prepares: pre_prepares.clone() };
         let signed_nv = self.keypair.sign_payload(nv, self.signer);
+        self.last_new_view = Some(signed_nv.clone());
         actions.push(Action::Broadcast { msg: ConsensusMessage::NewView(signed_nv) });
 
         actions.extend(self.enter_view(target, &plan));
@@ -823,6 +878,7 @@ impl<A: Application> Replica<A> {
         verify_signed_from(&self.registry, &nv, (self.scheme.proposer)(primary))?;
         verify::verify_new_view_contents(&self.registry, &nv.payload, &self.config, &self.scheme)?;
         let plan = validate_new_view(&nv.payload, &self.config)?;
+        self.last_new_view = Some(nv.clone());
 
         let mut actions = self.enter_view(target, &plan);
         for pp in nv.payload.pre_prepares {
@@ -850,6 +906,7 @@ impl<A: Application> Replica<A> {
         self.log.clear_above(self.checkpoints.stable_seq());
         self.view = view;
         self.status = Status::Normal;
+        self.stalled_timeouts = 0;
         self.view_changes.collect_garbage(view);
         self.record(|| DurableEvent::EnteredView { view });
         actions.push(Action::EnteredView { view });

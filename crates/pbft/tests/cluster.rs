@@ -278,13 +278,17 @@ fn prepared_request_survives_view_change() {
 fn cascading_timeouts_reach_view_two() {
     let mut cluster = Cluster::new(4, 128, CounterApp::new);
     // r0 and r1 both down: view 1 (primary r1) cannot form either; the
-    // remaining two replicas time out twice and land in view 2, but with
-    // only 2 correct replicas there is no quorum — they stay in view
-    // change. This exercises escalation without progress.
+    // remaining two replicas escalate to view 2, but with only 2
+    // correct replicas there is no quorum — they stay in view change.
+    // Escalation is *damped*: after voting a view, a replica spends two
+    // timeouts re-broadcasting that vote (so stragglers can converge on
+    // it) before targeting the next view, so reaching view 2 takes four
+    // timeout rounds, not two.
     cluster.down[0] = true;
     cluster.down[1] = true;
-    cluster.timeout_all_up();
-    cluster.timeout_all_up();
+    for _ in 0..4 {
+        cluster.timeout_all_up();
+    }
     for i in 2..4 {
         let r = &cluster.replicas[i];
         assert!(r.view() >= View(2), "replica {i} escalated");

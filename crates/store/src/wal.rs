@@ -21,6 +21,34 @@
 //! Growth is bounded by the sealed-checkpoint garbage collector in
 //! [`crate::durable`]: whenever a checkpoint is sealed, the log is
 //! atomically rewritten with only the records still needed beyond it.
+//!
+//! # Example: record framing and torn-tail recovery
+//!
+//! [`encode_record`] frames a payload; [`scan`] recovers the longest
+//! valid prefix of a raw log image, treating anything after it —
+//! including a record cut mid-write — as the torn tail to truncate:
+//!
+//! ```
+//! use splitbft_store::wal::{crc32, encode_record, scan, RECORD_HEADER_LEN, RECORD_MAGIC};
+//!
+//! let record = encode_record(b"committed slot 7");
+//! assert_eq!(record[0], RECORD_MAGIC);
+//! assert_eq!(record.len(), RECORD_HEADER_LEN + 16);
+//! assert_eq!(
+//!     u32::from_le_bytes(record[5..9].try_into().unwrap()),
+//!     crc32(b"committed slot 7"),
+//! );
+//!
+//! // Two intact records followed by a crash mid-append…
+//! let mut image = encode_record(b"first");
+//! image.extend(encode_record(b"second"));
+//! image.extend(&encode_record(b"torn")[..7]); // header cut short
+//!
+//! // …recover exactly the intact prefix; the tail is corruption.
+//! let (records, valid_len) = scan(&image);
+//! assert_eq!(records, vec![b"first".to_vec(), b"second".to_vec()]);
+//! assert_eq!(valid_len, image.len() - 7);
+//! ```
 
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};

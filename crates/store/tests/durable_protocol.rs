@@ -207,6 +207,76 @@ fn corrupt_checkpoint_falls_back_to_the_older_one_and_the_wal() {
 }
 
 #[test]
+fn group_commit_withholds_outputs_until_the_batch_fsync() {
+    let dir = scenario("group-commit");
+    {
+        let mut durable = DurableProtocol::recover(ToyProtocol::default(), &dir, identity())
+            .unwrap()
+            .with_group_commit(true);
+        assert_eq!(durable.fsyncs(), 0);
+
+        // Three handler calls forming one drain batch: no output may
+        // escape before the batch's single fsync returns...
+        for ts in 1..=3u64 {
+            let escaped = durable.on_client_requests(vec![request(ts)]);
+            assert!(escaped.is_empty(), "output escaped before the batch fsync: {escaped:?}");
+        }
+        assert_eq!(durable.fsyncs(), 0, "fsync ran before the flush point");
+
+        // ...and the flush releases all of them at once, after exactly
+        // one fsync for the whole batch.
+        let released = durable.flush_durable();
+        assert_eq!(
+            released,
+            vec![
+                ProtocolOutput::Broadcast(1),
+                ProtocolOutput::Broadcast(2),
+                ProtocolOutput::Broadcast(3),
+            ]
+        );
+        assert_eq!(durable.fsyncs(), 1, "one fsync per drain batch");
+
+        // A checkpoint stabilizing mid-batch seals only after the batch
+        // fsync (the sealed file must never claim events the log could
+        // still lose) — and everything released was durable.
+        durable.on_client_requests(vec![request(4)]);
+        let released = durable.flush_durable();
+        assert_eq!(released, vec![ProtocolOutput::Broadcast(4)]);
+        assert_eq!(durable.fsyncs(), 2);
+        // Dropped without a graceful shutdown, like a crash.
+    }
+    let recovered = DurableProtocol::recover(ToyProtocol::default(), &dir, identity()).unwrap();
+    assert_eq!(
+        recovered.progress(),
+        4,
+        "everything released before the crash must replay after it"
+    );
+    assert_eq!(
+        recovered.recovery_report().restored_checkpoint,
+        Some(SeqNum(4)),
+        "the mid-batch stable checkpoint was sealed at the flush point"
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn plain_mode_fsyncs_every_handler_call() {
+    // The group-commit baseline: without the mode, each handler call
+    // with events pays its own fsync and returns its outputs directly.
+    let dir = scenario("plain-fsyncs");
+    let mut durable =
+        DurableProtocol::recover(ToyProtocol::default(), &dir, identity()).unwrap();
+    for ts in 1..=3u64 {
+        let outputs = durable.on_client_requests(vec![request(ts)]);
+        assert_eq!(outputs, vec![ProtocolOutput::Broadcast(ts)]);
+    }
+    assert_eq!(durable.fsyncs(), 3, "plain mode: one fsync per event");
+    assert!(durable.flush_durable().is_empty(), "nothing withheld in plain mode");
+    assert_eq!(durable.fsyncs(), 3, "an all-clean flush adds no fsync");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
 fn wiped_data_dir_starts_fresh() {
     let dir = scenario("fresh");
     let durable = DurableProtocol::recover(ToyProtocol::default(), &dir, identity()).unwrap();

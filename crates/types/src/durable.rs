@@ -12,6 +12,35 @@
 //! ([`crate::wire`]): WAL records and sealed blobs are byte-for-byte
 //! deterministic, and the state-transfer messages travel in their own
 //! frame kinds next to the regular protocol traffic.
+//!
+//! # Example: the WAL's record vocabulary
+//!
+//! A [`DurableEvent`] encodes canonically and decodes from untrusted
+//! bytes — the payload each `splitbft-store` WAL record carries:
+//!
+//! ```
+//! use splitbft_types::wire::{decode, encode};
+//! use splitbft_types::{DurableEvent, SeqNum, View};
+//!
+//! let event = DurableEvent::EnteredView { view: View(3) };
+//! let bytes = encode(&event);
+//! assert_eq!(decode::<DurableEvent>(&bytes).unwrap(), event);
+//!
+//! // Canonical: re-encoding the decoded value is byte-identical, so
+//! // WAL records (and their CRCs) are deterministic across replicas.
+//! assert_eq!(encode(&decode::<DurableEvent>(&bytes).unwrap()), bytes);
+//!
+//! // Garbage never panics — it is a decode error, handled by replay.
+//! assert!(decode::<DurableEvent>(&[0xFF, 0x01, 0x02]).is_err());
+//!
+//! // The checkpoint GC marker bounds the log: records at or below a
+//! // stable checkpoint are dropped once it is sealed.
+//! let marker = DurableEvent::StableCheckpoint { seq: SeqNum(128) };
+//! assert!(matches!(
+//!     decode::<DurableEvent>(&encode(&marker)).unwrap(),
+//!     DurableEvent::StableCheckpoint { seq: SeqNum(128) },
+//! ));
+//! ```
 
 use crate::digest::Digest;
 use crate::ids::{ReplicaId, SeqNum, View};
