@@ -34,6 +34,11 @@ pub struct ClusterSpec {
     /// Scratch root: cluster file, data dirs, and stderr logs live
     /// under it.
     pub root: PathBuf,
+    /// Replicas served in a Byzantine mode, as `(replica, mode)` —
+    /// written into the cluster file as per-replica `byzantine` keys so
+    /// every incarnation of the replica (including chaos restarts)
+    /// comes back adversarial.
+    pub byzantine: Vec<(usize, String)>,
 }
 
 /// A live (partially live, mid-chaos) subprocess cluster.
@@ -84,6 +89,9 @@ impl ChaosCluster {
         );
         for (id, port) in ports.iter().enumerate() {
             toml.push_str(&format!("\n[[replica]]\nid = {id}\naddr = \"127.0.0.1:{port}\"\n"));
+            if let Some((_, mode)) = spec.byzantine.iter().find(|(r, _)| *r == id) {
+                toml.push_str(&format!("byzantine = \"{mode}\"\n"));
+            }
         }
         let config_path = spec.root.join("cluster.toml");
         std::fs::write(&config_path, toml)?;

@@ -1,0 +1,86 @@
+//! Typed chaos-orchestration errors.
+//!
+//! A schedule that cannot possibly pass on the requested
+//! protocol/cluster shape must fail *before* any subprocess spawns —
+//! [`ChaosError::Unsupported`] carries enough structure for callers to
+//! skip the combination under a `--compare` sweep instead of treating
+//! it as a broken cluster. Everything the run itself can break on is an
+//! [`ChaosError::Io`]; a run that completed but whose assertions did
+//! not hold is [`ChaosError::Failed`], carrying the full report for
+//! post-mortems.
+
+use crate::report::ChaosReport;
+use std::fmt;
+use std::io;
+
+/// Why a chaos run did not produce a passing report.
+#[derive(Debug)]
+pub enum ChaosError {
+    /// The schedule requests something the protocol or cluster shape
+    /// cannot support — detected up front, before any process spawns.
+    Unsupported {
+        /// The scenario that was requested.
+        scenario: String,
+        /// The protocol it was requested against.
+        protocol: String,
+        /// Why the combination cannot work.
+        reason: String,
+    },
+    /// Orchestration I/O: spawns, probes, fault-command delivery.
+    Io(io::Error),
+    /// The run completed but a phase assertion (or the safety
+    /// cross-check) failed; the report captures what happened.
+    Failed {
+        /// The first failure, human-readable.
+        reason: String,
+        /// The complete (failing) report.
+        report: Box<ChaosReport>,
+    },
+}
+
+impl fmt::Display for ChaosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaosError::Unsupported { scenario, protocol, reason } => {
+                write!(f, "scenario {scenario} is unsupported on {protocol}: {reason}")
+            }
+            ChaosError::Io(e) => write!(f, "chaos orchestration: {e}"),
+            ChaosError::Failed { reason, report } => {
+                write!(f, "chaos scenario {} failed: {reason}", report.scenario)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChaosError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ChaosError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ChaosError {
+    fn from(e: io::Error) -> Self {
+        ChaosError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_unsupported_combination() {
+        let e = ChaosError::Unsupported {
+            scenario: "partition-primary".into(),
+            protocol: "minbft".into(),
+            reason: "no view change".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("partition-primary"));
+        assert!(msg.contains("minbft"));
+        assert!(msg.contains("no view change"));
+    }
+}

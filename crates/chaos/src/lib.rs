@@ -30,17 +30,19 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod error;
 pub mod probe;
 pub mod report;
 pub mod schedule;
 
 pub use cluster::{ChaosCluster, ClusterSpec, LogCursor, RejoinEvidence};
+pub use error::ChaosError;
 pub use report::{ChaosReport, GroupCommitDelta, GroupCommitSample, PhaseOutcome};
 pub use schedule::{FaultStep, Phase, Schedule};
 
 use splitbft_loadgen::driver::{self, DriverConfig};
-use splitbft_types::{ClientId, ReplicaId};
-use std::io;
+use splitbft_net::fault::broadcast_fault_command;
+use splitbft_types::{ClientId, FaultCommand, ReplicaId};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -174,16 +176,103 @@ impl BackgroundLoad {
     }
 }
 
-/// Executes one scenario end to end and writes nothing — the caller
-/// owns report persistence (and may attach a group-commit A/B first).
+/// Rejects schedules that cannot possibly pass on this protocol or
+/// cluster shape *before* any subprocess spawns.
+///
+/// The rules encode protocol facts, not taste:
+///
+/// - the hybrid (`minbft`) has no view change, so killing or
+///   symmetrically cutting off its fixed primary wedges the cluster by
+///   design — there is nothing to assert but a hang;
+/// - the hybrid's USIG counter makes primary equivocation unforgeable,
+///   so `equivocating-primary` would silently serve honestly and the
+///   scenario would vacuously "pass";
+/// - a symmetric partition whose smaller side exceeds `f` leaves *no*
+///   component with a live commit quorum, so every `expect_advance`
+///   phase under the cut is doomed.
 ///
 /// # Errors
 ///
-/// Cluster/spawn I/O errors, and a failed phase assertion (commits
-/// stalled where they must advance, or a victim that never rejoined) —
-/// the partial report is embedded in the error message; the full
-/// outcome is also printed per phase as it happens.
-pub fn run_scenario(config: &ChaosConfig, schedule: &Schedule) -> io::Result<ChaosReport> {
+/// [`ChaosError::Unsupported`] naming the scenario, protocol and rule.
+pub fn validate(config: &ChaosConfig, schedule: &Schedule) -> Result<(), ChaosError> {
+    let unsupported = |reason: String| ChaosError::Unsupported {
+        scenario: schedule.scenario.clone(),
+        protocol: config.protocol.clone(),
+        reason,
+    };
+    let minbft = config.protocol == "minbft";
+    let f = config.reply_quorum.saturating_sub(1);
+
+    if minbft {
+        if schedule.scenario == "primary-kill" {
+            return Err(unsupported(
+                "the hybrid has a fixed primary and no view change; killing it \
+                 wedges the cluster by design"
+                    .into(),
+            ));
+        }
+        if schedule.byzantine.iter().any(|(_, mode)| mode == "equivocating-primary") {
+            return Err(unsupported(
+                "the USIG's monotone counter makes primary equivocation \
+                 unforgeable, so the mode would silently serve honestly and \
+                 the scenario would vacuously pass"
+                    .into(),
+            ));
+        }
+    }
+    for phase in &schedule.phases {
+        for step in &phase.steps {
+            let FaultStep::Partition { name, side_a, side_b, symmetric } = step else {
+                continue;
+            };
+            if !symmetric {
+                continue;
+            }
+            // Unlisted replicas stay connected to both sides, so the two
+            // components have n - |side_b| and n - |side_a| members: the
+            // larger one holds a commit quorum (n - f) exactly when the
+            // smaller named side fits inside f.
+            let smaller = side_a.len().min(side_b.len());
+            if smaller > f {
+                return Err(unsupported(format!(
+                    "partition {name:?} cuts {smaller} replicas off at once but \
+                     f = {f}: no component keeps a live commit quorum, so \
+                     commits cannot advance under the cut"
+                )));
+            }
+            if minbft && (side_a.contains(&0) || side_b.contains(&0)) {
+                let other = if side_a.contains(&0) { side_b.len() } else { side_a.len() };
+                if other > f {
+                    return Err(unsupported(format!(
+                        "partition {name:?} cuts the fixed primary off from \
+                         {other} replicas but f = {f}: it cannot reach a USIG \
+                         quorum across the cut and there is no view change to \
+                         route around it"
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Executes one scenario end to end and writes nothing — the caller
+/// owns report persistence (and may attach a group-commit A/B first).
+///
+/// While the schedule runs, a [`probe::SafetyMonitor`] commits its own
+/// authenticated `inc` stream and cross-checks every quorum-accepted
+/// result for duplicates — a committed fork fails the run even if every
+/// phase's liveness assertion held.
+///
+/// # Errors
+///
+/// [`ChaosError::Unsupported`] before anything spawns (see
+/// [`validate`]); [`ChaosError::Io`] for cluster/spawn/probe I/O; and
+/// [`ChaosError::Failed`] — carrying the complete report — when a phase
+/// assertion (commits stalled where they must advance, a victim that
+/// never rejoined) or the safety cross-check failed.
+pub fn run_scenario(config: &ChaosConfig, schedule: &Schedule) -> Result<ChaosReport, ChaosError> {
+    validate(config, schedule)?;
     let spec = ClusterSpec {
         serve_binary: config.serve_binary.clone(),
         protocol: config.protocol.clone(),
@@ -192,6 +281,7 @@ pub fn run_scenario(config: &ChaosConfig, schedule: &Schedule) -> io::Result<Cha
         timeout_ms: config.timeout_ms,
         wal_group_commit_us: config.wal_group_commit_us,
         root: config.root.clone(),
+        byzantine: schedule.byzantine.clone(),
     };
     let mut cluster = ChaosCluster::prepare(spec)?;
     let mut probe_client = PROBE_CLIENT_BASE;
@@ -219,6 +309,12 @@ pub fn run_scenario(config: &ChaosConfig, schedule: &Schedule) -> io::Result<Cha
     }
 
     let load = BackgroundLoad::start(config, cluster.addrs.clone());
+    let safety = probe::SafetyMonitor::start(
+        cluster.addrs.clone(),
+        config.seed,
+        config.reply_quorum,
+        2,
+    );
     let mut phases = Vec::with_capacity(schedule.phases.len());
     let mut failure: Option<String> = None;
 
@@ -241,16 +337,16 @@ pub fn run_scenario(config: &ChaosConfig, schedule: &Schedule) -> io::Result<Cha
         let mut rejoined = None;
 
         for step in &phase.steps {
-            match *step {
+            match step {
                 FaultStep::Kill(replica) => {
-                    cluster.kill(replica);
-                    live[replica] = false;
+                    cluster.kill(*replica);
+                    live[*replica] = false;
                 }
                 FaultStep::Start(replica) => {
-                    live[replica] = true;
+                    live[*replica] = true;
                     // A victim's fresh incarnation starts logging now;
                     // scan from here so evidence is phase-scoped.
-                    if let Err(e) = cluster.start(replica) {
+                    if let Err(e) = cluster.start(*replica) {
                         failure = Some(format!(
                             "{}: starting replica {replica} failed: {e}",
                             phase.name
@@ -258,16 +354,83 @@ pub fn run_scenario(config: &ChaosConfig, schedule: &Schedule) -> io::Result<Cha
                         break 'phases;
                     }
                 }
-                FaultStep::Sleep(duration) => std::thread::sleep(duration),
+                FaultStep::Sleep(duration) => std::thread::sleep(*duration),
+                FaultStep::AwaitCommits(delta) => {
+                    // Soft wait: if the survivors cannot commit within
+                    // the probe budget the phase assertions (advance,
+                    // suffix evidence) will say so with better detail
+                    // than a step failure could.
+                    let deadline = std::time::Instant::now() + config.probe_timeout;
+                    let mut baseline = None;
+                    loop {
+                        let now = probe::read_counter(
+                            &cluster.addrs,
+                            config.seed,
+                            config.reply_quorum,
+                            next_probe(),
+                            Duration::from_secs(5).min(config.probe_timeout),
+                        )
+                        .ok();
+                        match (baseline, now) {
+                            (None, Some(v)) => baseline = Some(v),
+                            (Some(b), Some(v)) if v >= b + *delta => break,
+                            _ => {}
+                        }
+                        if std::time::Instant::now() >= deadline {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(150));
+                    }
+                }
                 FaultStep::AwaitRejoin(replica) => {
                     let ok = probe::await_executed_by(
                         &cluster.addrs,
                         config.seed,
-                        ReplicaId(replica as u32),
+                        ReplicaId(*replica as u32),
                         next_probe(),
                         config.rejoin_timeout,
                     );
                     rejoined = Some(rejoined.unwrap_or(true) && ok);
+                }
+                // Partitions are enforced inside every replica's own
+                // transport, so the control frames below ride the same
+                // client port — the orchestrator itself is never cut.
+                // All replicas are alive when these steps run (the new
+                // schedules never mix kills with cuts), so a delivery
+                // failure is a real fault, not a dead victim.
+                FaultStep::Partition { name, side_a, side_b, symmetric } => {
+                    let cmd = FaultCommand::Partition {
+                        name: name.clone(),
+                        side_a: side_a.iter().map(|&r| ReplicaId(r as u32)).collect(),
+                        side_b: side_b.iter().map(|&r| ReplicaId(r as u32)).collect(),
+                        symmetric: *symmetric,
+                    };
+                    if let Err(e) = broadcast_fault_command(&cluster.addrs, &cmd) {
+                        failure = Some(format!(
+                            "{}: opening partition {name:?} failed: {e}",
+                            phase.name
+                        ));
+                        break 'phases;
+                    }
+                }
+                FaultStep::Heal(name) => {
+                    let cmd = FaultCommand::Heal { name: name.clone() };
+                    if let Err(e) = broadcast_fault_command(&cluster.addrs, &cmd) {
+                        failure = Some(format!(
+                            "{}: healing partition {name:?} failed: {e}",
+                            phase.name
+                        ));
+                        break 'phases;
+                    }
+                }
+                FaultStep::HealAll => {
+                    if let Err(e) =
+                        broadcast_fault_command(&cluster.addrs, &FaultCommand::HealAll)
+                    {
+                        failure =
+                            Some(format!("{}: healing all partitions failed: {e}", phase.name));
+                        break 'phases;
+                    }
                 }
             }
         }
@@ -342,7 +505,19 @@ pub fn run_scenario(config: &ChaosConfig, schedule: &Schedule) -> io::Result<Cha
     }
 
     let (issued, completed, timed_out) = load.stop();
+    let safety_outcome = safety.stop();
     cluster.teardown(config.keep_data);
+
+    eprintln!(
+        "chaos: safety monitor {} commit(s), {} violation(s)",
+        safety_outcome.commits,
+        safety_outcome.violations.len(),
+    );
+    if failure.is_none() {
+        if let Some(violation) = safety_outcome.violations.first() {
+            failure = Some(format!("safety cross-check: {violation}"));
+        }
+    }
 
     let report = ChaosReport {
         scenario: schedule.scenario.clone(),
@@ -354,13 +529,83 @@ pub fn run_scenario(config: &ChaosConfig, schedule: &Schedule) -> io::Result<Cha
         load_issued: issued,
         load_completed: completed,
         load_timed_out: timed_out,
+        safety_commits: safety_outcome.commits,
+        safety_violations: safety_outcome.violations,
         group_commit: None,
     };
     match failure {
-        Some(reason) => Err(io::Error::other(format!(
-            "chaos scenario {} failed: {reason}",
-            report.scenario
-        ))),
+        Some(reason) => Err(ChaosError::Failed { reason, report: Box::new(report) }),
         None => Ok(report),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(protocol: &str, n: usize, reply_quorum: usize) -> ChaosConfig {
+        ChaosConfig::new(
+            PathBuf::from("/nonexistent/splitbft-node"),
+            protocol,
+            n,
+            reply_quorum,
+            PathBuf::from("/nonexistent/scratch"),
+        )
+    }
+
+    fn unsupported(result: Result<(), ChaosError>) -> String {
+        match result {
+            Err(ChaosError::Unsupported { reason, .. }) => reason,
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn minbft_rejects_primary_kill_up_front() {
+        let reason =
+            unsupported(validate(&config("minbft", 3, 2), &schedule::primary_kill(3, 1)));
+        assert!(reason.contains("no view change"), "got: {reason}");
+    }
+
+    #[test]
+    fn minbft_rejects_equivocating_primary() {
+        let reason =
+            unsupported(validate(&config("minbft", 3, 2), &schedule::equivocate_under_load(3)));
+        assert!(reason.contains("USIG"), "got: {reason}");
+    }
+
+    #[test]
+    fn minbft_rejects_cutting_off_its_fixed_primary() {
+        let reason =
+            unsupported(validate(&config("minbft", 3, 2), &schedule::partition_primary(3)));
+        assert!(reason.contains("fixed primary"), "got: {reason}");
+    }
+
+    #[test]
+    fn quorum_destroying_partition_is_rejected_on_any_protocol() {
+        // concurrent-victim cuts two replicas at once: fine at n = 7
+        // (f = 2), fatal at n = 4 (f = 1) where no side keeps 2f + 1.
+        let reason =
+            unsupported(validate(&config("pbft", 4, 2), &schedule::concurrent_victim(4)));
+        assert!(reason.contains("commit quorum"), "got: {reason}");
+        validate(&config("pbft", 7, 3), &schedule::concurrent_victim(7))
+            .expect("n = 7 keeps a five-replica majority side");
+    }
+
+    #[test]
+    fn supported_shapes_validate_cleanly() {
+        for (name, n, quorum) in [
+            ("rolling-restart", 4, 2),
+            ("partition-primary", 4, 2),
+            ("asymmetric-link", 4, 2),
+            ("equivocate-under-load", 4, 2),
+        ] {
+            let schedule = Schedule::by_name(name, n, 1).unwrap();
+            validate(&config("pbft", n, quorum), &schedule)
+                .unwrap_or_else(|e| panic!("{name} must validate on pbft: {e}"));
+        }
+        // The hybrid keeps its supported catalog too.
+        let schedule = Schedule::by_name("rolling-restart", 3, 1).unwrap();
+        validate(&config("minbft", 3, 2), &schedule).unwrap();
     }
 }

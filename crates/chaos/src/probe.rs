@@ -9,11 +9,13 @@
 
 use bytes::Bytes;
 use splitbft_crypto::client_mac_key;
-use splitbft_loadgen::quorum::QuorumTracker;
+use splitbft_loadgen::quorum::{CommitLog, QuorumTracker};
 use splitbft_net::tcp::TcpClient;
 use splitbft_types::{ClientId, ReplicaId, Request, RequestId, Timestamp};
 use std::io;
 use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// Wall-clock microseconds — the timestamp base that keeps re-used
@@ -26,12 +28,16 @@ fn wall_clock_ts() -> u64 {
         .max(1)
 }
 
-fn authenticated_read(seed: u64, client: ClientId, ts: u64) -> Request {
+fn authenticated_op(seed: u64, client: ClientId, ts: u64, op: &'static [u8]) -> Request {
     let mac = client_mac_key(seed, client);
     let id = RequestId { client, timestamp: Timestamp(ts) };
-    let op = Bytes::from_static(b"read");
+    let op = Bytes::from_static(op);
     let auth = mac.tag(&Request::auth_bytes(id, &op, false));
     Request { id, op, encrypted: false, auth }
+}
+
+fn authenticated_read(seed: u64, client: ClientId, ts: u64) -> Request {
+    authenticated_op(seed, client, ts, b"read")
 }
 
 /// Reads the replicated counter: issues `read` requests to every
@@ -124,4 +130,123 @@ pub fn await_executed_by(
     }
     tcp.close();
     rejoined
+}
+
+/// Base client id for the safety-monitor clients — distinct from the
+/// probe client band (64+) and the load-generator band (1000+) so
+/// their request streams never collide.
+pub const SAFETY_CLIENT_BASE: u32 = 32;
+
+/// What the safety monitor observed over a chaos run.
+#[derive(Debug)]
+pub struct SafetyOutcome {
+    /// Requests that reached an `f + 1` MAC-verified matching quorum.
+    pub commits: u64,
+    /// Cross-check failures: two distinct requests whose quorums both
+    /// claimed the same unique counter value — a committed fork.
+    pub violations: Vec<String>,
+}
+
+/// Background safety cross-check: a handful of clients issue unique
+/// authenticated `inc` requests for the whole chaos run and feed every
+/// quorum-accepted result into one shared [`CommitLog`].
+///
+/// The counter application returns the *post-increment* value, so each
+/// committed `inc` yields a globally unique result on any single
+/// history. If two monitor requests ever commit the same value, the
+/// replicas forked — exactly the divergence an equivocating primary or
+/// a badly healed partition would produce. The check is probabilistic
+/// (it only sees the monitor's own commits, not the load generator's)
+/// but any conflict it does report is a hard safety violation.
+pub struct SafetyMonitor {
+    stop: Arc<AtomicBool>,
+    handles: Vec<std::thread::JoinHandle<u64>>,
+    violations: Arc<Mutex<Vec<String>>>,
+}
+
+impl SafetyMonitor {
+    /// Starts `clients` monitor threads against `addrs`. `quorum` is
+    /// the `f + 1` matching-reply threshold.
+    pub fn start(addrs: Vec<SocketAddr>, seed: u64, quorum: usize, clients: u32) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let log = Arc::new(Mutex::new(CommitLog::new()));
+        let violations = Arc::new(Mutex::new(Vec::new()));
+        let handles = (0..clients.max(1))
+            .map(|i| {
+                let client = ClientId(SAFETY_CLIENT_BASE + i);
+                let (addrs, stop) = (addrs.clone(), Arc::clone(&stop));
+                let (log, violations) = (Arc::clone(&log), Arc::clone(&violations));
+                std::thread::spawn(move || {
+                    safety_client_loop(&addrs, seed, quorum, client, &stop, &log, &violations)
+                })
+            })
+            .collect();
+        SafetyMonitor { stop, handles, violations }
+    }
+
+    /// Stops the monitor threads and returns what they saw.
+    pub fn stop(self) -> SafetyOutcome {
+        self.stop.store(true, Ordering::SeqCst);
+        let commits = self.handles.into_iter().map(|h| h.join().unwrap_or(0)).sum();
+        let violations = self.violations.lock().map(|v| v.clone()).unwrap_or_default();
+        SafetyOutcome { commits, violations }
+    }
+}
+
+fn safety_client_loop(
+    addrs: &[SocketAddr],
+    seed: u64,
+    quorum: usize,
+    client: ClientId,
+    stop: &AtomicBool,
+    log: &Mutex<CommitLog>,
+    violations: &Mutex<Vec<String>>,
+) -> u64 {
+    let mac = client_mac_key(seed, client);
+    let mut commits = 0u64;
+    let mut ts = wall_clock_ts();
+    while !stop.load(Ordering::SeqCst) {
+        let Ok(mut tcp) = TcpClient::connect(client, addrs, Duration::from_secs(3)) else {
+            std::thread::sleep(Duration::from_millis(300));
+            continue;
+        };
+        // Reconnect every few requests so replicas restarted or healed
+        // mid-schedule rejoin this client's fan-out.
+        for _ in 0..16 {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            ts += 1;
+            let request = authenticated_op(seed, client, ts, b"inc");
+            let mut tracker = QuorumTracker::new(mac.clone(), quorum);
+            let mut agreed = None;
+            // Retransmit with the *same* timestamp until quorum or
+            // shutdown: the request id must stay stable so a late
+            // quorum still maps to one CommitLog entry.
+            while agreed.is_none() && !stop.load(Ordering::SeqCst) {
+                let _ = tcp.send_all(std::slice::from_ref(&request));
+                let round_deadline = Instant::now() + Duration::from_millis(1_500);
+                while Instant::now() < round_deadline && agreed.is_none() {
+                    match tcp.replies().recv_timeout(Duration::from_millis(200)) {
+                        Ok(reply) if reply.request.timestamp.0 == ts => {
+                            agreed = tracker.on_reply(&reply);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            if let Some(result) = agreed {
+                commits += 1;
+                if let Ok(mut log) = log.lock() {
+                    if let Err(conflict) = log.record(request.id, &result) {
+                        if let Ok(mut v) = violations.lock() {
+                            v.push(conflict.to_string());
+                        }
+                    }
+                }
+            }
+        }
+        tcp.close();
+    }
+    commits
 }

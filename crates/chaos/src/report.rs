@@ -152,14 +152,21 @@ pub struct ChaosReport {
     pub load_completed: u64,
     /// Background-load requests that never completed.
     pub load_timed_out: u64,
+    /// Requests the safety monitor committed (quorum-verified `inc`s
+    /// cross-checked for duplicate results).
+    pub safety_commits: u64,
+    /// Safety cross-check violations — non-empty means two distinct
+    /// requests committed the same unique counter value: a fork.
+    pub safety_violations: Vec<String>,
     /// The group-commit A/B, when measured.
     pub group_commit: Option<GroupCommitDelta>,
 }
 
 impl ChaosReport {
-    /// `true` when every phase's assertions held.
+    /// `true` when every phase's assertions held *and* the safety
+    /// cross-check saw no committed fork.
     pub fn ok(&self) -> bool {
-        self.phases.iter().all(PhaseOutcome::ok)
+        self.phases.iter().all(PhaseOutcome::ok) && self.safety_violations.is_empty()
     }
 
     /// Total suffix messages fed to victims across all phases.
@@ -190,6 +197,7 @@ impl ChaosReport {
                 "  \"suffix_messages_applied\": {suffix},\n",
                 "  \"suffix_progress\": {suffix_progress},\n",
                 "  \"load\": {{\"issued\": {issued}, \"completed\": {completed}, \"timed_out\": {timed_out}}},\n",
+                "  \"safety\": {{\"commits\": {safety_commits}, \"violations\": [{safety_violations}]}},\n",
                 "  \"group_commit\": {group_commit},\n",
                 "  \"phases\": [\n    {phases}\n  ]\n",
                 "}}\n",
@@ -206,6 +214,13 @@ impl ChaosReport {
             issued = self.load_issued,
             completed = self.load_completed,
             timed_out = self.load_timed_out,
+            safety_commits = self.safety_commits,
+            safety_violations = self
+                .safety_violations
+                .iter()
+                .map(|v| format!("\"{}\"", json_escape(v)))
+                .collect::<Vec<_>>()
+                .join(", "),
             group_commit = self.group_commit.map_or("null".into(), |g| g.to_json()),
             phases = phases.join(",\n    "),
         )
@@ -238,7 +253,7 @@ impl ChaosReport {
         let rejoins =
             self.phases.iter().filter(|p| p.rejoined == Some(true)).count();
         format!(
-            "chaos {:<16} {:<9} n={} | {} phase(s), {} rejoin(s), {} suffix msg(s) | load {}/{} completed | {}",
+            "chaos {:<16} {:<9} n={} | {} phase(s), {} rejoin(s), {} suffix msg(s) | load {}/{} completed | safety {} commit(s) {} violation(s) | {}",
             self.scenario,
             self.protocol,
             self.n,
@@ -247,6 +262,8 @@ impl ChaosReport {
             self.suffix_messages_applied(),
             self.load_completed,
             self.load_issued,
+            self.safety_commits,
+            self.safety_violations.len(),
             if self.ok() { "OK" } else { "FAILED" },
         )
     }
@@ -285,6 +302,8 @@ mod tests {
             load_issued: 400,
             load_completed: 390,
             load_timed_out: 10,
+            safety_commits: 120,
+            safety_violations: Vec::new(),
             group_commit: Some(GroupCommitDelta {
                 off: GroupCommitSample { linger_us: 0, fsyncs: 900, completed: 300 },
                 on: GroupCommitSample { linger_us: 200, fsyncs: 220, completed: 320 },
@@ -299,6 +318,7 @@ mod tests {
             "\"schema\"", "\"scenario\"", "\"protocol\"", "\"n\"", "\"seed\"",
             "\"wal_group_commit_us\"", "\"ok\"", "\"suffix_messages_applied\"",
             "\"load\"", "\"issued\"", "\"completed\"", "\"timed_out\"",
+            "\"safety\"", "\"violations\"",
             "\"group_commit\"", "\"fsyncs_per_commit\"", "\"improved\"",
             "\"phases\"", "\"victim\"", "\"commits_before\"", "\"commits_after\"",
             "\"advanced\"", "\"rejoined\"", "\"checkpoint_restored\"",
@@ -323,6 +343,15 @@ mod tests {
         let mut report = sample();
         report.phases[0].rejoined = Some(false);
         assert!(!report.ok());
+        assert!(report.summary_line().contains("FAILED"));
+    }
+
+    #[test]
+    fn safety_violation_fails_the_report() {
+        let mut report = sample();
+        report.safety_violations.push("safety violation: fork".into());
+        assert!(!report.ok(), "a committed fork must fail the run outright");
+        assert!(report.to_json().contains("safety violation: fork"));
         assert!(report.summary_line().contains("FAILED"));
     }
 

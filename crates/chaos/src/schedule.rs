@@ -13,12 +13,24 @@
 //! - [`primary_kill`] — target whoever is expected to lead, forcing a
 //!   view change each round;
 //! - [`staggered_start`] — bring the cluster up one replica at a time
-//!   under client traffic that started before quorum existed.
+//!   under client traffic that started before quorum existed;
+//! - [`partition_primary`] — cut the primary off bidirectionally (no
+//!   process dies), demand the majority side view-changes and commits,
+//!   then heal;
+//! - [`asymmetric_link`] — break exactly one direction of one backup
+//!   link; redundancy must mask it without a view change;
+//! - [`equivocate_under_load`] — serve replica 0 in
+//!   `equivocating-primary` Byzantine mode the whole run; honest
+//!   replicas must view-change past it and keep committing, with the
+//!   safety cross-check watching for forks throughout;
+//! - [`concurrent_victim`] — on `n = 7` (`f = 2`), partition *two*
+//!   replicas at once (the full fault budget), then heal and demand
+//!   commits resume.
 
 use std::time::Duration;
 
 /// One orchestrator action inside a phase.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FaultStep {
     /// `SIGKILL` the replica's process — no flush, no goodbye.
     Kill(usize),
@@ -27,8 +39,31 @@ pub enum FaultStep {
     /// Wait for the replica to execute a *fresh* request (observed by a
     /// reply carrying its id), proving it caught up and rejoined.
     AwaitRejoin(usize),
+    /// Wait (bounded by the probe budget) until the live quorum's
+    /// committed counter advances by at least this much. The
+    /// evidence-based kill gap: a fixed sleep proves nothing on a
+    /// loaded machine, but commits made *while the victim is down* are
+    /// exactly what its later log-suffix rejoin must replay.
+    AwaitCommits(u64),
     /// Let the cluster run undisturbed.
     Sleep(Duration),
+    /// Open a named partition on every replica's transport fault plan
+    /// (delivered live over `FAULT_CONTROL` frames — no restarts).
+    Partition {
+        /// Name for the later [`FaultStep::Heal`].
+        name: String,
+        /// One side of the cut.
+        side_a: Vec<usize>,
+        /// The other side.
+        side_b: Vec<usize>,
+        /// `false` blocks only `side_a → side_b` (an asymmetric link
+        /// failure); `true` blocks both directions.
+        symmetric: bool,
+    },
+    /// Close the named partition on every replica.
+    Heal(String),
+    /// Clear every partition and link rule on every replica.
+    HealAll,
 }
 
 /// A named step sequence with its own commit-advance assertion window.
@@ -55,6 +90,10 @@ pub struct Schedule {
     /// Whether the whole cluster starts before phase 1 (`false` for
     /// staggered start, whose phases start the replicas themselves).
     pub start_all: bool,
+    /// Replicas served in a Byzantine mode for the whole run, as
+    /// `(replica, mode)` with the mode spelled the way
+    /// `splitbft-node serve --byzantine` spells it.
+    pub byzantine: Vec<(usize, String)>,
     /// The phases, in order.
     pub phases: Vec<Phase>,
 }
@@ -71,23 +110,42 @@ impl Schedule {
             "repeated-kill" => Ok(repeated_kill(n - 1, rounds)),
             "primary-kill" => Ok(primary_kill(n, rounds)),
             "staggered-start" => Ok(staggered_start(n)),
+            "partition-primary" => Ok(partition_primary(n)),
+            "asymmetric-link" => Ok(asymmetric_link(n)),
+            "equivocate-under-load" => Ok(equivocate_under_load(n)),
+            "concurrent-victim" => Ok(concurrent_victim(n)),
             other => Err(format!(
-                "unknown scenario {other:?} (expected rolling-restart, repeated-kill, \
-                 primary-kill, or staggered-start)"
+                "unknown scenario {other:?} (expected one of: {})",
+                Schedule::NAMES.join(", ")
             )),
         }
     }
 
     /// Every scenario name [`Schedule::by_name`] accepts.
-    pub const NAMES: &'static [&'static str] =
-        &["rolling-restart", "repeated-kill", "primary-kill", "staggered-start"];
+    pub const NAMES: &'static [&'static str] = &[
+        "rolling-restart",
+        "repeated-kill",
+        "primary-kill",
+        "staggered-start",
+        "partition-primary",
+        "asymmetric-link",
+        "equivocate-under-load",
+        "concurrent-victim",
+    ];
 }
 
-/// The pause between a kill and the restart: long enough for the
-/// cluster to notice and commit past the victim, short enough that the
-/// victim's rejoin exercises the log-suffix path rather than waiting
-/// out a whole checkpoint interval.
+/// The pause after killing a *primary*: long enough for the cluster to
+/// notice, view-change, and commit past the victim. Backup kills use
+/// the evidence-based [`FaultStep::AwaitCommits`] gap instead — see
+/// [`KILL_GAP_COMMITS`].
 const KILL_GAP: Duration = Duration::from_millis(1_200);
+
+/// Commits the survivors must make while a killed replica is down
+/// before it is restarted. Enough that the victim's log-suffix rejoin
+/// has real work to replay (and to execute — the `suffix_progress`
+/// evidence), with margin against a checkpoint seal covering part of
+/// the window.
+const KILL_GAP_COMMITS: u64 = 5;
 
 /// Kill + restart every replica in id order, awaiting a full rejoin
 /// (including the victim executing fresh requests) before moving on.
@@ -98,14 +156,14 @@ pub fn rolling_restart(n: usize) -> Schedule {
             victim: Some(replica),
             steps: vec![
                 FaultStep::Kill(replica),
-                FaultStep::Sleep(KILL_GAP),
+                FaultStep::AwaitCommits(KILL_GAP_COMMITS),
                 FaultStep::Start(replica),
                 FaultStep::AwaitRejoin(replica),
             ],
             expect_advance: true,
         })
         .collect();
-    Schedule { scenario: "rolling-restart".into(), start_all: true, phases }
+    Schedule { scenario: "rolling-restart".into(), start_all: true, byzantine: Vec::new(), phases }
 }
 
 /// SIGKILL the same replica `rounds` times in a row — each round must
@@ -117,14 +175,14 @@ pub fn repeated_kill(victim: usize, rounds: usize) -> Schedule {
             victim: Some(victim),
             steps: vec![
                 FaultStep::Kill(victim),
-                FaultStep::Sleep(KILL_GAP),
+                FaultStep::AwaitCommits(KILL_GAP_COMMITS),
                 FaultStep::Start(victim),
                 FaultStep::AwaitRejoin(victim),
             ],
             expect_advance: true,
         })
         .collect();
-    Schedule { scenario: "repeated-kill".into(), start_all: true, phases }
+    Schedule { scenario: "repeated-kill".into(), start_all: true, byzantine: Vec::new(), phases }
 }
 
 /// Kill the expected leader each round: replica `r % n` in round `r`,
@@ -150,7 +208,7 @@ pub fn primary_kill(n: usize, rounds: usize) -> Schedule {
             }
         })
         .collect();
-    Schedule { scenario: "primary-kill".into(), start_all: true, phases }
+    Schedule { scenario: "primary-kill".into(), start_all: true, byzantine: Vec::new(), phases }
 }
 
 /// Start the cluster one replica at a time under client traffic that
@@ -181,7 +239,139 @@ pub fn staggered_start(n: usize) -> Schedule {
         steps: vec![FaultStep::AwaitRejoin(n - 1)],
         expect_advance: true,
     });
-    Schedule { scenario: "staggered-start".into(), start_all: false, phases }
+    Schedule { scenario: "staggered-start".into(), start_all: false, byzantine: Vec::new(), phases }
+}
+
+/// The settle window for partition scenarios: generous multiples of the
+/// default 400 ms view-change timer, so even a backoff-escalated view
+/// change (budgets 2, 4, 8 stalls) completes inside one phase.
+const PARTITION_SETTLE: Duration = Duration::from_secs(6);
+
+/// Cut the primary off from every backup — bidirectionally, processes
+/// intact — and demand the majority side view-changes and keeps
+/// committing; then heal and demand commits continue (the healed
+/// ex-primary may lag, but `n − 1` live-and-connected replicas are a
+/// commit quorum regardless).
+pub fn partition_primary(n: usize) -> Schedule {
+    let backups: Vec<usize> = (1..n).collect();
+    let phases = vec![
+        Phase {
+            name: "isolate-primary".into(),
+            victim: Some(0),
+            steps: vec![
+                FaultStep::Partition {
+                    name: "cut-primary".into(),
+                    side_a: vec![0],
+                    side_b: backups,
+                    symmetric: true,
+                },
+                FaultStep::Sleep(PARTITION_SETTLE),
+            ],
+            expect_advance: true,
+        },
+        Phase {
+            name: "heal-and-recover".into(),
+            victim: Some(0),
+            steps: vec![FaultStep::HealAll, FaultStep::Sleep(PARTITION_SETTLE)],
+            expect_advance: true,
+        },
+    ];
+    Schedule { scenario: "partition-primary".into(), start_all: true, byzantine: Vec::new(), phases }
+}
+
+/// Break exactly one direction of one backup-to-backup link
+/// (`1 → 2` drops, `2 → 1` flows). Quorum paths route around a single
+/// asymmetric link, so commits must keep advancing with no view change;
+/// the heal phase then restores full connectivity.
+pub fn asymmetric_link(n: usize) -> Schedule {
+    assert!(n >= 3, "asymmetric-link needs two backups");
+    let phases = vec![
+        Phase {
+            name: "break-one-direction".into(),
+            victim: None,
+            steps: vec![
+                FaultStep::Partition {
+                    name: "lossy-link".into(),
+                    side_a: vec![1],
+                    side_b: vec![2],
+                    symmetric: false,
+                },
+                FaultStep::Sleep(PARTITION_SETTLE),
+            ],
+            expect_advance: true,
+        },
+        Phase {
+            name: "heal-link".into(),
+            victim: None,
+            steps: vec![FaultStep::Heal("lossy-link".into()), FaultStep::Sleep(PARTITION_SETTLE)],
+            expect_advance: true,
+        },
+    ];
+    Schedule { scenario: "asymmetric-link".into(), start_all: true, byzantine: Vec::new(), phases }
+}
+
+/// Serve replica 0 as an `equivocating-primary` for the entire run: in
+/// view 0 it sends conflicting proposals to different backups, so no
+/// prepare quorum forms and the honest replicas must view-change past
+/// it — after which commits flow for the rest of the run while the
+/// safety monitor cross-checks every completion for forks. Two phases
+/// split the run so the report shows commits advancing both during the
+/// fail-over window and under sustained load after it.
+pub fn equivocate_under_load(n: usize) -> Schedule {
+    let phases = vec![
+        Phase {
+            name: "survive-equivocation".into(),
+            victim: Some(0),
+            steps: vec![FaultStep::Sleep(PARTITION_SETTLE)],
+            expect_advance: true,
+        },
+        Phase {
+            name: "sustained-load-past-equivocator".into(),
+            victim: Some(0),
+            steps: vec![FaultStep::Sleep(PARTITION_SETTLE)],
+            expect_advance: true,
+        },
+    ];
+    let _ = n;
+    Schedule {
+        scenario: "equivocate-under-load".into(),
+        start_all: true,
+        byzantine: vec![(0, "equivocating-primary".into())],
+        phases,
+    }
+}
+
+/// Partition two non-primary replicas at once — the full `f = 2` fault
+/// budget of an `n = 7` cluster — leaving exactly a `2f + 1 = 5` commit
+/// quorum connected; then heal and demand commits keep flowing within
+/// the phase budget. Run with `n < 3f_victims + 1` this leaves no
+/// quorum, which the orchestrator's validation rejects up front.
+pub fn concurrent_victim(n: usize) -> Schedule {
+    let victims = vec![1, 2];
+    let rest: Vec<usize> = (0..n).filter(|r| !victims.contains(r)).collect();
+    let phases = vec![
+        Phase {
+            name: "partition-two-victims".into(),
+            victim: Some(1),
+            steps: vec![
+                FaultStep::Partition {
+                    name: "double-cut".into(),
+                    side_a: victims.clone(),
+                    side_b: rest,
+                    symmetric: true,
+                },
+                FaultStep::Sleep(PARTITION_SETTLE),
+            ],
+            expect_advance: true,
+        },
+        Phase {
+            name: "heal-both-victims".into(),
+            victim: Some(1),
+            steps: vec![FaultStep::HealAll, FaultStep::Sleep(PARTITION_SETTLE)],
+            expect_advance: true,
+        },
+    ];
+    Schedule { scenario: "concurrent-victim".into(), start_all: true, byzantine: Vec::new(), phases }
 }
 
 #[cfg(test)]
@@ -215,6 +405,50 @@ mod tests {
             assert!(phase.steps.contains(&FaultStep::Start(i)));
             assert!(phase.steps.contains(&FaultStep::AwaitRejoin(i)));
         }
+    }
+
+    #[test]
+    fn partition_scenarios_cut_then_heal() {
+        let schedule = partition_primary(4);
+        assert!(schedule.byzantine.is_empty());
+        let Some(FaultStep::Partition { side_a, side_b, symmetric, .. }) =
+            schedule.phases[0].steps.first()
+        else {
+            panic!("first step must open the partition");
+        };
+        assert_eq!(side_a, &vec![0]);
+        assert_eq!(side_b, &vec![1, 2, 3]);
+        assert!(symmetric);
+        assert!(schedule.phases[1].steps.contains(&FaultStep::HealAll));
+        assert!(schedule.phases.iter().all(|p| p.expect_advance));
+
+        let link = asymmetric_link(4);
+        let Some(FaultStep::Partition { symmetric, .. }) = link.phases[0].steps.first() else {
+            panic!("first step must break the link");
+        };
+        assert!(!symmetric, "asymmetric-link must declare asymmetry");
+        assert!(link.phases[1].steps.contains(&FaultStep::Heal("lossy-link".into())));
+    }
+
+    #[test]
+    fn equivocate_marks_replica_0_byzantine() {
+        let schedule = equivocate_under_load(4);
+        assert_eq!(schedule.byzantine, vec![(0, "equivocating-primary".to_string())]);
+        assert!(schedule.phases.iter().all(|p| p.expect_advance));
+    }
+
+    #[test]
+    fn concurrent_victim_spends_the_full_fault_budget() {
+        let schedule = concurrent_victim(7);
+        let Some(FaultStep::Partition { side_a, side_b, symmetric, .. }) =
+            schedule.phases[0].steps.first()
+        else {
+            panic!("first step must open the double cut");
+        };
+        assert_eq!(side_a.len(), 2, "two concurrent victims");
+        assert_eq!(side_b.len(), 5, "exactly a 2f+1 quorum stays connected");
+        assert!(symmetric);
+        assert!(schedule.phases[1].steps.contains(&FaultStep::HealAll));
     }
 
     #[test]

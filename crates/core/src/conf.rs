@@ -60,13 +60,17 @@ pub struct ConfirmationCompartment {
     /// matching `NewView`.
     awaiting_new_view: bool,
     /// Consecutive timeouts spent awaiting the same `NewView`. While
-    /// below the advance threshold the compartment *re-broadcasts* its
-    /// current `ViewChange` instead of targeting the next view — the
-    /// backoff that stops one fast-ticking replica from leapfrogging a
-    /// view ahead of the cluster forever (each hop resets the others'
-    /// quorum hunt, so unbounded divergence is a real wedge, not a
-    /// theoretical one).
+    /// below the current [`stall_budget`] the compartment
+    /// *re-broadcasts* its current `ViewChange` instead of targeting the
+    /// next view — the backoff that stops one fast-ticking replica from
+    /// leapfrogging a view ahead of the cluster forever (each hop resets
+    /// the others' quorum hunt, so unbounded divergence is a real wedge,
+    /// not a theoretical one).
     stalled_timeouts: u32,
+    /// Consecutive view hops without applying a `NewView`; exponent of
+    /// the [`stall_budget`], mirroring the PBFT baseline's exponential
+    /// view-change backoff. Resets when a `NewView` lands.
+    view_change_escalations: u32,
     /// Peer `ViewChange` votes by target view — the PBFT *join rule*'s
     /// evidence: once `f + 1` distinct replicas vote for a view above
     /// ours, at least one correct replica timed out, so this
@@ -81,11 +85,10 @@ pub struct ConfirmationCompartment {
 /// just above the current view; anything further is byzantine noise.
 const MAX_JOIN_TARGETS: usize = 16;
 
-/// Timeouts spent re-broadcasting the same `ViewChange` before the
-/// target advances anyway (the escape hatch for a dead target-primary).
-/// Imported from the PBFT baseline so both stacks damp escalation at
-/// the same cadence — view-change convergence depends on it.
-use splitbft_pbft::STALLS_BEFORE_ADVANCE;
+/// Re-broadcast budget per escalation, imported from the PBFT baseline
+/// so both stacks damp view-change escalation at the same exponential
+/// cadence — convergence under interleaved timeouts depends on it.
+use splitbft_pbft::stall_budget;
 
 impl ConfirmationCompartment {
     /// Creates the Confirmation enclave logic for `replica`.
@@ -106,6 +109,7 @@ impl ConfirmationCompartment {
             prepared_certs: BTreeMap::new(),
             awaiting_new_view: false,
             stalled_timeouts: 0,
+            view_change_escalations: 0,
             join_votes: BTreeMap::new(),
         }
     }
@@ -256,14 +260,19 @@ impl ConfirmationCompartment {
     /// which it "will no longer process Prepares or send commits in the
     /// old view" (§4).
     fn on_view_timeout(&mut self) -> Vec<CompartmentOutput> {
-        if self.awaiting_new_view && self.stalled_timeouts < STALLS_BEFORE_ADVANCE {
-            // Still waiting for the NewView of the current target:
-            // re-broadcast the vote (the target's primary may have
-            // missed it — or restarted without it) instead of hopping
-            // to yet another view.
-            self.stalled_timeouts += 1;
-            let signed = self.signed_view_change(self.view);
-            return vec![CompartmentOutput::Broadcast(ConsensusMessage::ViewChange(signed))];
+        if self.awaiting_new_view {
+            if self.stalled_timeouts < stall_budget(self.view_change_escalations) {
+                // Still waiting for the NewView of the current target:
+                // re-broadcast the vote (the target's primary may have
+                // missed it — or restarted without it) instead of
+                // hopping to yet another view.
+                self.stalled_timeouts += 1;
+                let signed = self.signed_view_change(self.view);
+                return vec![CompartmentOutput::Broadcast(ConsensusMessage::ViewChange(signed))];
+            }
+            // Budget exhausted: escalate with a doubled budget for the
+            // next hop (exponential backoff, as in the PBFT baseline).
+            self.view_change_escalations = self.view_change_escalations.saturating_add(1);
         }
         self.start_view_change(self.view.next())
     }
@@ -386,6 +395,7 @@ impl ConfirmationCompartment {
         self.view = target;
         self.awaiting_new_view = false;
         self.stalled_timeouts = 0;
+        self.view_change_escalations = 0;
         self.join_votes = self.join_votes.split_off(&target.next());
         // Fresh view: old candidate proposals and votes are view-bound
         // and dead; drop them, then adopt the re-issued proposals.

@@ -524,3 +524,69 @@ fn blockchain_blocks_are_sealed_before_persistence() {
         assert!(!blob.windows(10).any(|w| w == b"tx-data-10"));
     }
 }
+
+#[test]
+fn exponential_backoff_converges_under_interleaved_timeouts() {
+    // The budget doubles per escalation and caps at 8× — PBFT's doubling
+    // view-change timer expressed in ticks. Pinned here so a regression
+    // back to the fixed 2-stall budget fails loudly.
+    assert_eq!(splitbft_pbft::stall_budget(0), 2);
+    assert_eq!(splitbft_pbft::stall_budget(1), 4);
+    assert_eq!(splitbft_pbft::stall_budget(2), 8);
+    assert_eq!(splitbft_pbft::stall_budget(3), 16);
+    assert_eq!(splitbft_pbft::stall_budget(9), 16, "budget growth is capped");
+
+    // Convergence under *interleaved* timers: with the primary dead,
+    // replica 1's clock runs double speed, replica 3's half speed, and
+    // messages only flow at round boundaries. With a fixed re-broadcast
+    // budget the fast replica escalates at a constant rate and can
+    // leapfrog the stragglers' targets round after round; exponential
+    // backoff makes every further hop strictly cheaper to catch, so the
+    // views must fold together within a bounded number of rounds.
+    let mut cluster = Cluster::new(4, 128, CounterApp::new);
+    cluster.submit(0, vec![plain_request(0, 1, Bytes::from_static(b"inc"))]);
+    cluster.down[0] = true;
+
+    let mut converged = false;
+    for round in 0..12 {
+        for _ in 0..2 {
+            let events = cluster.replicas[1].on_view_timeout();
+            cluster.handle_events(1, events);
+        }
+        let events = cluster.replicas[2].on_view_timeout();
+        cluster.handle_events(2, events);
+        if round % 2 == 0 {
+            let events = cluster.replicas[3].on_view_timeout();
+            cluster.handle_events(3, events);
+        }
+        cluster.run();
+
+        let views: Vec<View> = (1..4).map(|i| cluster.replicas[i].views().1).collect();
+        if views.iter().all(|v| *v == views[0]) && !cluster.replicas[1].has_pending_requests() {
+            converged = true;
+            break;
+        }
+    }
+    assert!(converged, "confirmation views failed to converge within 12 interleaved rounds");
+
+    // The converged view must be live. If its primary happens to be the
+    // dead replica 0, the cluster's own timers move it along first.
+    for _ in 0..4 {
+        let view = cluster.replicas[1].views().1;
+        if (view.0 as usize) % 4 != 0 && !cluster.replicas[1].has_pending_requests() {
+            break;
+        }
+        cluster.timeout_all_up();
+    }
+    let view = cluster.replicas[1].views().1;
+    let primary = (view.0 as usize) % 4;
+    assert_ne!(primary, 0, "converged view's primary is the dead replica");
+    cluster.submit(primary, vec![plain_request(0, 2, Bytes::from_static(b"inc"))]);
+    for i in 1..4 {
+        assert_eq!(
+            cluster.replicas[i].app().value(),
+            2,
+            "replica {i} did not execute in the converged view"
+        );
+    }
+}

@@ -106,6 +106,20 @@ pub enum HybridMessage {
     Commit(HybridCommit),
 }
 
+impl HybridMessage {
+    /// Flips one byte of the message's USIG signature — the chaos
+    /// plane's `corrupt-mac` Byzantine mode. The UI no longer verifies,
+    /// so honest receivers must reject the message; a cluster with such
+    /// a replica proceeds exactly as if it were silent.
+    pub fn corrupt_authenticator(&mut self) {
+        let ui = match self {
+            HybridMessage::Prepare(p) => &mut p.ui,
+            HybridMessage::Commit(c) => &mut c.ui,
+        };
+        ui.signature.0[0] ^= 0xFF;
+    }
+}
+
 impl Encode for HybridMessage {
     fn encode(&self, buf: &mut Vec<u8>) {
         match self {

@@ -56,6 +56,6 @@ pub mod workload;
 
 pub use driver::{DriverConfig, LoadMode, LoadStats};
 pub use hist::{LatencyHistogram, Windows};
-pub use quorum::QuorumTracker;
+pub use quorum::{CommitConflict, CommitLog, QuorumTracker};
 pub use report::{BatchSummary, BenchReport, DurabilitySummary, LatencySummary};
 pub use workload::Workload;

@@ -11,8 +11,8 @@
 use bytes::Bytes;
 use splitbft_crypto::{digest_of, KeyPair};
 use splitbft_types::{
-    ClientId, Commit, ConsensusMessage, Digest, PrePrepare, Prepare, Request, RequestBatch,
-    RequestId, SeqNum, SignerId, Timestamp, View,
+    ClientId, Commit, ConsensusMessage, Digest, PrePrepare, Prepare, ReplicaId, Reply, Request,
+    RequestBatch, RequestId, SeqNum, SignerId, Timestamp, View,
 };
 use std::collections::BTreeSet;
 
@@ -91,6 +91,26 @@ impl Adversary {
     ) -> ConsensusMessage {
         let c = Commit { view, seq, digest, replica: claimed_replica };
         ConsensusMessage::Commit(self.key(signer).sign_payload(c, signer))
+    }
+
+    /// Forges an authenticated `Reply` claiming `replica` executed
+    /// `request` with `result`. Replica-to-client authentication is a
+    /// MAC under the per-client key — held by *every* replica (they
+    /// need it to verify requests, same reasoning as
+    /// [`Adversary::evil_batch`]) — so a compromised replica can forge
+    /// replies that verify at the client. Safety probes feed forged
+    /// reply quorums through their cross-checks to prove the checks are
+    /// non-vacuous.
+    pub fn forge_reply(
+        &self,
+        request: RequestId,
+        replica: ReplicaId,
+        view: View,
+        result: Bytes,
+    ) -> Reply {
+        let key = splitbft_crypto::client_mac_key(self.master_seed, request.client);
+        let auth = key.tag(&Reply::auth_bytes(view, request, replica, &result, false));
+        Reply { view, request, replica, result, encrypted: false, auth }
     }
 }
 

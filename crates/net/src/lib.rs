@@ -17,15 +17,22 @@
 //!   travel as length-prefixed frames (see [`splitbft_types::wire`]),
 //!   with per-peer reconnecting outboxes and send-path batching
 //!   ([`transport::PeerOutbox`]).
+//!
+//! Both hosting runtimes additionally consult a shared
+//! [`fault::FaultPlan`] on their send paths — a seeded, runtime-mutable
+//! decision table for chaos testing (drop/delay/duplicate rules and
+//! named partitions), inert unless the chaos plane installs faults.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod link;
 pub mod runtime;
 pub mod tcp;
 pub mod transport;
 
+pub use fault::{broadcast_fault_command, send_fault_command, FaultDecision, FaultPlan};
 pub use link::{LinkFate, LinkModel, NetConfig};
 pub use runtime::{NodeHandle, NodeInput, ThreadedCluster};
 pub use tcp::{BoundTcpNode, PeerAddr, TcpClient, TcpNode, TcpNodeConfig};

@@ -6,9 +6,11 @@
 //! without sockets; the TCP counterpart is [`crate::tcp::TcpNode`], and
 //! both host the same [`Protocol`] state machines unchanged.
 
+use crate::fault::{FaultDecision, FaultPlan};
 use crate::transport::{Protocol, ProtocolOutput, WireMessage};
 use splitbft_types::{ClientId, ReplicaId, Reply, Request};
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// Inputs a hosted node can receive.
@@ -51,6 +53,22 @@ impl<M: WireMessage> ThreadedCluster<M> {
     where
         P: Protocol<Message = M>,
     {
+        Self::spawn_with_faults(n, FaultPlan::shared(0), make)
+    }
+
+    /// Like [`ThreadedCluster::spawn`], but every peer-to-peer send first
+    /// consults the shared `faults` plan — the same hook the TCP runtime
+    /// places in its outboxes, so in-process chaos tests exercise the
+    /// deployment semantics. Replies to clients are never faulted (the
+    /// plan models the replica interconnect, not the client edge).
+    pub fn spawn_with_faults<P>(
+        n: usize,
+        faults: Arc<FaultPlan>,
+        make: impl Fn(ReplicaId) -> P,
+    ) -> Self
+    where
+        P: Protocol<Message = M>,
+    {
         let (reply_tx, reply_rx) = channel();
         let channels: Vec<(Sender<NodeInput<M>>, Receiver<NodeInput<M>>)> =
             (0..n).map(|_| channel()).collect();
@@ -63,9 +81,38 @@ impl<M: WireMessage> ThreadedCluster<M> {
             let mut protocol = make(id);
             let peers = senders.clone();
             let replies = reply_tx.clone();
+            let faults = Arc::clone(&faults);
             let thread = std::thread::Builder::new()
                 .name(format!("splitbft-node-{i}"))
                 .spawn(move || {
+                    let deliver = |to: usize, msg: M| {
+                        match faults.decide(id, ReplicaId(to as u32)) {
+                            FaultDecision::Deliver => {
+                                if let Some(peer) = peers.get(to) {
+                                    let _ = peer.send(NodeInput::Message(msg));
+                                }
+                            }
+                            FaultDecision::Drop => {}
+                            FaultDecision::Duplicate => {
+                                if let Some(peer) = peers.get(to) {
+                                    let _ = peer.send(NodeInput::Message(msg.clone()));
+                                    let _ = peer.send(NodeInput::Message(msg));
+                                }
+                            }
+                            FaultDecision::DeliverAfter(delay) => {
+                                // Held back on a sleeper thread so later
+                                // sends overtake it, as on the wire.
+                                if let Some(peer) = peers.get(to).cloned() {
+                                    let _ = std::thread::Builder::new()
+                                        .name(format!("splitbft-delay-{i}-to-{to}"))
+                                        .spawn(move || {
+                                            std::thread::sleep(delay);
+                                            let _ = peer.send(NodeInput::Message(msg));
+                                        });
+                                }
+                            }
+                        }
+                    };
                     while let Ok(input) = rx.recv() {
                         let outputs = match input {
                             NodeInput::Message(msg) => protocol.on_message(msg),
@@ -76,9 +123,9 @@ impl<M: WireMessage> ThreadedCluster<M> {
                         for output in outputs {
                             match output {
                                 ProtocolOutput::Broadcast(msg) => {
-                                    for (j, peer) in peers.iter().enumerate() {
+                                    for j in 0..peers.len() {
                                         if j != i {
-                                            let _ = peer.send(NodeInput::Message(msg.clone()));
+                                            deliver(j, msg.clone());
                                         }
                                     }
                                 }
@@ -86,9 +133,7 @@ impl<M: WireMessage> ThreadedCluster<M> {
                                     // Self-sends are dropped, matching the
                                     // TCP runtime's semantics.
                                     if to.as_usize() != i {
-                                        if let Some(peer) = peers.get(to.as_usize()) {
-                                            let _ = peer.send(NodeInput::Message(msg));
-                                        }
+                                        deliver(to.as_usize(), msg);
                                     }
                                 }
                                 ProtocolOutput::Reply { to, reply } => {

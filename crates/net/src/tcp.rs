@@ -23,13 +23,15 @@
 //! thread touches protocol state, so hosted replicas need no internal
 //! locking.
 
+use crate::fault::FaultPlan;
 use crate::transport::{
     frame_kind, read_frame, read_value, write_value, BatchPolicy, PeerOutbox, Protocol,
     ProtocolOutput,
 };
 use splitbft_types::wire::{decode, encode, frame};
 use splitbft_types::{
-    ClientId, ReplicaId, Reply, Request, SeqNum, StateTransferRequest, StateTransferResponse,
+    ClientId, FaultCommand, ReplicaId, Reply, Request, SeqNum, StateTransferRequest,
+    StateTransferResponse,
 };
 use std::collections::HashMap;
 use std::io;
@@ -114,11 +116,16 @@ pub struct TcpNodeConfig {
     /// linger lets the core loop coalesce every queued event plus up to
     /// that much waiting time into one batch sharing a single fsync.
     pub group_commit: Duration,
+    /// The node's fault plan, consulted by every peer outbox and mutated
+    /// by inbound `FAULT_CONTROL` frames. Defaults to an inert plan;
+    /// chaos harnesses share one plan across in-process nodes or seed it
+    /// per node for determinism.
+    pub faults: Arc<FaultPlan>,
 }
 
 impl TcpNodeConfig {
-    /// A config with default batching, no timer, and no state-transfer
-    /// client.
+    /// A config with default batching, no timer, no state-transfer
+    /// client, and no fault injection.
     pub fn new(id: ReplicaId, listen: SocketAddr, peers: Vec<PeerAddr>) -> Self {
         TcpNodeConfig {
             id,
@@ -128,6 +135,7 @@ impl TcpNodeConfig {
             timeout_every: None,
             recovery: None,
             group_commit: Duration::ZERO,
+            faults: FaultPlan::shared(u64::from(id.0)),
         }
     }
 }
@@ -226,12 +234,21 @@ impl TcpNode {
         let (events_tx, events_rx) = channel::<Event<P::Message>>();
         let mut threads = Vec::new();
 
-        // Outboxes toward every other replica.
+        // Outboxes toward every other replica, all consulting the node's
+        // shared fault plan on their send paths.
         let mut outboxes: HashMap<ReplicaId, PeerOutbox> = HashMap::new();
         for peer in &config.peers {
             if peer.id != config.id {
-                outboxes
-                    .insert(peer.id, PeerOutbox::spawn(config.id, peer.id, peer.addr, config.batch));
+                outboxes.insert(
+                    peer.id,
+                    PeerOutbox::spawn_with_faults(
+                        config.id,
+                        peer.id,
+                        peer.addr,
+                        config.batch,
+                        Arc::clone(&config.faults),
+                    ),
+                );
             }
         }
 
@@ -243,6 +260,7 @@ impl TcpNode {
             let clients = Arc::clone(&clients);
             let conn_threads = Arc::clone(&conn_threads);
             let events_tx = events_tx.clone();
+            let faults = Arc::clone(&config.faults);
             let id = config.id;
             threads.push(
                 std::thread::Builder::new()
@@ -255,6 +273,7 @@ impl TcpNode {
                             clients,
                             conn_threads,
                             events_tx,
+                            faults,
                         )
                     })
                     .expect("spawn accept loop"),
@@ -387,6 +406,7 @@ fn accept_loop<P: Protocol>(
     clients: ClientRegistry,
     conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
     events_tx: Sender<Event<P::Message>>,
+    faults: Arc<FaultPlan>,
 ) {
     // Generation counter for connections accepted by this node; tags
     // registry entries so teardown of a stale connection never clobbers
@@ -407,6 +427,7 @@ fn accept_loop<P: Protocol>(
         let shutdown = Arc::clone(&shutdown);
         let inbound_cleanup = Arc::clone(&inbound);
         let threads_for_reader = Arc::clone(&conn_threads);
+        let faults = Arc::clone(&faults);
         // shutdown() unblocks readers by closing the registered stream
         // clones, after which they exit on read error and are joined.
         if let Ok(handle) = std::thread::Builder::new().name("conn-reader".into()).spawn(move || {
@@ -417,6 +438,7 @@ fn accept_loop<P: Protocol>(
                 clients,
                 threads_for_reader,
                 shutdown,
+                faults,
             );
             // Deregister so long-running nodes don't accumulate dead fds.
             inbound_cleanup.lock().expect("inbound registry").remove(&generation);
@@ -442,6 +464,7 @@ fn client_writer(mut stream: TcpStream, replies: Receiver<Reply>) {
 }
 
 /// Drives one inbound connection: handshake, then a frame-decode loop.
+#[allow(clippy::too_many_arguments)]
 fn read_connection<P: Protocol>(
     mut stream: TcpStream,
     generation: u64,
@@ -449,6 +472,7 @@ fn read_connection<P: Protocol>(
     clients: ClientRegistry,
     conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
     shutdown: Arc<AtomicBool>,
+    faults: Arc<FaultPlan>,
 ) -> io::Result<()> {
     let (kind, hello) = read_frame(&mut stream)?;
     // For replica connections, the hello-claimed peer id. State-transfer
@@ -522,6 +546,15 @@ fn read_connection<P: Protocol>(
                         continue;
                     }
                     Event::StateResponse(resp)
+                }
+                frame_kind::FAULT_CONTROL => {
+                    // Chaos-plane steering: applied directly to the
+                    // shared plan, never routed through the core loop —
+                    // a wedged protocol must not delay a heal.
+                    let cmd: FaultCommand = decode(&payload)
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                    faults.apply(cmd);
+                    continue;
                 }
                 _ => continue, // tolerate unknown kinds from newer peers
             };

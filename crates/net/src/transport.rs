@@ -221,6 +221,10 @@ pub mod frame_kind {
     /// A peer's checkpoint + log suffix; payload:
     /// `StateTransferResponse`.
     pub const STATE_RESPONSE: u8 = 7;
+    /// A chaos-plane control command mutating the node's fault plan;
+    /// payload: `FaultCommand`. Sent on client connections by the chaos
+    /// orchestrator (see [`crate::fault::send_fault_command`]).
+    pub const FAULT_CONTROL: u8 = 8;
 }
 
 fn wire_to_io(e: splitbft_types::wire::WireError) -> io::Error {
@@ -310,16 +314,41 @@ const RECONNECT_MAX: Duration = Duration::from_millis(500);
 /// after one reconnect cycle are dropped — BFT protocols tolerate message
 /// loss by design (retransmission is driven by client timeouts and view
 /// changes, not by the transport).
+///
+/// Every enqueue first consults the link's [`FaultPlan`]
+/// (see [`PeerOutbox::spawn_with_faults`]): this is the chaos plane's
+/// choke point, covering protocol traffic and state transfer alike
+/// because both go through the same outboxes.
+///
+/// [`FaultPlan`]: crate::fault::FaultPlan
 #[derive(Debug)]
 pub struct PeerOutbox {
+    local: ReplicaId,
+    peer: ReplicaId,
+    faults: Arc<crate::fault::FaultPlan>,
     tx: Option<Sender<Arc<Vec<u8>>>>,
     closed: Arc<AtomicBool>,
     worker: Option<JoinHandle<()>>,
 }
 
 impl PeerOutbox {
-    /// Spawns the worker for the link `local` → `peer` at `addr`.
+    /// Spawns the worker for the link `local` → `peer` at `addr`, with
+    /// no fault injection (an inert plan).
     pub fn spawn(local: ReplicaId, peer: ReplicaId, addr: SocketAddr, policy: BatchPolicy) -> Self {
+        Self::spawn_with_faults(local, peer, addr, policy, crate::fault::FaultPlan::shared(0))
+    }
+
+    /// Spawns the worker for the link `local` → `peer` at `addr`,
+    /// consulting `faults` on every enqueue. The plan is shared across
+    /// all of a node's outboxes so one control command steers the whole
+    /// node.
+    pub fn spawn_with_faults(
+        local: ReplicaId,
+        peer: ReplicaId,
+        addr: SocketAddr,
+        policy: BatchPolicy,
+        faults: Arc<crate::fault::FaultPlan>,
+    ) -> Self {
         let (tx, rx) = channel::<Arc<Vec<u8>>>();
         let closed = Arc::new(AtomicBool::new(false));
         let closed_worker = Arc::clone(&closed);
@@ -327,13 +356,34 @@ impl PeerOutbox {
             .name(format!("outbox-{}-to-{}", local.0, peer.0))
             .spawn(move || outbox_worker(local, addr, rx, closed_worker, policy))
             .expect("spawn outbox worker");
-        PeerOutbox { tx: Some(tx), closed, worker: Some(worker) }
+        PeerOutbox { local, peer, faults, tx: Some(tx), closed, worker: Some(worker) }
     }
 
-    /// Enqueues one pre-framed message for delivery.
+    /// Enqueues one pre-framed message for delivery, subject to the
+    /// link's fault plan.
     pub fn enqueue(&self, framed: Arc<Vec<u8>>) {
-        if let Some(tx) = &self.tx {
-            let _ = tx.send(framed);
+        let Some(tx) = &self.tx else { return };
+        match self.faults.decide(self.local, self.peer) {
+            crate::fault::FaultDecision::Deliver => {
+                let _ = tx.send(framed);
+            }
+            crate::fault::FaultDecision::Drop => {}
+            crate::fault::FaultDecision::Duplicate => {
+                let _ = tx.send(Arc::clone(&framed));
+                let _ = tx.send(framed);
+            }
+            crate::fault::FaultDecision::DeliverAfter(delay) => {
+                // Hold the frame back on a sleeper thread; frames
+                // enqueued in the meantime overtake it, producing real
+                // reordering on the wire.
+                let tx = tx.clone();
+                let _ = std::thread::Builder::new()
+                    .name(format!("outbox-delay-{}-to-{}", self.local.0, self.peer.0))
+                    .spawn(move || {
+                        std::thread::sleep(delay);
+                        let _ = tx.send(framed);
+                    });
+            }
         }
     }
 

@@ -428,6 +428,7 @@ fn run_one(
         timeout_every: invocation.timeout_every,
         data_dir: invocation.data_dir.clone(),
         wal_group_commit: invocation.wal_group_commit,
+        byzantine: None,
     };
 
     // A cluster: launched here, or described by the external file.
@@ -452,6 +453,7 @@ fn run_one(
                 app: invocation.app,
                 options,
                 replicas: cluster.replicas().to_vec(),
+                byzantine: Vec::new(),
             };
             (Some(cluster), file)
         }

@@ -13,11 +13,18 @@
 //! ```text
 //! splitbft-node chaos --scenario rolling-restart --protocol splitbft
 //! splitbft-node chaos --scenario primary-kill --compare --rounds 4
+//! splitbft-node chaos --scenario equivocate-under-load --protocol pbft
+//! splitbft-node chaos --scenario concurrent-victim --protocol splitbft
 //! ```
 //!
 //! One `BENCH_chaos_<scenario>_<protocol>.json` lands per run; the
 //! command exits nonzero when any phase assertion fails (commits
-//! stalled, a victim never rejoined).
+//! stalled, a victim never rejoined, or the safety cross-check caught
+//! a committed fork). Scenario/protocol combinations the protocol's
+//! own design rules out — `primary-kill` or primary partitions on the
+//! view-change-less hybrid, `equivocate-under-load` against the USIG —
+//! fail fast with a typed `ChaosError::Unsupported` before anything
+//! spawns, and are skipped (loudly) under `--compare`.
 
 use crate::bench::LocalCluster;
 use crate::{
@@ -26,7 +33,7 @@ use crate::{
 };
 use splitbft_chaos::report::{ChaosReport, GroupCommitDelta, GroupCommitSample};
 use splitbft_chaos::schedule::Schedule;
-use splitbft_chaos::{run_scenario, ChaosConfig};
+use splitbft_chaos::{run_scenario, ChaosConfig, ChaosError};
 use splitbft_loadgen::driver::{self, DriverConfig};
 use std::io;
 use std::path::PathBuf;
@@ -108,7 +115,10 @@ pub fn parse_args(args: &[String]) -> Result<ChaosInvocation, String> {
         (None, false) => return Err("pass --protocol <p> or --compare".into()),
     };
 
-    let replicas: usize = parse_flag(args, "--replicas", 4usize)?;
+    // concurrent-victim cuts two replicas off at once, so it needs
+    // f >= 2: its default cluster is n = 7 rather than 4.
+    let default_replicas = if scenario == "concurrent-victim" { 7usize } else { 4usize };
+    let replicas: usize = parse_flag(args, "--replicas", default_replicas)?;
     if replicas < 4 {
         return Err("chaos needs --replicas >= 4 (commits must survive one victim)".into());
     }
@@ -135,30 +145,41 @@ pub fn parse_args(args: &[String]) -> Result<ChaosInvocation, String> {
 /// Runs the invocation: one scenario per selected protocol, one report
 /// each.
 ///
+/// Unsupported scenario/protocol combinations (the orchestrator's
+/// `validate` rules: no view change on the hybrid, unforgeable USIG
+/// equivocation, quorum-destroying partitions) are skipped with a
+/// notice under `--compare` and are a hard error when the protocol was
+/// requested explicitly. A run that *failed its assertions* still
+/// writes its report before erroring, so post-mortems have the data.
+///
 /// # Errors
 ///
-/// Parse errors, orchestration I/O errors, and any failed phase
-/// assertion.
+/// Parse errors, unsupported single-protocol requests, orchestration
+/// I/O errors, and any failed phase assertion or safety violation.
 pub fn run(args: &[String]) -> Result<Vec<ChaosReport>, String> {
     let invocation = parse_args(args)?;
     let serve_binary =
         std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
     let mut reports = Vec::new();
     for &protocol in &invocation.protocols {
-        if invocation.scenario == "primary-kill" && protocol == ProtocolKind::MinBft {
-            // The hybrid's view change is out of scope (see the
-            // splitbft-hybrid crate docs): killing its fixed primary
-            // stalls commits until the restart, which is a different
-            // scenario. Under --compare it is skipped, explicitly.
-            if invocation.protocols.len() > 1 {
-                eprintln!("chaos: skipping primary-kill for minbft (no view change)");
-                continue;
+        let report = match run_for(&invocation, protocol, &serve_binary) {
+            Ok(report) => report,
+            Err(e @ ChaosError::Unsupported { .. }) => {
+                if invocation.protocols.len() > 1 {
+                    eprintln!("chaos: skipping — {e}");
+                    continue;
+                }
+                return Err(e.to_string());
             }
-            return Err("primary-kill needs a view change; minbft has none — \
-                 use rolling-restart or repeated-kill"
-                .into());
-        }
-        let report = run_for(&invocation, protocol, &serve_binary).map_err(|e| e.to_string())?;
+            Err(ChaosError::Failed { reason, report }) => {
+                println!("{}", report.summary_line());
+                if let Ok(path) = report.write_to(&invocation.out_dir) {
+                    println!("  wrote {}", path.display());
+                }
+                return Err(format!("chaos scenario {} failed: {reason}", report.scenario));
+            }
+            Err(e) => return Err(e.to_string()),
+        };
         println!("{}", report.summary_line());
         let path =
             report.write_to(&invocation.out_dir).map_err(|e| format!("writing report: {e}"))?;
@@ -172,10 +193,10 @@ fn run_for(
     invocation: &ChaosInvocation,
     protocol: ProtocolKind,
     serve_binary: &PathBuf,
-) -> io::Result<ChaosReport> {
+) -> Result<ChaosReport, ChaosError> {
     let quorum = reply_quorum_for(protocol, invocation.replicas)?;
     let schedule = Schedule::by_name(&invocation.scenario, invocation.replicas, invocation.rounds)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        .map_err(|e| ChaosError::Io(io::Error::new(io::ErrorKind::InvalidInput, e)))?;
     let root = scratch_root(invocation, protocol)?;
 
     let mut config = ChaosConfig::new(
@@ -312,6 +333,20 @@ mod tests {
         assert_eq!(inv.replicas, 4);
         assert_eq!(inv.wal_group_commit_us, 200);
         assert!(!inv.skip_group_commit);
+    }
+
+    #[test]
+    fn concurrent_victim_defaults_to_seven_replicas() {
+        let inv = parse_args(&args(&[
+            "--scenario", "concurrent-victim", "--protocol", "splitbft",
+        ]))
+        .unwrap();
+        assert_eq!(inv.replicas, 7, "two simultaneous victims need f >= 2");
+        let inv = parse_args(&args(&[
+            "--scenario", "concurrent-victim", "--protocol", "splitbft", "--replicas", "10",
+        ]))
+        .unwrap();
+        assert_eq!(inv.replicas, 10, "an explicit --replicas still wins");
     }
 
     #[test]

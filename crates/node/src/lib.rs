@@ -62,7 +62,10 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod byzantine;
 pub mod chaos;
+
+pub use byzantine::{ByzantineMode, ByzantineProtocol};
 
 use bytes::Bytes;
 use splitbft_app::{Application, Blockchain, CounterApp, KeyValueStore};
@@ -172,6 +175,12 @@ pub struct NodeOptions {
     /// waiting time into one drain batch sharing a single fsync.
     /// Meaningless without `data_dir`.
     pub wal_group_commit: Duration,
+    /// Adversarial serve mode (`--byzantine` on the CLI or a per-replica
+    /// `byzantine` key in the cluster file). `None` — the default —
+    /// serves the honest replica; `Some` wraps it in
+    /// [`byzantine::ByzantineProtocol`]. The chaos plane uses this to
+    /// stand up clusters with a live adversary inside.
+    pub byzantine: Option<ByzantineMode>,
 }
 
 impl Default for NodeOptions {
@@ -181,6 +190,7 @@ impl Default for NodeOptions {
             timeout_every: Some(Duration::from_millis(2_000)),
             data_dir: None,
             wal_group_commit: Duration::ZERO,
+            byzantine: None,
         }
     }
 }
@@ -219,6 +229,10 @@ pub struct ClusterFile {
     /// The membership: replica ids and their listen addresses, sorted
     /// and validated to be exactly `0..n`.
     pub replicas: Vec<PeerAddr>,
+    /// Replicas the file marks adversarial (per-replica `byzantine`
+    /// key). Usually empty; the chaos plane writes these when standing
+    /// up a cluster with a live adversary inside.
+    pub byzantine: Vec<(ReplicaId, ByzantineMode)>,
 }
 
 impl ClusterFile {
@@ -236,6 +250,11 @@ impl ClusterFile {
     pub fn n(&self) -> usize {
         self.replicas.len()
     }
+
+    /// The file-declared Byzantine mode of replica `id`, if any.
+    pub fn byzantine_of(&self, id: ReplicaId) -> Option<ByzantineMode> {
+        self.byzantine.iter().find(|(r, _)| *r == id).map(|(_, m)| *m)
+    }
 }
 
 /// Parses the TOML subset described in the crate docs.
@@ -244,7 +263,7 @@ pub fn parse_cluster_toml(text: &str) -> Result<ClusterFile, ConfigError> {
     let mut seed: u64 = 42;
     let mut app = AppKind::Counter;
     let mut options = NodeOptions::default();
-    let mut replicas: Vec<(Option<u32>, Option<SocketAddr>)> = Vec::new();
+    let mut replicas: Vec<(Option<u32>, Option<SocketAddr>, Option<ByzantineMode>)> = Vec::new();
     // `None` = top level; `Some(i)` = inside the i-th [[replica]] table.
     let mut current: Option<usize> = None;
 
@@ -255,7 +274,7 @@ pub fn parse_cluster_toml(text: &str) -> Result<ClusterFile, ConfigError> {
         }
         let err = |msg: String| ConfigError::new(format!("line {}: {msg}", lineno + 1));
         if line == "[[replica]]" {
-            replicas.push((None, None));
+            replicas.push((None, None, None));
             current = Some(replicas.len() - 1);
             continue;
         }
@@ -318,15 +337,23 @@ pub fn parse_cluster_toml(text: &str) -> Result<ClusterFile, ConfigError> {
                         .map_err(|_| err(format!("addr must be host:port, got {s:?}")))?,
                 );
             }
+            (Some(i), "byzantine") => {
+                replicas[i].2 =
+                    Some(parse_string(value)?.parse().map_err(|e: ConfigError| err(e.msg))?);
+            }
             (Some(_), other) => return Err(err(format!("unknown replica key {other:?}"))),
         }
     }
 
     let mut peers = Vec::with_capacity(replicas.len());
-    for (i, (id, addr)) in replicas.into_iter().enumerate() {
+    let mut byzantine = Vec::new();
+    for (i, (id, addr, mode)) in replicas.into_iter().enumerate() {
         let id = id.ok_or_else(|| ConfigError::new(format!("replica #{i} missing `id`")))?;
         let addr = addr.ok_or_else(|| ConfigError::new(format!("replica #{i} missing `addr`")))?;
         peers.push(PeerAddr { id: ReplicaId(id), addr });
+        if let Some(mode) = mode {
+            byzantine.push((ReplicaId(id), mode));
+        }
     }
     peers.sort_by_key(|p| p.id.0);
     if peers.is_empty() {
@@ -341,7 +368,7 @@ pub fn parse_cluster_toml(text: &str) -> Result<ClusterFile, ConfigError> {
             )));
         }
     }
-    Ok(ClusterFile { protocol, seed, app, options, replicas: peers })
+    Ok(ClusterFile { protocol, seed, app, options, replicas: peers, byzantine })
 }
 
 fn strip_comment(line: &str) -> &str {
@@ -387,7 +414,12 @@ pub fn run_replica(
         io::Error::new(io::ErrorKind::InvalidInput, format!("replica {} not in cluster file", id.0))
     })?;
     let bound = TcpNode::bind(id, listen)?;
-    start_replica_on(bound, file.replicas.clone(), protocol, file.app, file.seed, options)
+    // CLI --byzantine wins; otherwise the file's per-replica key applies.
+    let mut options = options.clone();
+    if options.byzantine.is_none() {
+        options.byzantine = file.byzantine_of(id);
+    }
+    start_replica_on(bound, file.replicas.clone(), protocol, file.app, file.seed, &options)
 }
 
 /// Starts a replica around an already-bound listener.
@@ -423,16 +455,36 @@ pub fn start_replica_on(
             })
         }
     };
+    let byzantine = options.byzantine;
+    if byzantine == Some(ByzantineMode::EquivocatingPrimary) && protocol == ProtocolKind::MinBft {
+        return Err(invalid(
+            "byzantine mode equivocating-primary is unsupported on minbft: the USIG's \
+             monotone counter makes primary equivocation unforgeable (that is the \
+             hybrid's design point), so the mode would silently serve honestly",
+        ));
+    }
     match app {
         AppKind::Counter => {
-            start_with_app(bound, config, protocol, seed, CounterApp::new(), durability)
+            start_with_app(bound, config, protocol, seed, CounterApp::new(), durability, byzantine)
         }
-        AppKind::Kvs => {
-            start_with_app(bound, config, protocol, seed, KeyValueStore::new(), durability)
-        }
-        AppKind::Blockchain => {
-            start_with_app(bound, config, protocol, seed, Blockchain::new(), durability)
-        }
+        AppKind::Kvs => start_with_app(
+            bound,
+            config,
+            protocol,
+            seed,
+            KeyValueStore::new(),
+            durability,
+            byzantine,
+        ),
+        AppKind::Blockchain => start_with_app(
+            bound,
+            config,
+            protocol,
+            seed,
+            Blockchain::new(),
+            durability,
+            byzantine,
+        ),
     }
 }
 
@@ -490,13 +542,24 @@ fn start_with_app<A: Application + 'static>(
     seed: u64,
     app: A,
     durability: Option<Durability>,
+    byzantine: Option<ByzantineMode>,
 ) -> io::Result<TcpNode> {
     let id = config.id;
     let n = config.peers.len();
+    // Wrap order matters: DurableProtocol wraps ByzantineProtocol wraps
+    // the replica, so mutations happen before output-withholding and
+    // the WAL-before-network invariant survives (and the WAL records
+    // the honest state machine, not the forgeries).
     match protocol {
         ProtocolKind::Pbft => {
             let replica = PbftReplica::new(cluster_config(n)?, id, seed, app);
-            start_durable(bound, config, seed, replica, durability)
+            match byzantine {
+                None => start_durable(bound, config, seed, replica, durability),
+                Some(mode) => {
+                    let byz = ByzantineProtocol::new(replica, mode, seed, id, n);
+                    start_durable(bound, config, seed, byz, durability)
+                }
+            }
         }
         ProtocolKind::SplitBft => {
             let replica = SplitBftReplica::new(
@@ -507,12 +570,24 @@ fn start_with_app<A: Application + 'static>(
                 ExecMode::Hardware,
                 CostModel::paper_calibrated(),
             );
-            start_durable(bound, config, seed, replica, durability)
+            match byzantine {
+                None => start_durable(bound, config, seed, replica, durability),
+                Some(mode) => {
+                    let byz = ByzantineProtocol::new(replica, mode, seed, id, n);
+                    start_durable(bound, config, seed, byz, durability)
+                }
+            }
         }
         ProtocolKind::MinBft => {
             let cluster = HybridConfig::new(n).map_err(invalid)?;
             let replica = HybridReplica::new(cluster, id, seed, Usig::new(seed, id), app);
-            start_durable(bound, config, seed, replica, durability)
+            match byzantine {
+                None => start_durable(bound, config, seed, replica, durability),
+                Some(mode) => {
+                    let byz = ByzantineProtocol::new(replica, mode, seed, id, n);
+                    start_durable(bound, config, seed, byz, durability)
+                }
+            }
         }
     }
 }
@@ -721,9 +796,13 @@ impl AnyClient {
 ///
 /// The transport is at-most-once (outboxes and reply queues drop under
 /// failure and explicitly rely on client retransmission to recover), so
-/// after half the per-request timeout without a quorum the request is
-/// retransmitted to *every* reachable replica — the PBFT client rule.
-/// Replicas that already executed it re-send their cached reply.
+/// while a request lacks its quorum it is *periodically* retransmitted
+/// to every reachable replica — the PBFT client rule. Periodic matters:
+/// against an alive-but-faulty primary the first broadcast arms the
+/// backups' request-aware timers, the resulting view change clears
+/// their pending evidence, and only a *later* retransmission hands the
+/// request to the new primary. Replicas that already executed it
+/// re-send their cached reply.
 pub fn run_client(
     file: &ClusterFile,
     protocol: ProtocolKind,
@@ -742,8 +821,8 @@ pub fn run_client(
             tcp.send_all(std::slice::from_ref(&request))?;
         }
         let deadline = Instant::now() + timeout;
-        let resend_at = Instant::now() + timeout / 2;
-        let mut resent = false;
+        let resend_every = Duration::from_secs(2).min(timeout / 2).max(Duration::from_millis(100));
+        let mut resend_at = Instant::now() + resend_every;
         let result = loop {
             let now = Instant::now();
             if now >= deadline {
@@ -752,11 +831,11 @@ pub fn run_client(
                     format!("request {i} timed out after {timeout:?}"),
                 ));
             }
-            if !resent && now >= resend_at {
-                resent = true;
+            if now >= resend_at {
+                resend_at = now + resend_every;
                 tcp.send_all(std::slice::from_ref(&request))?;
             }
-            let wait = deadline.min(if resent { deadline } else { resend_at });
+            let wait = deadline.min(resend_at);
             match tcp.replies().recv_timeout(wait.saturating_duration_since(now)) {
                 Ok(reply) => {
                     if let Some(result) = client.on_reply(&reply) {

@@ -47,6 +47,7 @@ splitbft-node — run a PBFT / SplitBFT / MinBFT replica, client, bench, or chao
 
 USAGE:
     splitbft-node serve  --config <cluster.toml> --replica <id> [--protocol <p>]
+                         [--byzantine equivocating-primary|silent-backup|corrupt-mac]
                          [--data-dir <dir>] [--wal-group-commit-us <us>]
                          [--timeout-ms <ms>] [--batch-frames <n>]
                          [--batch-bytes <n>] [--batch-linger-us <us>]
@@ -61,7 +62,9 @@ USAGE:
                          [--batch-frames <n>] [--sweep-batch-frames <a,b,..>]
                          [--data-dir <dir>] [--wal-group-commit-us <us>]
                          [--out <dir>] [--name <name>]
-    splitbft-node chaos  --scenario rolling-restart|repeated-kill|primary-kill|staggered-start
+    splitbft-node chaos  --scenario rolling-restart|repeated-kill|primary-kill|
+                                    staggered-start|partition-primary|asymmetric-link|
+                                    equivocate-under-load|concurrent-victim
                          (--protocol <p> | --compare) [--replicas <n>] [--rounds <n>]
                          [--clients <n>] [--pipeline <n>] [--timeout-ms <ms>]
                          [--wal-group-commit-us <us>] [--rejoin-secs <s>]
@@ -101,6 +104,10 @@ fn options_from(args: &[String], file: &ClusterFile) -> Result<NodeOptions, Stri
     if let Some(ms) = flag(args, "--timeout-ms") {
         let ms: u64 = ms.parse().map_err(|_| "--timeout-ms must be an integer".to_string())?;
         options.timeout_every = (ms > 0).then(|| Duration::from_millis(ms));
+    }
+    if let Some(mode) = flag(args, "--byzantine") {
+        options.byzantine =
+            Some(mode.parse().map_err(|e: splitbft_node::ConfigError| e.to_string())?);
     }
     apply_durability_flags(args, &mut options)?;
     apply_batch_flags(args, &mut options.batch)?;

@@ -14,6 +14,12 @@
 //! - **staggered start, pbft**: client traffic begins before any
 //!   quorum exists; commits start once `n − 1` replicas are up and the
 //!   last starter catches up.
+//! - **equivocating primary, pbft n=4**: replica 0 serves in
+//!   `--byzantine equivocating-primary` mode; the safety cross-check
+//!   sees no committed fork and commits recover past the view change.
+//! - **concurrent victims, splitbft n=7 (f=2)**: a single partition
+//!   cuts two replicas at once; the five-replica side keeps committing
+//!   (exactly `2f + 1`) and commits resume within budget after heal.
 //!
 //! The three-protocol rolling-restart matrix runs in CI's `chaos` job;
 //! keeping one scenario per protocol family here bounds `cargo test`
@@ -22,8 +28,18 @@
 use splitbft_chaos::schedule;
 use splitbft_chaos::{run_scenario, ChaosConfig};
 use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard};
 
-fn config_for(protocol: &str, scenario: &str, reply_quorum: usize) -> ChaosConfig {
+/// Each scenario stands up a real subprocess cluster under sustained
+/// load; run concurrently they contend for cores and starve each
+/// other's probe budgets into flaky timeouts. One at a time, like CI.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn config_for(protocol: &str, scenario: &str, n: usize, reply_quorum: usize) -> ChaosConfig {
     let root = std::env::temp_dir().join(format!(
         "splitbft-chaos-e2e-{scenario}-{protocol}-{}",
         std::process::id()
@@ -32,7 +48,7 @@ fn config_for(protocol: &str, scenario: &str, reply_quorum: usize) -> ChaosConfi
     ChaosConfig::new(
         PathBuf::from(env!("CARGO_BIN_EXE_splitbft-node")),
         protocol,
-        4,
+        n,
         reply_quorum,
         root,
     )
@@ -40,7 +56,8 @@ fn config_for(protocol: &str, scenario: &str, reply_quorum: usize) -> ChaosConfi
 
 #[test]
 fn splitbft_rolling_restart_rejoins_via_the_log_suffix_path() {
-    let config = config_for("splitbft", "rolling", 2);
+    let _guard = serial();
+    let config = config_for("splitbft", "rolling", 4, 2);
     let schedule = schedule::rolling_restart(4);
     let report = run_scenario(&config, &schedule).expect("rolling restart must complete");
 
@@ -84,7 +101,8 @@ fn splitbft_rolling_restart_rejoins_via_the_log_suffix_path() {
 
 #[test]
 fn pbft_staggered_start_commits_once_quorum_forms() {
-    let config = config_for("pbft", "staggered", 2);
+    let _guard = serial();
+    let config = config_for("pbft", "staggered", 4, 2);
     let schedule = schedule::staggered_start(4);
     let report = run_scenario(&config, &schedule).expect("staggered start must complete");
 
@@ -94,4 +112,80 @@ fn pbft_staggered_start_commits_once_quorum_forms() {
     let last = report.phases.last().expect("phases");
     assert_eq!(last.rejoined, Some(true), "late starter never caught up");
     assert!(report.load_completed > 0, "no commits despite a full cluster");
+}
+
+#[test]
+fn pbft_survives_an_equivocating_primary_with_safety_intact() {
+    let _guard = serial();
+    let config = config_for("pbft", "equivocate", 4, 2);
+    let schedule = schedule::equivocate_under_load(4);
+    let report =
+        run_scenario(&config, &schedule).expect("equivocating primary must not stop the cluster");
+
+    assert!(report.ok(), "a phase assertion failed:\n{}", report.to_json());
+    // Liveness recovery: the honest backups starve the split
+    // pre-prepares of a prepare quorum, time out, and elect replica 1 —
+    // commits must advance across *both* phases after that.
+    for phase in &report.phases {
+        assert!(
+            matches!((phase.commits_before, phase.commits_after), (Some(b), Some(a)) if a > b),
+            "{} commits did not advance past the equivocator: {:?} -> {:?}",
+            phase.name,
+            phase.commits_before,
+            phase.commits_after,
+        );
+    }
+    // Safety, non-vacuously: the monitor actually committed requests
+    // and none of its f + 1 quorums ever disagreed on a counter value.
+    assert!(
+        report.safety_commits > 0,
+        "the safety monitor committed nothing — the cross-check never engaged"
+    );
+    assert!(
+        report.safety_violations.is_empty(),
+        "committed fork under equivocation:\n{:?}",
+        report.safety_violations
+    );
+
+    let out = config.root.parent().expect("temp root").to_path_buf();
+    let path = report.write_to(&out).expect("write report");
+    let text = std::fs::read_to_string(&path).expect("read report back");
+    assert!(path.ends_with("BENCH_chaos_equivocate-under-load_pbft.json"));
+    assert!(text.contains("\"safety\""));
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn splitbft_commits_through_and_after_a_double_partition() {
+    let _guard = serial();
+    let config = config_for("splitbft", "double-cut", 7, 3);
+    let schedule = schedule::concurrent_victim(7);
+    let report =
+        run_scenario(&config, &schedule).expect("double partition on n=7 must not stop commits");
+
+    assert!(report.ok(), "a phase assertion failed:\n{}", report.to_json());
+    assert_eq!(report.phases.len(), 2, "cut phase then heal phase");
+    // Under the cut the connected side is exactly 2f + 1 = 5 replicas —
+    // the minimum shape that can still commit; after the heal the
+    // victims are back and commits must resume within the phase budget.
+    for phase in &report.phases {
+        assert!(
+            matches!((phase.commits_before, phase.commits_after), (Some(b), Some(a)) if a > b),
+            "{} commits did not advance: {:?} -> {:?}",
+            phase.name,
+            phase.commits_before,
+            phase.commits_after,
+        );
+    }
+    assert!(report.safety_commits > 0, "safety monitor committed nothing");
+    assert!(
+        report.safety_violations.is_empty(),
+        "committed fork across the partition heal:\n{:?}",
+        report.safety_violations
+    );
+
+    let out = config.root.parent().expect("temp root").to_path_buf();
+    let path = report.write_to(&out).expect("write report");
+    assert!(path.ends_with("BENCH_chaos_concurrent-victim_splitbft.json"));
+    let _ = std::fs::remove_file(path);
 }

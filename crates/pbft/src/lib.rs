@@ -56,7 +56,7 @@ pub use checkpoint::CheckpointTracker;
 pub use client::{ClientEvent, PbftClient};
 pub use log::{MessageLog, Slot};
 pub use replica::{
-    make_request, Replica, Status, CATCH_UP_CHUNK_SLOTS, STALLS_BEFORE_ADVANCE,
+    make_request, stall_budget, Replica, Status, CATCH_UP_CHUNK_SLOTS, STALLS_BEFORE_ADVANCE,
 };
 pub use verify::{SignerScheme, REPLICA_SCHEME};
 pub use viewchange::{plan_new_view, validate_new_view, NewViewPlan, ViewChangeTracker};

@@ -44,12 +44,25 @@ use std::collections::BTreeMap;
 /// exhaustion by a byzantine peer flooding messages for far-future views).
 const MAX_FUTURE_BUFFER: usize = 4_096;
 
-/// Timeouts spent re-broadcasting the same `ViewChange` before the
-/// target advances anyway (the escape hatch for a dead target-primary).
-/// Public because the SplitBFT Confirmation compartment implements the
-/// same convergence fix and imports this constant — one damping knob,
-/// both stacks in lockstep.
+/// Base number of timeouts spent re-broadcasting the same `ViewChange`
+/// before the target advances anyway (the escape hatch for a dead
+/// target-primary). Public because the SplitBFT Confirmation compartment
+/// implements the same convergence fix and imports this constant — one
+/// damping knob, both stacks in lockstep.
 pub const STALLS_BEFORE_ADVANCE: u32 = 2;
+
+/// Exponential view-change backoff: the re-broadcast budget for the
+/// `escalations`-th consecutive view hop without entering a view.
+///
+/// The first failover keeps the base budget (fast recovery from a single
+/// crashed primary); each further hop doubles it, capped at 8× — PBFT's
+/// doubling view-change timer expressed in timer ticks. Without backoff,
+/// replicas whose timers interleave keep leapfrogging each other's
+/// target views under churn and convergence is only ever accidental.
+/// Entering any view resets the escalation count.
+pub fn stall_budget(escalations: u32) -> u32 {
+    STALLS_BEFORE_ADVANCE << escalations.min(3)
+}
 
 /// Most slots served per catch-up response (state transfer is chunked:
 /// a deeply lagging peer requests again with a higher `have_seq`).
@@ -95,11 +108,15 @@ pub struct Replica<A> {
     /// so it leads every served catch-up suffix.
     last_new_view: Option<Signed<NewView>>,
     /// Consecutive timeouts spent in view-change status awaiting the
-    /// same `NewView`. Below the threshold the replica *re-broadcasts*
-    /// its current `ViewChange` instead of targeting the next view —
-    /// without this backoff one fast-ticking replica leapfrogs a view
-    /// ahead of the cluster forever and the view change never converges.
+    /// same `NewView`. Below the current [`stall_budget`] the replica
+    /// *re-broadcasts* its current `ViewChange` instead of targeting the
+    /// next view — without this backoff one fast-ticking replica
+    /// leapfrogs a view ahead of the cluster forever and the view change
+    /// never converges.
     stalled_timeouts: u32,
+    /// Consecutive view hops without entering a view; exponent of the
+    /// [`stall_budget`]. Resets on [`Replica::enter_view`].
+    view_change_escalations: u32,
 
     app: A,
     /// Highest sequence number assigned by this replica as primary.
@@ -149,6 +166,7 @@ impl<A: Application> Replica<A> {
             future_buffer: Vec::new(),
             last_new_view: None,
             stalled_timeouts: 0,
+            view_change_escalations: 0,
             app,
             next_seq: SeqNum::zero(),
             last_exec: SeqNum::zero(),
@@ -429,13 +447,20 @@ impl<A: Application> Replica<A> {
     /// The environment's view-change timer fired: vote to depose the
     /// current primary (or escalate to the next view if already changing).
     pub fn on_view_timeout(&mut self) -> Vec<Action> {
-        if self.status == Status::InViewChange && self.stalled_timeouts < STALLS_BEFORE_ADVANCE {
-            // Still awaiting the NewView for the view we already voted:
-            // re-broadcast the vote (the target's primary may have
-            // missed or restarted past it) instead of hopping onward.
-            self.stalled_timeouts += 1;
-            let signed = self.signed_view_change(self.view);
-            return vec![Action::Broadcast { msg: ConsensusMessage::ViewChange(signed) }];
+        if self.status == Status::InViewChange {
+            if self.stalled_timeouts < stall_budget(self.view_change_escalations) {
+                // Still awaiting the NewView for the view we already
+                // voted: re-broadcast the vote (the target's primary may
+                // have missed or restarted past it) instead of hopping
+                // onward.
+                self.stalled_timeouts += 1;
+                let signed = self.signed_view_change(self.view);
+                return vec![Action::Broadcast { msg: ConsensusMessage::ViewChange(signed) }];
+            }
+            // Budget exhausted: escalate, doubling the next hop's
+            // budget so repeatedly-failing view changes back off
+            // exponentially instead of racing each other.
+            self.view_change_escalations = self.view_change_escalations.saturating_add(1);
         }
         let target = self.view.next();
         self.start_view_change(target)
@@ -907,6 +932,7 @@ impl<A: Application> Replica<A> {
         self.view = view;
         self.status = Status::Normal;
         self.stalled_timeouts = 0;
+        self.view_change_escalations = 0;
         self.view_changes.collect_garbage(view);
         self.record(|| DurableEvent::EnteredView { view });
         actions.push(Action::EnteredView { view });

@@ -23,6 +23,9 @@
 //! - [`durable`] — the durability plane's vocabulary: WAL records
 //!   ([`DurableEvent`]), sealed checkpoints ([`DurableCheckpoint`]), and
 //!   the `STATE_TRANSFER` request/response pair.
+//! - [`fault`] — the chaos plane's control vocabulary: runtime
+//!   [`FaultCommand`]s steering per-link fault rules and named
+//!   partitions on the transport.
 //! - [`compartment`] — the three compartment kinds of the paper
 //!   (Preparation, Confirmation, Execution).
 //! - [`config`] — cluster and batching configuration with the `3f + 1`
@@ -47,11 +50,13 @@ pub mod config;
 pub mod digest;
 pub mod durable;
 pub mod error;
+pub mod fault;
 pub mod ids;
 pub mod message;
 pub mod wire;
 
 pub use compartment::CompartmentKind;
+pub use fault::{FaultCommand, LinkRule};
 pub use config::{BatchConfig, ClusterConfig, TimerConfig};
 pub use digest::Digest;
 pub use durable::{DurableCheckpoint, DurableEvent, StateTransferRequest, StateTransferResponse};
