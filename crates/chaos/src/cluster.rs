@@ -31,6 +31,10 @@ pub struct ClusterSpec {
     /// WAL group-commit linger written into the cluster file
     /// (`0` = one fsync per event).
     pub wal_group_commit_us: u64,
+    /// Consensus groups per replica; written into the cluster file as
+    /// the `shards` key when above one (one keeps the file — and the
+    /// replicas' on-disk layout — identical to an unsharded run).
+    pub shards: u32,
     /// Scratch root: cluster file, data dirs, and stderr logs live
     /// under it.
     pub root: PathBuf,
@@ -87,6 +91,9 @@ impl ChaosCluster {
             "protocol = \"{}\"\nseed = {}\napp = \"counter\"\ntimeout_ms = {}\nwal_group_commit_us = {}\n",
             spec.protocol, spec.seed, spec.timeout_ms, spec.wal_group_commit_us,
         );
+        if spec.shards > 1 {
+            toml.push_str(&format!("shards = {}\n", spec.shards));
+        }
         for (id, port) in ports.iter().enumerate() {
             toml.push_str(&format!("\n[[replica]]\nid = {id}\naddr = \"127.0.0.1:{port}\"\n"));
             if let Some((_, mode)) = spec.byzantine.iter().find(|(r, _)| *r == id) {

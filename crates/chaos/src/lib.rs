@@ -42,7 +42,7 @@ pub use schedule::{FaultStep, Phase, Schedule};
 
 use splitbft_loadgen::driver::{self, DriverConfig};
 use splitbft_net::fault::broadcast_fault_command;
-use splitbft_types::{ClientId, FaultCommand, ReplicaId};
+use splitbft_types::{ClientId, FaultCommand, LinkRule, ReplicaId};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -66,6 +66,12 @@ pub struct ChaosConfig {
     pub timeout_ms: u64,
     /// WAL group-commit linger for the replicas (`0` = off).
     pub wal_group_commit_us: u64,
+    /// Consensus groups per replica (written into the cluster file as
+    /// the `shards` key when above one). The chaos probes drive the
+    /// counter app, which pins to shard 0, so a sharded run asserts
+    /// that fault recovery and liveness survive with the *other* shards
+    /// idle — every shard still recovers its own WAL on restart.
+    pub shards: u32,
     /// Scratch root (cluster file, data dirs, stderr logs).
     pub root: PathBuf,
     /// Background-load client threads.
@@ -104,6 +110,7 @@ impl ChaosConfig {
             reply_quorum,
             timeout_ms: 400,
             wal_group_commit_us: 200,
+            shards: 1,
             root,
             load_clients: 3,
             load_pipeline: 4,
@@ -203,6 +210,9 @@ pub fn validate(config: &ChaosConfig, schedule: &Schedule) -> Result<(), ChaosEr
     let minbft = config.protocol == "minbft";
     let f = config.reply_quorum.saturating_sub(1);
 
+    if config.shards == 0 {
+        return Err(unsupported("shards must be at least 1".into()));
+    }
     if minbft {
         if schedule.scenario == "primary-kill" {
             return Err(unsupported(
@@ -222,6 +232,19 @@ pub fn validate(config: &ChaosConfig, schedule: &Schedule) -> Result<(), ChaosEr
     }
     for phase in &schedule.phases {
         for step in &phase.steps {
+            // Frame loss on the hybrid's fixed-primary links is
+            // unrecoverable by design: no view change can move traffic
+            // off the primary, so sustained drops starve USIG quorums.
+            if let FaultStep::DegradeLink { from, to, drop_percent, .. } = step {
+                if minbft && *drop_percent > 0 && (*from == 0 || *to == 0) {
+                    return Err(unsupported(format!(
+                        "link {from} -> {to} drops {drop_percent}% of frames on the \
+                         fixed primary's path, and there is no view change to \
+                         route around sustained loss"
+                    )));
+                }
+                continue;
+            }
             let FaultStep::Partition { name, side_a, side_b, symmetric } = step else {
                 continue;
             };
@@ -280,6 +303,7 @@ pub fn run_scenario(config: &ChaosConfig, schedule: &Schedule) -> Result<ChaosRe
         seed: config.seed,
         timeout_ms: config.timeout_ms,
         wal_group_commit_us: config.wal_group_commit_us,
+        shards: config.shards,
         root: config.root.clone(),
         byzantine: schedule.byzantine.clone(),
     };
@@ -413,6 +437,39 @@ pub fn run_scenario(config: &ChaosConfig, schedule: &Schedule) -> Result<ChaosRe
                         break 'phases;
                     }
                 }
+                FaultStep::DegradeLink {
+                    from,
+                    to,
+                    drop_percent,
+                    duplicate_percent,
+                    reorder_percent,
+                    delay_ms,
+                } => {
+                    let cmd = FaultCommand::SetRule(LinkRule {
+                        from: ReplicaId(*from as u32),
+                        to: ReplicaId(*to as u32),
+                        drop_percent: *drop_percent,
+                        duplicate_percent: *duplicate_percent,
+                        reorder_percent: *reorder_percent,
+                        delay_ms: *delay_ms,
+                    });
+                    if let Err(e) = broadcast_fault_command(&cluster.addrs, &cmd) {
+                        failure = Some(format!(
+                            "{}: degrading link {from} -> {to} failed: {e}",
+                            phase.name
+                        ));
+                        break 'phases;
+                    }
+                }
+                FaultStep::ClearLinkRules => {
+                    if let Err(e) =
+                        broadcast_fault_command(&cluster.addrs, &FaultCommand::ClearRules)
+                    {
+                        failure =
+                            Some(format!("{}: clearing link rules failed: {e}", phase.name));
+                        break 'phases;
+                    }
+                }
                 FaultStep::Heal(name) => {
                     let cmd = FaultCommand::Heal { name: name.clone() };
                     if let Err(e) = broadcast_fault_command(&cluster.addrs, &cmd) {
@@ -525,6 +582,7 @@ pub fn run_scenario(config: &ChaosConfig, schedule: &Schedule) -> Result<ChaosRe
         n: config.n,
         seed: config.seed,
         wal_group_commit_us: config.wal_group_commit_us,
+        shards: config.shards,
         phases,
         load_issued: issued,
         load_completed: completed,
@@ -607,5 +665,43 @@ mod tests {
         // The hybrid keeps its supported catalog too.
         let schedule = Schedule::by_name("rolling-restart", 3, 1).unwrap();
         validate(&config("minbft", 3, 2), &schedule).unwrap();
+    }
+
+    #[test]
+    fn link_rule_scenarios_validate_on_every_protocol() {
+        for name in ["lossy-link", "reorder-under-load", "duplicate-storm"] {
+            let schedule = Schedule::by_name(name, 4, 1).unwrap();
+            for protocol in ["pbft", "splitbft", "minbft"] {
+                validate(&config(protocol, 4, 2), &schedule)
+                    .unwrap_or_else(|e| panic!("{name} must validate on {protocol}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn minbft_rejects_drops_on_the_fixed_primarys_links() {
+        let mut schedule = schedule::lossy_link(4);
+        schedule.phases[0].steps[0] = FaultStep::DegradeLink {
+            from: 0,
+            to: 1,
+            drop_percent: 10,
+            duplicate_percent: 0,
+            reorder_percent: 0,
+            delay_ms: 0,
+        };
+        let reason = unsupported(validate(&config("minbft", 4, 2), &schedule));
+        assert!(reason.contains("fixed primary"), "got: {reason}");
+        // View-change protocols mask partial loss on any single link.
+        validate(&config("pbft", 4, 2), &schedule).unwrap();
+    }
+
+    #[test]
+    fn zero_shards_is_rejected_up_front() {
+        let mut cfg = config("pbft", 4, 2);
+        cfg.shards = 0;
+        let reason = unsupported(validate(&cfg, &schedule::rolling_restart(4)));
+        assert!(reason.contains("shards"), "got: {reason}");
+        cfg.shards = 2;
+        validate(&cfg, &schedule::rolling_restart(4)).unwrap();
     }
 }

@@ -144,6 +144,8 @@ pub struct ChaosReport {
     pub seed: u64,
     /// The configured WAL group-commit linger of the cluster.
     pub wal_group_commit_us: u64,
+    /// Consensus groups per replica the cluster ran with.
+    pub shards: u32,
     /// Per-phase outcomes, in order.
     pub phases: Vec<PhaseOutcome>,
     /// Background load totals across the whole run.
@@ -193,6 +195,7 @@ impl ChaosReport {
                 "  \"n\": {n},\n",
                 "  \"seed\": {seed},\n",
                 "  \"wal_group_commit_us\": {linger},\n",
+                "  \"shards\": {shards},\n",
                 "  \"ok\": {ok},\n",
                 "  \"suffix_messages_applied\": {suffix},\n",
                 "  \"suffix_progress\": {suffix_progress},\n",
@@ -208,6 +211,7 @@ impl ChaosReport {
             n = self.n,
             seed = self.seed,
             linger = self.wal_group_commit_us,
+            shards = self.shards,
             ok = self.ok(),
             suffix = self.suffix_messages_applied(),
             suffix_progress = self.suffix_progress(),
@@ -226,10 +230,13 @@ impl ChaosReport {
         )
     }
 
-    /// The file name this report writes to.
+    /// The file name this report writes to. Sharded runs carry an
+    /// `_s<k>` suffix so they never clobber the unsharded report.
     pub fn file_name(&self) -> String {
+        let shard_suffix =
+            if self.shards > 1 { format!("_s{}", self.shards) } else { String::new() };
         format!(
-            "BENCH_chaos_{}_{}.json",
+            "BENCH_chaos_{}_{}{shard_suffix}.json",
             sanitize_name(&self.scenario),
             sanitize_name(&self.protocol)
         )
@@ -284,6 +291,7 @@ mod tests {
             n: 4,
             seed: 42,
             wal_group_commit_us: 200,
+            shards: 1,
             phases: vec![PhaseOutcome {
                 name: "restart-replica-0".into(),
                 victim: Some(0),
@@ -316,7 +324,7 @@ mod tests {
         let json = sample().to_json();
         for key in [
             "\"schema\"", "\"scenario\"", "\"protocol\"", "\"n\"", "\"seed\"",
-            "\"wal_group_commit_us\"", "\"ok\"", "\"suffix_messages_applied\"",
+            "\"wal_group_commit_us\"", "\"shards\"", "\"ok\"", "\"suffix_messages_applied\"",
             "\"load\"", "\"issued\"", "\"completed\"", "\"timed_out\"",
             "\"safety\"", "\"violations\"",
             "\"group_commit\"", "\"fsyncs_per_commit\"", "\"improved\"",
@@ -336,6 +344,14 @@ mod tests {
         assert!(delta.improved(), "3 fsyncs/commit vs ~0.7 must count as improved");
         assert!(report.ok());
         assert_eq!(report.file_name(), "BENCH_chaos_rolling-restart_splitbft.json");
+    }
+
+    #[test]
+    fn sharded_runs_get_their_own_file_name() {
+        let mut report = sample();
+        report.shards = 2;
+        assert_eq!(report.file_name(), "BENCH_chaos_rolling-restart_splitbft_s2.json");
+        assert!(report.to_json().contains("\"shards\": 2"));
     }
 
     #[test]

@@ -25,7 +25,20 @@
 //!   safety cross-check watching for forks throughout;
 //! - [`concurrent_victim`] — on `n = 7` (`f = 2`), partition *two*
 //!   replicas at once (the full fault budget), then heal and demand
-//!   commits resume.
+//!   commits resume;
+//! - [`lossy_link`] — drop a quarter of the frames in both directions
+//!   of one backup↔backup link; quorum redundancy must mask the loss
+//!   with commits advancing throughout;
+//! - [`reorder_under_load`] — hold back a share of that link's frames
+//!   so later ones overtake them; protocol buffering must absorb the
+//!   inversion without a view change;
+//! - [`duplicate_storm`] — deliver half the primary's frames to two
+//!   backups twice (and one backup's frames to the primary); every
+//!   handler must be idempotent under replayed traffic.
+//!
+//! The last three degrade links with [`FaultStep::DegradeLink`] — the
+//! same live `FAULT_CONTROL` plane the partitions ride, but exercising
+//! the per-link drop/duplicate/reorder rules instead of named cuts.
 
 use std::time::Duration;
 
@@ -62,6 +75,29 @@ pub enum FaultStep {
     },
     /// Close the named partition on every replica.
     Heal(String),
+    /// Install a per-link degradation rule on every replica's fault
+    /// plan (delivered live, like partitions): the ordered `from → to`
+    /// link drops / duplicates / holds back the given percentage of
+    /// frames. Percentages are drawn from the link's seeded decision
+    /// stream, so a schedule replays identically.
+    DegradeLink {
+        /// Sending replica.
+        from: usize,
+        /// Receiving replica.
+        to: usize,
+        /// Percentage of frames dropped outright (0–100).
+        drop_percent: u8,
+        /// Percentage of frames delivered twice (0–100).
+        duplicate_percent: u8,
+        /// Percentage of frames held back by `delay_ms` so later frames
+        /// overtake them (0–100).
+        reorder_percent: u8,
+        /// Holdback for reordered frames, in milliseconds.
+        delay_ms: u32,
+    },
+    /// Remove every per-link rule on every replica (named partitions
+    /// stay — [`FaultStep::HealAll`] clears both).
+    ClearLinkRules,
     /// Clear every partition and link rule on every replica.
     HealAll,
 }
@@ -114,6 +150,9 @@ impl Schedule {
             "asymmetric-link" => Ok(asymmetric_link(n)),
             "equivocate-under-load" => Ok(equivocate_under_load(n)),
             "concurrent-victim" => Ok(concurrent_victim(n)),
+            "lossy-link" => Ok(lossy_link(n)),
+            "reorder-under-load" => Ok(reorder_under_load(n)),
+            "duplicate-storm" => Ok(duplicate_storm(n)),
             other => Err(format!(
                 "unknown scenario {other:?} (expected one of: {})",
                 Schedule::NAMES.join(", ")
@@ -131,6 +170,9 @@ impl Schedule {
         "asymmetric-link",
         "equivocate-under-load",
         "concurrent-victim",
+        "lossy-link",
+        "reorder-under-load",
+        "duplicate-storm",
     ];
 }
 
@@ -374,6 +416,84 @@ pub fn concurrent_victim(n: usize) -> Schedule {
     Schedule { scenario: "concurrent-victim".into(), start_all: true, byzantine: Vec::new(), phases }
 }
 
+/// A degraded-then-cleared pair of phases shared by the link-rule
+/// scenarios: install `rules`, run under load, then clear and demand
+/// commits keep advancing on the clean network too.
+fn degrade_then_clear(scenario: &str, phase: &str, rules: Vec<FaultStep>) -> Schedule {
+    let mut steps = rules;
+    steps.push(FaultStep::Sleep(PARTITION_SETTLE));
+    let phases = vec![
+        Phase { name: phase.into(), victim: None, steps, expect_advance: true },
+        Phase {
+            name: "clear-link-rules".into(),
+            victim: None,
+            steps: vec![FaultStep::ClearLinkRules, FaultStep::Sleep(PARTITION_SETTLE)],
+            expect_advance: true,
+        },
+    ];
+    Schedule { scenario: scenario.into(), start_all: true, byzantine: Vec::new(), phases }
+}
+
+/// Drop 25% of the frames in *both* directions of the backup link
+/// `1 ↔ 2`. Quorum paths route around a single lossy link — each
+/// replica still hears `2f` intact peers — so commits must keep
+/// advancing with no view change, and again after the rules clear.
+pub fn lossy_link(n: usize) -> Schedule {
+    assert!(n >= 3, "lossy-link needs two backups");
+    let drop = |from, to| FaultStep::DegradeLink {
+        from,
+        to,
+        drop_percent: 25,
+        duplicate_percent: 0,
+        reorder_percent: 0,
+        delay_ms: 0,
+    };
+    degrade_then_clear("lossy-link", "degrade-backup-link", vec![drop(1, 2), drop(2, 1)])
+}
+
+/// Hold back 40% of the frames on the backup link `1 ↔ 2` by 50 ms so
+/// later frames overtake them. Consensus messages carry explicit
+/// sequence/view numbers and the replicas buffer ahead, so inverted
+/// delivery must be absorbed without a view change or a stall.
+pub fn reorder_under_load(n: usize) -> Schedule {
+    assert!(n >= 3, "reorder-under-load needs two backups");
+    let reorder = |from, to| FaultStep::DegradeLink {
+        from,
+        to,
+        drop_percent: 0,
+        duplicate_percent: 0,
+        reorder_percent: 40,
+        delay_ms: 50,
+    };
+    degrade_then_clear(
+        "reorder-under-load",
+        "reorder-backup-link",
+        vec![reorder(1, 2), reorder(2, 1)],
+    )
+}
+
+/// Deliver half the primary's frames to backups 1 and 2 twice, and
+/// half of backup 1's frames to the primary twice. Every protocol
+/// handler must be idempotent — duplicate pre-prepares, prepares, and
+/// commits may not double-count votes or re-execute requests (the
+/// safety monitor cross-checks results for exactly that).
+pub fn duplicate_storm(n: usize) -> Schedule {
+    assert!(n >= 3, "duplicate-storm needs two backups");
+    let dup = |from, to| FaultStep::DegradeLink {
+        from,
+        to,
+        drop_percent: 0,
+        duplicate_percent: 50,
+        reorder_percent: 0,
+        delay_ms: 0,
+    };
+    degrade_then_clear(
+        "duplicate-storm",
+        "duplicate-primary-links",
+        vec![dup(0, 1), dup(0, 2), dup(1, 0)],
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -449,6 +569,57 @@ mod tests {
         assert_eq!(side_b.len(), 5, "exactly a 2f+1 quorum stays connected");
         assert!(symmetric);
         assert!(schedule.phases[1].steps.contains(&FaultStep::HealAll));
+    }
+
+    #[test]
+    fn link_rule_scenarios_degrade_then_clear() {
+        for name in ["lossy-link", "reorder-under-load", "duplicate-storm"] {
+            let schedule = Schedule::by_name(name, 4, 1).unwrap();
+            assert_eq!(schedule.phases.len(), 2, "{name}");
+            assert!(
+                schedule.phases[0]
+                    .steps
+                    .iter()
+                    .any(|s| matches!(s, FaultStep::DegradeLink { .. })),
+                "{name} must install link rules"
+            );
+            assert!(
+                schedule.phases[1].steps.contains(&FaultStep::ClearLinkRules),
+                "{name} must clear its rules"
+            );
+            assert!(
+                schedule.phases.iter().all(|p| p.expect_advance),
+                "{name}: commits must advance both degraded and clean"
+            );
+        }
+    }
+
+    #[test]
+    fn lossy_link_degrades_both_directions_of_a_backup_link() {
+        let schedule = lossy_link(4);
+        let degraded: Vec<(usize, usize, u8)> = schedule.phases[0]
+            .steps
+            .iter()
+            .filter_map(|s| match s {
+                FaultStep::DegradeLink { from, to, drop_percent, .. } => {
+                    Some((*from, *to, *drop_percent))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(degraded, vec![(1, 2, 25), (2, 1, 25)]);
+
+        let reorder = reorder_under_load(4);
+        assert!(reorder.phases[0].steps.iter().all(|s| !matches!(
+            s,
+            FaultStep::DegradeLink { drop_percent: 1.., .. }
+        )), "reorder-under-load must not also drop");
+
+        let storm = duplicate_storm(4);
+        let touches_primary = storm.phases[0].steps.iter().any(|s| {
+            matches!(s, FaultStep::DegradeLink { from: 0, .. } | FaultStep::DegradeLink { to: 0, .. })
+        });
+        assert!(touches_primary, "duplicate-storm must replay primary traffic");
     }
 
     #[test]

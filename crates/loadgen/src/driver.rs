@@ -84,6 +84,12 @@ pub struct DriverConfig {
     /// replicas — the leadership-agnostic mode chaos/failover harnesses
     /// use when view changes move the primary mid-run.
     pub primary_index: usize,
+    /// Consensus groups the target cluster hosts. Above one, KVS key
+    /// generation cycles the shards round-robin
+    /// ([`Workload::next_op_sharded`]) and completions are tracked per
+    /// shard in [`LoadStats::per_shard_completed`]. The default `1`
+    /// generates exactly the pre-sharding stream.
+    pub shards: u32,
 }
 
 impl DriverConfig {
@@ -104,6 +110,7 @@ impl DriverConfig {
             connect_timeout: Duration::from_secs(10),
             client_id_base: 1_000,
             primary_index: 0,
+            shards: 1,
         }
     }
 }
@@ -124,6 +131,11 @@ pub struct LoadStats {
     pub hist: LatencyHistogram,
     /// Completions per window since the measurement started.
     pub windows: Windows,
+    /// Completions per shard (`config.shards` entries; a single entry
+    /// for unsharded runs). The per-shard quorum trackers feeding this
+    /// are the client-side proof that every consensus group committed
+    /// its slice of the load.
+    pub per_shard_completed: Vec<u64>,
 }
 
 /// Runs one load-generation session. Returns once every client thread
@@ -153,6 +165,7 @@ pub fn run(config: &DriverConfig) -> io::Result<LoadStats> {
         handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
     });
 
+    let shards = config.shards.max(1) as usize;
     let mut stats = LoadStats {
         issued: 0,
         completed: 0,
@@ -160,6 +173,7 @@ pub fn run(config: &DriverConfig) -> io::Result<LoadStats> {
         elapsed: started.elapsed(),
         hist: LatencyHistogram::new(),
         windows: Windows::new(config.window),
+        per_shard_completed: vec![0; shards],
     };
     for result in results {
         let client = result?;
@@ -168,6 +182,11 @@ pub fn run(config: &DriverConfig) -> io::Result<LoadStats> {
         stats.timed_out += client.timed_out;
         stats.hist.merge(&client.hist);
         stats.windows.merge(&client.windows);
+        for (total, &count) in
+            stats.per_shard_completed.iter_mut().zip(&client.per_shard_completed)
+        {
+            *total += count;
+        }
     }
     Ok(stats)
 }
@@ -178,6 +197,7 @@ struct ClientStats {
     timed_out: u64,
     hist: LatencyHistogram,
     windows: Windows,
+    per_shard_completed: Vec<u64>,
 }
 
 struct Flight {
@@ -203,8 +223,8 @@ fn client_loop(config: &DriverConfig, index: usize) -> io::Result<ClientStats> {
         .max(1);
 
     // Completions cross from the dispatcher thread back to this one:
-    // (timestamp, latency, elapsed-since-start).
-    let (done_tx, done_rx) = channel::<(u64, Duration, Duration)>();
+    // (timestamp, owning shard, latency, elapsed-since-start).
+    let (done_tx, done_rx) = channel::<(u64, u32, Duration, Duration)>();
 
     let pipeline = config.pipeline.max(1);
     let start = Instant::now();
@@ -227,6 +247,7 @@ fn client_loop(config: &DriverConfig, index: usize) -> io::Result<ClientStats> {
         timed_out: 0,
         hist: LatencyHistogram::new(),
         windows: Windows::new(config.window),
+        per_shard_completed: vec![0; config.shards.max(1) as usize],
     };
     let mut inflight: BTreeMap<u64, Flight> = BTreeMap::new();
 
@@ -237,7 +258,7 @@ fn client_loop(config: &DriverConfig, index: usize) -> io::Result<ClientStats> {
     let mut build = |sequence: u64| -> (Request, splitbft_net::tcp::ReplyHandler) {
         let timestamp = Timestamp(next_ts);
         next_ts += 1;
-        let op = config.workload.next_op(&mut rng, sequence);
+        let (op, shard) = config.workload.next_op_sharded(&mut rng, sequence, config.shards);
         let id = RequestId { client, timestamp };
         let auth = mac.tag(&Request::auth_bytes(id, &op, false));
         let request = Request { id, op, encrypted: false, auth };
@@ -247,8 +268,12 @@ fn client_loop(config: &DriverConfig, index: usize) -> io::Result<ClientStats> {
         let done = done_tx.clone();
         let handler = Box::new(move |reply: &Reply| {
             if tracker.on_reply(reply).is_some() {
-                let _ =
-                    done.send((reply.request.timestamp.0, issued_at.elapsed(), start.elapsed()));
+                let _ = done.send((
+                    reply.request.timestamp.0,
+                    shard.0,
+                    issued_at.elapsed(),
+                    start.elapsed(),
+                ));
                 true
             } else {
                 false
@@ -358,7 +383,7 @@ fn client_loop(config: &DriverConfig, index: usize) -> io::Result<ClientStats> {
 }
 
 fn record_completion(
-    (timestamp, latency, at): (u64, Duration, Duration),
+    (timestamp, shard, latency, at): (u64, u32, Duration, Duration),
     inflight: &mut BTreeMap<u64, Flight>,
     stats: &mut ClientStats,
 ) {
@@ -366,6 +391,9 @@ fn record_completion(
         stats.completed += 1;
         stats.hist.record(latency);
         stats.windows.record(at);
+        if let Some(count) = stats.per_shard_completed.get_mut(shard as usize) {
+            *count += 1;
+        }
     }
 }
 

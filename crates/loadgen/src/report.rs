@@ -57,6 +57,49 @@ pub struct DurabilitySummary {
     pub fsyncs_per_completed: Option<f64>,
 }
 
+/// What the sharding plane delivered during a run (only attached to
+/// multi-shard runs — a single-shard report stays byte-identical to the
+/// pre-sharding schema, so the key is omitted rather than `null`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardingSummary {
+    /// Consensus groups the cluster hosted.
+    pub shards: u32,
+    /// Client-verified completions per shard (from the per-shard quorum
+    /// trackers).
+    pub per_shard_completed: Vec<u64>,
+    /// Execution progress per shard as reported by the replicas' gauges
+    /// (element-wise max across replicas).
+    pub per_shard_progress: Vec<u64>,
+    /// WAL fsyncs per shard summed across replicas (`0`s without a data
+    /// dir).
+    pub per_shard_fsyncs: Vec<u64>,
+    /// Throughput of the single-shard baseline run the same invocation
+    /// measured first (`None` when no baseline ran, e.g. external
+    /// clusters).
+    pub baseline_rps: Option<f64>,
+    /// `throughput_rps / baseline_rps` — the scaling factor the shard
+    /// count bought.
+    pub scaling_x: Option<f64>,
+}
+
+impl ShardingSummary {
+    /// The section as a JSON object.
+    pub fn to_json(&self) -> String {
+        let join = |v: &[u64]| {
+            v.iter().map(u64::to_string).collect::<Vec<_>>().join(", ")
+        };
+        format!(
+            r#"{{"shards": {}, "per_shard_completed": [{}], "per_shard_progress": [{}], "per_shard_fsyncs": [{}], "baseline_rps": {}, "scaling_x": {}}}"#,
+            self.shards,
+            join(&self.per_shard_completed),
+            join(&self.per_shard_progress),
+            join(&self.per_shard_fsyncs),
+            self.baseline_rps.map_or("null".into(), |v| format!("{v:.3}")),
+            self.scaling_x.map_or("null".into(), |v| format!("{v:.3}")),
+        )
+    }
+}
+
 /// One complete measurement: configuration, counts, latency
 /// percentiles, and the per-window throughput series.
 #[derive(Debug, Clone)]
@@ -104,6 +147,10 @@ pub struct BenchReport {
     /// Durability-plane cost, when the run could measure it (`null` in
     /// the JSON otherwise).
     pub durability: Option<DurabilitySummary>,
+    /// Sharding-plane measurement, attached only to multi-shard runs
+    /// (the key is omitted from the JSON otherwise, keeping
+    /// single-shard reports byte-identical to the pre-sharding schema).
+    pub sharding: Option<ShardingSummary>,
 }
 
 impl BenchReport {
@@ -155,6 +202,7 @@ impl BenchReport {
             window: stats.windows.window(),
             window_counts: stats.windows.counts().to_vec(),
             durability: None,
+            sharding: None,
         }
     }
 
@@ -162,6 +210,13 @@ impl BenchReport {
     #[must_use]
     pub fn with_durability(mut self, durability: DurabilitySummary) -> Self {
         self.durability = Some(durability);
+        self
+    }
+
+    /// Attaches the sharding-plane measurement (builder style).
+    #[must_use]
+    pub fn with_sharding(mut self, sharding: ShardingSummary) -> Self {
+        self.sharding = Some(sharding);
         self
     }
 
@@ -197,6 +252,12 @@ impl BenchReport {
                 d.fsyncs_per_completed.map_or("null".into(), |v| format!("{v:.3}")),
             ),
         };
+        // Omitted — not `null` — when absent, so single-shard reports
+        // stay byte-identical to the pre-sharding schema.
+        let sharding = match &self.sharding {
+            None => String::new(),
+            Some(s) => format!("  \"sharding\": {},\n", s.to_json()),
+        };
         format!(
             concat!(
                 "{{\n",
@@ -216,6 +277,7 @@ impl BenchReport {
                 "  \"requests\": {{\"issued\": {issued}, \"completed\": {completed}, \"timed_out\": {timed_out}}},\n",
                 "  \"committed\": {committed},\n",
                 "  \"durability\": {durability},\n",
+                "{sharding}",
                 "  \"throughput_rps\": {throughput:.3},\n",
                 "  \"latency_us\": {{\"p50\": {p50}, \"p95\": {p95}, \"p99\": {p99}, \"max\": {max}, \"mean\": {mean:.1}}},\n",
                 "  \"window_secs\": {window_secs:.3},\n",
@@ -242,6 +304,7 @@ impl BenchReport {
             timed_out = self.timed_out,
             committed = self.committed,
             durability = durability,
+            sharding = sharding,
             throughput = self.throughput_rps,
             p50 = self.latency.p50_us,
             p95 = self.latency.p95_us,
@@ -465,6 +528,7 @@ mod tests {
             elapsed: Duration::from_secs(2),
             hist,
             windows,
+            per_shard_completed: vec![4],
         };
         BenchReport::from_stats(
             "unit test",
@@ -512,6 +576,29 @@ mod tests {
         assert!(json.contains("\"wal_group_commit_us\": 200"), "{json}");
         assert!(json.contains("\"fsyncs\": 120"));
         assert!(json.contains("\"fsyncs_per_completed\": 0.400"));
+    }
+
+    #[test]
+    fn sharding_section_is_omitted_until_attached() {
+        let json = sample_report().to_json();
+        assert!(
+            !json.contains("sharding"),
+            "single-shard reports must stay byte-identical to the pre-sharding schema:\n{json}"
+        );
+        let with = sample_report().with_sharding(ShardingSummary {
+            shards: 2,
+            per_shard_completed: vec![2, 2],
+            per_shard_progress: vec![3, 2],
+            per_shard_fsyncs: vec![0, 0],
+            baseline_rps: Some(1.5),
+            scaling_x: Some(1.333),
+        });
+        let json = with.to_json();
+        assert!(json.contains("\"sharding\": {\"shards\": 2"), "{json}");
+        assert!(json.contains("\"per_shard_completed\": [2, 2]"));
+        assert!(json.contains("\"per_shard_progress\": [3, 2]"));
+        assert!(json.contains("\"baseline_rps\": 1.500"));
+        assert!(json.contains("\"scaling_x\": 1.333"));
     }
 
     #[test]

@@ -10,6 +10,7 @@ use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::Rng;
 use splitbft_app::KvOp;
+use splitbft_types::{shard_for_key, ShardId};
 
 /// Which operation stream a load generator issues.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,6 +62,34 @@ impl Workload {
         }
     }
 
+    /// Shard-aware generation for sharded clusters: returns the next
+    /// operation plus the shard it routes to. KVS keys are drawn so
+    /// that consecutive requests cycle the shards round-robin (the
+    /// random key is re-drawn until it hashes to `sequence % shards`,
+    /// bounded so a tiny keyspace cannot stall the generator) — every
+    /// consensus group carries an even slice of the offered load, which
+    /// is what the scaling report measures. Non-keyed workloads pin to
+    /// shard 0, exactly like the server-side router.
+    pub fn next_op_sharded(
+        &self,
+        rng: &mut StdRng,
+        sequence: u64,
+        shards: u32,
+    ) -> (Bytes, ShardId) {
+        if shards <= 1 || !matches!(self, Workload::Kvs { .. }) {
+            return (self.next_op(rng, sequence), ShardId(0));
+        }
+        let target = ShardId((sequence % u64::from(shards)) as u32);
+        let mut op = self.next_op(rng, sequence);
+        for _ in 0..64 {
+            match shard_of_kv_op(&op, shards) {
+                Some(shard) if shard == target => return (op, shard),
+                _ => op = self.next_op(rng, sequence),
+            }
+        }
+        (op.clone(), shard_of_kv_op(&op, shards).unwrap_or(ShardId(0)))
+    }
+
     /// Short name used in report file names.
     pub fn label(&self) -> &'static str {
         match self {
@@ -82,6 +111,16 @@ impl Workload {
             }
         }
     }
+}
+
+/// The shard a KVS operation routes to, mirroring the server-side
+/// router: decode, hash the key, pin undecodable ops to shard 0.
+/// `None` for undecodable bytes (callers decide the fallback).
+pub fn shard_of_kv_op(op: &[u8], shards: u32) -> Option<ShardId> {
+    let key = match splitbft_types::wire::decode::<KvOp>(op).ok()? {
+        KvOp::Put { key, .. } | KvOp::Get { key } | KvOp::Delete { key } => key,
+    };
+    Some(shard_for_key(&key, shards))
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@ use crate::fault::{FaultDecision, FaultPlan};
 use crate::transport::{Protocol, ProtocolOutput, WireMessage};
 use splitbft_types::{ClientId, ReplicaId, Reply, Request};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// Inputs a hosted node can receive.
@@ -44,6 +44,11 @@ pub struct NodeHandle<M> {
 pub struct ThreadedCluster<M> {
     nodes: Vec<NodeHandle<M>>,
     replies: Receiver<(ClientId, Reply)>,
+    /// Per-node mirror of `(shard_progress(), shard_fsyncs())`, updated
+    /// by each node thread after every input — the in-process analog of
+    /// the TCP runtime's gauges, so sharded tests can watch every
+    /// group's progress without sockets.
+    shard_gauges: Arc<Mutex<Vec<(Vec<u64>, Vec<u64>)>>>,
 }
 
 impl<M: WireMessage> ThreadedCluster<M> {
@@ -74,6 +79,7 @@ impl<M: WireMessage> ThreadedCluster<M> {
             (0..n).map(|_| channel()).collect();
         let senders: Vec<Sender<NodeInput<M>>> =
             channels.iter().map(|(tx, _)| tx.clone()).collect();
+        let shard_gauges = Arc::new(Mutex::new(vec![(Vec::new(), Vec::new()); n]));
 
         let mut nodes = Vec::with_capacity(n);
         for (i, (tx, rx)) in channels.into_iter().enumerate() {
@@ -82,6 +88,7 @@ impl<M: WireMessage> ThreadedCluster<M> {
             let peers = senders.clone();
             let replies = reply_tx.clone();
             let faults = Arc::clone(&faults);
+            let gauges = Arc::clone(&shard_gauges);
             let thread = std::thread::Builder::new()
                 .name(format!("splitbft-node-{i}"))
                 .spawn(move || {
@@ -120,6 +127,9 @@ impl<M: WireMessage> ThreadedCluster<M> {
                             NodeInput::ViewTimeout => protocol.on_timeout(),
                             NodeInput::Shutdown => break,
                         };
+                        if let Ok(mut gauges) = gauges.lock() {
+                            gauges[i] = (protocol.shard_progress(), protocol.shard_fsyncs());
+                        }
                         for output in outputs {
                             match output {
                                 ProtocolOutput::Broadcast(msg) => {
@@ -146,7 +156,7 @@ impl<M: WireMessage> ThreadedCluster<M> {
                 .expect("spawn node thread");
             nodes.push(NodeHandle { id, sender: tx, thread: Some(thread) });
         }
-        ThreadedCluster { nodes, replies: reply_rx }
+        ThreadedCluster { nodes, replies: reply_rx, shard_gauges }
     }
 
     /// Number of nodes.
@@ -178,6 +188,20 @@ impl<M: WireMessage> ThreadedCluster<M> {
     /// The stream of `(client, reply)` pairs produced by the cluster.
     pub fn replies(&self) -> &Receiver<(ClientId, Reply)> {
         &self.replies
+    }
+
+    /// Per-shard progress of one node, as observed after its most
+    /// recent input — a single entry for unsharded protocols, one per
+    /// consensus group for a sharded combinator, empty before the
+    /// node's first input.
+    pub fn shard_progress(&self, replica: ReplicaId) -> Vec<u64> {
+        self.shard_gauges.lock().expect("shard gauges")[replica.as_usize()].0.clone()
+    }
+
+    /// Per-shard WAL-fsync counts of one node (see
+    /// [`ThreadedCluster::shard_progress`] for the shape).
+    pub fn shard_fsyncs(&self, replica: ReplicaId) -> Vec<u64> {
+        self.shard_gauges.lock().expect("shard gauges")[replica.as_usize()].1.clone()
     }
 
     /// Stops all node threads and waits for them.

@@ -198,6 +198,10 @@ pub struct TcpNode {
     /// for non-durable protocols. Benches read it to quantify what WAL
     /// group-commit saves.
     fsyncs: Arc<AtomicU64>,
+    /// Per-shard mirror of `(shard_progress(), shard_fsyncs())` —
+    /// single-element vectors for unsharded protocols. Behind one lock
+    /// because readers are occasional orchestrators, not hot paths.
+    shard_gauges: Arc<Mutex<(Vec<u64>, Vec<u64>)>>,
 }
 
 impl std::fmt::Debug for TcpNode {
@@ -307,6 +311,7 @@ impl TcpNode {
         // Core loop: the only thread touching protocol state.
         let progress = Arc::new(AtomicU64::new(0));
         let fsyncs = Arc::new(AtomicU64::new(0));
+        let shard_gauges = Arc::new(Mutex::new((Vec::new(), Vec::new())));
         {
             let clients = Arc::clone(&clients);
             let id = config.id;
@@ -314,6 +319,7 @@ impl TcpNode {
             let group_commit = config.group_commit;
             let progress = Arc::clone(&progress);
             let fsyncs = Arc::clone(&fsyncs);
+            let shard_gauges = Arc::clone(&shard_gauges);
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("node-{}-core", id.0))
@@ -328,6 +334,7 @@ impl TcpNode {
                             group_commit,
                             progress,
                             fsyncs,
+                            shard_gauges,
                         )
                     })
                     .expect("spawn core loop"),
@@ -349,6 +356,7 @@ impl TcpNode {
             inbound,
             progress,
             fsyncs,
+            shard_gauges,
         })
     }
 
@@ -374,6 +382,19 @@ impl TcpNode {
     /// poll from any thread.
     pub fn fsyncs(&self) -> u64 {
         self.fsyncs.load(Ordering::SeqCst)
+    }
+
+    /// Per-shard breakdown of [`TcpNode::progress`] — one entry per
+    /// consensus group the hosted protocol runs (a single entry for
+    /// unsharded protocols; empty until the first event is processed).
+    pub fn shard_progress(&self) -> Vec<u64> {
+        self.shard_gauges.lock().expect("shard gauges").0.clone()
+    }
+
+    /// Per-shard breakdown of [`TcpNode::fsyncs`] (see
+    /// [`TcpNode::shard_progress`] for the shape).
+    pub fn shard_fsyncs(&self) -> Vec<u64> {
+        self.shard_gauges.lock().expect("shard gauges").1.clone()
     }
 
     /// Stops every thread and closes every connection, then joins them.
@@ -716,6 +737,7 @@ fn core_loop<P: Protocol>(
     group_commit: Duration,
     progress_gauge: Arc<AtomicU64>,
     fsync_gauge: Arc<AtomicU64>,
+    shard_gauges: Arc<Mutex<(Vec<u64>, Vec<u64>)>>,
 ) {
     // Request-aware view-change timer state. A periodic tick forwards to
     // the protocol's timeout handler only when a request has been pending
@@ -795,6 +817,11 @@ fn core_loop<P: Protocol>(
         }
         progress_gauge.store(protocol.progress(), Ordering::SeqCst);
         fsync_gauge.store(protocol.durable_fsyncs(), Ordering::SeqCst);
+        {
+            let mut gauges = shard_gauges.lock().expect("shard gauges");
+            gauges.0 = protocol.shard_progress();
+            gauges.1 = protocol.shard_fsyncs();
+        }
         if stop {
             break 'main;
         }

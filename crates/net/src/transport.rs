@@ -200,6 +200,26 @@ pub trait Protocol: Send + 'static {
     fn durable_fsyncs(&self) -> u64 {
         0
     }
+
+    // --- sharding hooks -----------------------------------------------------
+    //
+    // A sharded combinator hosts several independent consensus groups
+    // behind one `Protocol` facade; these probes let runtimes expose
+    // per-group gauges without knowing about sharding. Unsharded
+    // protocols keep the defaults: one group, the scalar gauges.
+
+    /// Per-shard breakdown of [`Protocol::progress`]. The default is the
+    /// single-group view; a sharded combinator returns one entry per
+    /// inner instance.
+    fn shard_progress(&self) -> Vec<u64> {
+        vec![self.progress()]
+    }
+
+    /// Per-shard breakdown of [`Protocol::durable_fsyncs`]. The default
+    /// is the single-group view.
+    fn shard_fsyncs(&self) -> Vec<u64> {
+        vec![self.durable_fsyncs()]
+    }
 }
 
 /// Frame discriminators used by the socket transport (the `kind` byte of

@@ -37,7 +37,9 @@ use crate::{
     AppKind, ClusterFile, NodeOptions, ProtocolKind,
 };
 use splitbft_loadgen::driver::{self, DriverConfig, LoadMode};
-use splitbft_loadgen::report::{BatchSummary, BenchReport, RateSweepReport, SweepPoint};
+use splitbft_loadgen::report::{
+    BatchSummary, BenchReport, RateSweepReport, ShardingSummary, SweepPoint,
+};
 use splitbft_loadgen::workload::Workload;
 use splitbft_net::tcp::{PeerAddr, TcpNode};
 use splitbft_net::transport::BatchPolicy;
@@ -96,6 +98,32 @@ impl LocalCluster {
         self.nodes.iter().map(TcpNode::fsyncs).sum()
     }
 
+    /// Per-shard execution progress: the element-wise **max** across
+    /// every node's gauge (replicas of one group track each other, so
+    /// the max is the group's committed frontier), padded to `shards`
+    /// entries.
+    pub fn shard_progress(&self, shards: u32) -> Vec<u64> {
+        let mut out = vec![0u64; shards.max(1) as usize];
+        for node in &self.nodes {
+            for (slot, value) in out.iter_mut().zip(node.shard_progress()) {
+                *slot = (*slot).max(value);
+            }
+        }
+        out
+    }
+
+    /// Per-shard WAL fsyncs **summed** across every node (each replica
+    /// pays for its own log), padded to `shards` entries.
+    pub fn shard_fsyncs(&self, shards: u32) -> Vec<u64> {
+        let mut out = vec![0u64; shards.max(1) as usize];
+        for node in &self.nodes {
+            for (slot, value) in out.iter_mut().zip(node.shard_fsyncs()) {
+                *slot += value;
+            }
+        }
+        out
+    }
+
     /// Stops every node and joins their threads.
     pub fn shutdown(self) {
         for node in self.nodes {
@@ -142,6 +170,11 @@ pub struct BenchInvocation {
     /// WAL group-commit linger (`--wal-group-commit-us`); zero fsyncs
     /// once per drained event.
     pub wal_group_commit: Duration,
+    /// Consensus groups per replica (`--shards`). Above one, the same
+    /// invocation first measures a single-shard baseline and the
+    /// multi-shard report carries a `sharding` section with the scaling
+    /// factor and per-shard gauges.
+    pub shards: u32,
     /// Report output directory.
     pub out_dir: PathBuf,
     /// Report name override (suffixed per combination when sweeping).
@@ -177,7 +210,7 @@ const KNOWN_FLAGS: &[&str] = &[
     "--duration", "--rate", "--keys", "--value-size", "--read-ratio", "--payload",
     "--batch-frames", "--batch-bytes", "--batch-linger-us", "--sweep-batch-frames",
     "--timeout-ms", "--out", "--name", "--window-ms", "--retry-ms", "--drain-secs",
-    "--client-base", "--data-dir", "--sweep-rate", "--wal-group-commit-us",
+    "--client-base", "--data-dir", "--sweep-rate", "--wal-group-commit-us", "--shards",
 ];
 
 /// Parses the `bench` subcommand's arguments.
@@ -288,6 +321,11 @@ pub fn parse_args(args: &[String]) -> Result<BenchInvocation, String> {
         }
     };
 
+    let shards = parse_flag(args, "--shards", 1u32)?;
+    if shards == 0 {
+        return Err("--shards must be a positive integer".into());
+    }
+
     Ok(BenchInvocation {
         config_path,
         protocols,
@@ -304,6 +342,7 @@ pub fn parse_args(args: &[String]) -> Result<BenchInvocation, String> {
         timeout_every: (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms)),
         data_dir: flag(args, "--data-dir").map(PathBuf::from),
         wal_group_commit: Duration::from_micros(parse_flag(args, "--wal-group-commit-us", 0u64)?),
+        shards,
         out_dir: PathBuf::from(flag(args, "--out").unwrap_or_else(|| ".".into())),
         name: flag(args, "--name"),
         window: Duration::from_millis(parse_flag(args, "--window-ms", 1_000u64)?.max(1)),
@@ -423,12 +462,43 @@ fn run_one(
     batch: BatchPolicy,
     rate: Option<f64>,
 ) -> io::Result<BenchReport> {
+    // Multi-shard runs measure their own single-shard baseline first —
+    // same invocation, same knobs — so the report's `sharding` section
+    // can state the scaling factor rather than leave it to a separate
+    // run nobody correlates.
+    let baseline_rps = if invocation.shards > 1 && invocation.config_path.is_none() {
+        let mut baseline = invocation.clone();
+        if let Some(dir) = &invocation.data_dir {
+            // Keep the baseline's WAL out of the sharded run's layout.
+            baseline.data_dir = Some(dir.join("baseline-s1"));
+        }
+        let report = run_measurement(&baseline, protocol, batch, rate, 1, None)?;
+        println!(
+            "  1-shard baseline: {:.1} req/s ({} completed)",
+            report.throughput_rps, report.completed
+        );
+        Some(report.throughput_rps)
+    } else {
+        None
+    };
+    run_measurement(invocation, protocol, batch, rate, invocation.shards, baseline_rps)
+}
+
+fn run_measurement(
+    invocation: &BenchInvocation,
+    protocol: ProtocolKind,
+    batch: BatchPolicy,
+    rate: Option<f64>,
+    shards: u32,
+    baseline_rps: Option<f64>,
+) -> io::Result<BenchReport> {
     let options = NodeOptions {
         batch,
         timeout_every: invocation.timeout_every,
         data_dir: invocation.data_dir.clone(),
         wal_group_commit: invocation.wal_group_commit,
         byzantine: None,
+        shards,
     };
 
     // A cluster: launched here, or described by the external file.
@@ -474,6 +544,7 @@ fn run_one(
         config.retry_every = invocation.retry_every;
         config.drain_timeout = invocation.drain_timeout;
         config.client_id_base = invocation.client_id_base;
+        config.shards = shards;
 
         // Counter workloads get an independent commit probe: the counter
         // value before/after the run, read through a regular client.
@@ -484,8 +555,8 @@ fn run_one(
             None => stats.completed,
         };
 
-        let name = report_name(invocation, protocol, &batch);
-        Ok(BenchReport::from_stats(
+        let name = report_name(invocation, protocol, &batch, shards);
+        let report = BenchReport::from_stats(
             name,
             protocol.to_string(),
             file.n(),
@@ -503,7 +574,29 @@ fn run_one(
             },
             &stats,
             committed,
-        ))
+        );
+        // Multi-shard runs carry the scaling evidence: per-shard
+        // completions from the clients' quorum trackers, per-shard
+        // progress/fsync gauges from the in-process nodes, and the
+        // baseline comparison.
+        if shards <= 1 {
+            return Ok(report);
+        }
+        let (progress, fsyncs) = match &cluster {
+            Some(c) => (c.shard_progress(shards), c.shard_fsyncs(shards)),
+            None => (vec![0; shards as usize], vec![0; shards as usize]),
+        };
+        let throughput = report.throughput_rps;
+        Ok(report.with_sharding(ShardingSummary {
+            shards,
+            per_shard_completed: stats.per_shard_completed.clone(),
+            per_shard_progress: progress,
+            per_shard_fsyncs: fsyncs,
+            baseline_rps,
+            scaling_x: baseline_rps
+                .filter(|b| *b > 0.0)
+                .map(|b| throughput / b),
+        }))
     })();
 
     // Self-orchestrated durable runs report the durability plane's
@@ -549,6 +642,7 @@ fn report_name(
     invocation: &BenchInvocation,
     protocol: ProtocolKind,
     batch: &BatchPolicy,
+    shards: u32,
 ) -> String {
     let base = match &invocation.name {
         Some(name) => name.clone(),
@@ -559,6 +653,8 @@ fn report_name(
     };
     let multi_protocol = invocation.protocols.len() > 1 && invocation.name.is_some();
     let base = if multi_protocol { format!("{base}_{protocol}") } else { base };
+    // Single-shard runs keep their pre-sharding names (and bytes).
+    let base = if shards > 1 { format!("{base}_s{shards}") } else { base };
     if invocation.batch_variants.len() > 1 {
         format!("{base}_bf{}", batch.max_frames)
     } else {
@@ -649,6 +745,16 @@ mod tests {
             parse_args(&args(&["--protocol", "pbft", "--sweep-rate", "fast"])).is_err(),
             "rates must parse"
         );
+    }
+
+    #[test]
+    fn shards_flag_parses_and_rejects_zero() {
+        let inv = parse_args(&args(&["--protocol", "pbft", "--shards", "4"])).unwrap();
+        assert_eq!(inv.shards, 4);
+        let default = parse_args(&args(&["--protocol", "pbft"])).unwrap();
+        assert_eq!(default.shards, 1);
+        assert!(parse_args(&args(&["--protocol", "pbft", "--shards", "0"])).is_err());
+        assert!(parse_args(&args(&["--protocol", "pbft", "--shards", "many"])).is_err());
     }
 
     #[test]

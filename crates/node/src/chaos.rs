@@ -63,6 +63,8 @@ pub struct ChaosInvocation {
     pub timeout_ms: u64,
     /// WAL group-commit linger the cluster runs with (µs).
     pub wal_group_commit_us: u64,
+    /// Consensus groups per replica (`1` = unsharded, the default).
+    pub shards: u32,
     /// Per-victim rejoin budget.
     pub rejoin_timeout: Duration,
     /// Per-probe commit-read budget.
@@ -83,7 +85,7 @@ pub struct ChaosInvocation {
 const VALUE_FLAGS: &[&str] = &[
     "--scenario", "--protocol", "--replicas", "--seed", "--rounds", "--clients", "--pipeline",
     "--timeout-ms", "--wal-group-commit-us", "--rejoin-secs", "--probe-secs", "--root", "--out",
-    "--rate",
+    "--rate", "--shards",
 ];
 const BARE_FLAGS: &[&str] = &["--compare", "--keep-data", "--skip-group-commit"];
 
@@ -133,6 +135,13 @@ pub fn parse_args(args: &[String]) -> Result<ChaosInvocation, String> {
         rate: parse_flag(args, "--rate", 150.0f64)?.max(1.0),
         timeout_ms: parse_flag(args, "--timeout-ms", 400u64)?.max(50),
         wal_group_commit_us: parse_flag(args, "--wal-group-commit-us", 200u64)?,
+        shards: {
+            let shards = parse_flag(args, "--shards", 1u32)?;
+            if shards == 0 {
+                return Err("--shards must be a positive integer".into());
+            }
+            shards
+        },
         rejoin_timeout: Duration::from_secs(parse_flag(args, "--rejoin-secs", 45u64)?.max(1)),
         probe_timeout: Duration::from_secs(parse_flag(args, "--probe-secs", 30u64)?.max(1)),
         root: flag(args, "--root").map(PathBuf::from),
@@ -209,6 +218,7 @@ fn run_for(
     config.seed = invocation.seed;
     config.timeout_ms = invocation.timeout_ms;
     config.wal_group_commit_us = invocation.wal_group_commit_us;
+    config.shards = invocation.shards;
     config.load_clients = invocation.clients;
     config.load_pipeline = invocation.pipeline;
     config.load_rate = invocation.rate;
@@ -233,10 +243,12 @@ fn run_for(
 /// recognizably a previous chaos run (it holds a `cluster.toml`) or
 /// empty — never arbitrary user data.
 fn scratch_root(invocation: &ChaosInvocation, protocol: ProtocolKind) -> io::Result<PathBuf> {
+    let shard_suffix =
+        if invocation.shards > 1 { format!("-s{}", invocation.shards) } else { String::new() };
     match &invocation.root {
         None => {
             let root = std::env::temp_dir().join(format!(
-                "splitbft-chaos-{}-{protocol}-{}",
+                "splitbft-chaos-{}-{protocol}{shard_suffix}-{}",
                 invocation.scenario,
                 std::process::id()
             ));
@@ -244,7 +256,7 @@ fn scratch_root(invocation: &ChaosInvocation, protocol: ProtocolKind) -> io::Res
             Ok(root)
         }
         Some(base) => {
-            let root = base.join(format!("{}-{protocol}", invocation.scenario));
+            let root = base.join(format!("{}-{protocol}{shard_suffix}", invocation.scenario));
             if root.exists()
                 && !root.join("cluster.toml").exists()
                 && std::fs::read_dir(&root)?.next().is_some()
@@ -347,6 +359,31 @@ mod tests {
         ]))
         .unwrap();
         assert_eq!(inv.replicas, 10, "an explicit --replicas still wins");
+    }
+
+    #[test]
+    fn shards_flag_parses_and_rejects_zero() {
+        let inv = parse_args(&args(&[
+            "--scenario", "rolling-restart", "--protocol", "pbft", "--shards", "2",
+        ]))
+        .unwrap();
+        assert_eq!(inv.shards, 2);
+        let inv =
+            parse_args(&args(&["--scenario", "rolling-restart", "--protocol", "pbft"])).unwrap();
+        assert_eq!(inv.shards, 1, "unsharded by default");
+        assert!(parse_args(&args(&[
+            "--scenario", "rolling-restart", "--protocol", "pbft", "--shards", "0",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn link_rule_scenarios_are_reachable_from_the_cli() {
+        for scenario in ["lossy-link", "reorder-under-load", "duplicate-storm"] {
+            let inv = parse_args(&args(&["--scenario", scenario, "--protocol", "splitbft"]))
+                .unwrap_or_else(|e| panic!("{scenario}: {e}"));
+            assert_eq!(inv.scenario, scenario);
+        }
     }
 
     #[test]

@@ -74,9 +74,10 @@ use splitbft_hybrid::{HybridClient, HybridClientEvent, HybridConfig, HybridRepli
 use splitbft_net::tcp::{BoundTcpNode, PeerAddr, RecoveryPolicy, TcpClient, TcpNode, TcpNodeConfig};
 use splitbft_net::transport::{BatchPolicy, Protocol};
 use splitbft_pbft::{ClientEvent, PbftClient, Replica as PbftReplica};
+use splitbft_shard::{ShardMember, ShardRouter, Sharded};
 use splitbft_store::{replica_sealing_identity, DurableProtocol};
 use splitbft_tee::{CostModel, ExecMode};
-use splitbft_types::{ClientId, ClusterConfig, ReplicaId, Reply};
+use splitbft_types::{ClientId, ClusterConfig, ReplicaId, Reply, ShardId};
 use std::fmt;
 use std::io;
 use std::net::SocketAddr;
@@ -181,6 +182,15 @@ pub struct NodeOptions {
     /// [`byzantine::ByzantineProtocol`]. The chaos plane uses this to
     /// stand up clusters with a live adversary inside.
     pub byzantine: Option<ByzantineMode>,
+    /// Number of consensus groups this node hosts (`shards` in the
+    /// cluster file, `--shards` on the CLI). The default `1` hosts the
+    /// protocol exactly as before — unwrapped, byte-compatible on the
+    /// wire and on disk. Above one, the node runs that many independent
+    /// protocol instances behind a [`splitbft_shard::Sharded`]
+    /// combinator: KVS keys hash to their owning group, other
+    /// applications pin to shard 0, and a durable replica keeps one WAL
+    /// per group under `<data_dir>/replica-<id>/shard-<s>/`.
+    pub shards: u32,
 }
 
 impl Default for NodeOptions {
@@ -191,6 +201,7 @@ impl Default for NodeOptions {
             data_dir: None,
             wal_group_commit: Duration::ZERO,
             byzantine: None,
+            shards: 1,
         }
     }
 }
@@ -321,6 +332,16 @@ pub fn parse_cluster_toml(text: &str) -> Result<ClusterFile, ConfigError> {
                     err(format!("wal_group_commit_us must be an integer, got {value:?}"))
                 })?;
                 options.wal_group_commit = Duration::from_micros(us);
+            }
+            (None, "shards") => {
+                options.shards = match value.parse::<u32>() {
+                    Ok(0) | Err(_) => {
+                        return Err(err(format!(
+                            "shards must be a positive integer, got {value:?}"
+                        )))
+                    }
+                    Ok(s) => s,
+                };
             }
             (None, other) => return Err(err(format!("unknown top-level key {other:?}"))),
             (Some(i), "id") => {
@@ -463,27 +484,40 @@ pub fn start_replica_on(
              hybrid's design point), so the mode would silently serve honestly",
         ));
     }
+    // Only the KVS carries routable keys; every other application pins
+    // to shard 0 (a sharded counter behaves exactly like an unsharded
+    // one).
+    let sharding = ShardingPlan { shards: options.shards, keyed: app == AppKind::Kvs };
     match app {
-        AppKind::Counter => {
-            start_with_app(bound, config, protocol, seed, CounterApp::new(), durability, byzantine)
-        }
+        AppKind::Counter => start_with_app(
+            bound,
+            config,
+            protocol,
+            seed,
+            CounterApp::new,
+            durability,
+            byzantine,
+            sharding,
+        ),
         AppKind::Kvs => start_with_app(
             bound,
             config,
             protocol,
             seed,
-            KeyValueStore::new(),
+            KeyValueStore::new,
             durability,
             byzantine,
+            sharding,
         ),
         AppKind::Blockchain => start_with_app(
             bound,
             config,
             protocol,
             seed,
-            Blockchain::new(),
+            Blockchain::new,
             durability,
             byzantine,
+            sharding,
         ),
     }
 }
@@ -494,6 +528,15 @@ struct Durability {
     dir: PathBuf,
     /// Whether the [`DurableProtocol`] runs in group-commit mode.
     group_commit: bool,
+}
+
+/// How a replica shards, resolved from [`NodeOptions`] and the app.
+#[derive(Clone, Copy)]
+struct ShardingPlan {
+    /// Number of consensus groups (1 = host the protocol unwrapped).
+    shards: u32,
+    /// Whether the application's operations carry routable keys.
+    keyed: bool,
 }
 
 /// Hosts `protocol` directly, or wrapped in the durability plane when a
@@ -513,24 +556,78 @@ fn start_durable<P: Protocol>(
             let identity = replica_sealing_identity(seed, bound.id());
             let durable = DurableProtocol::recover(protocol, &dir, identity)?
                 .with_group_commit(group_commit);
-            let report = durable.recovery_report();
-            if report.recovered_anything() || !report.checkpoint_errors.is_empty() {
-                eprintln!(
-                    "replica {}: recovered checkpoint {:?}, replayed {} WAL events{}",
-                    bound.id().0,
-                    report.restored_checkpoint.map(|s| s.0),
-                    report.replayed_events,
-                    if report.checkpoint_errors.is_empty() {
-                        String::new()
-                    } else {
-                        format!(
-                            " ({} corrupt checkpoint(s) skipped — peer state transfer covers)",
-                            report.checkpoint_errors.len()
-                        )
-                    },
-                );
-            }
+            log_recovery(bound.id(), None, &durable);
             bound.start(config, durable)
+        }
+    }
+}
+
+/// Logs one replica's (or one shard's) recovery outcome, if anything
+/// was actually recovered.
+fn log_recovery<P: Protocol>(id: ReplicaId, shard: Option<ShardId>, durable: &DurableProtocol<P>) {
+    let report = durable.recovery_report();
+    if report.recovered_anything() || !report.checkpoint_errors.is_empty() {
+        let scope = match shard {
+            None => String::new(),
+            Some(s) => format!(" shard {}", s.0),
+        };
+        eprintln!(
+            "replica {}{scope}: recovered checkpoint {:?}, replayed {} WAL events{}",
+            id.0,
+            report.restored_checkpoint.map(|s| s.0),
+            report.replayed_events,
+            if report.checkpoint_errors.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    " ({} corrupt checkpoint(s) skipped — peer state transfer covers)",
+                    report.checkpoint_errors.len()
+                )
+            },
+        );
+    }
+}
+
+/// Hosts one protocol instance per shard behind the [`Sharded`]
+/// combinator — or, at one shard, exactly the pre-sharding stack via
+/// [`start_durable`], keeping single-group deployments byte-compatible
+/// on the wire and on disk.
+///
+/// Durable shards each recover their own WAL and sealed checkpoints
+/// under `<replica-dir>/shard-<s>/`; the [`ShardMember`] shim inside
+/// each [`DurableProtocol`] stamps the log so a recovered directory
+/// self-identifies.
+fn host_shards<P: Protocol>(
+    bound: BoundTcpNode,
+    config: TcpNodeConfig,
+    seed: u64,
+    sharding: ShardingPlan,
+    durability: Option<Durability>,
+    make: impl Fn() -> P,
+) -> io::Result<TcpNode> {
+    if sharding.shards <= 1 {
+        return start_durable(bound, config, seed, make(), durability);
+    }
+    let router = ShardRouter::new(sharding.shards, sharding.keyed);
+    match durability {
+        None => {
+            let instances: Vec<_> = (0..sharding.shards)
+                .map(|s| ShardMember::new(ShardId(s), make()))
+                .collect();
+            bound.start(config, Sharded::new(router, instances))
+        }
+        Some(Durability { dir, group_commit }) => {
+            let identity = replica_sealing_identity(seed, bound.id());
+            let mut instances = Vec::with_capacity(sharding.shards as usize);
+            for s in 0..sharding.shards {
+                let member = ShardMember::new(ShardId(s), make());
+                let durable =
+                    DurableProtocol::recover(member, &dir.join(format!("shard-{s}")), identity)?
+                        .with_group_commit(group_commit);
+                log_recovery(bound.id(), Some(ShardId(s)), &durable);
+                instances.push(durable);
+            }
+            bound.start(config, Sharded::new(router, instances))
         }
     }
 }
@@ -540,53 +637,57 @@ fn start_with_app<A: Application + 'static>(
     config: TcpNodeConfig,
     protocol: ProtocolKind,
     seed: u64,
-    app: A,
+    make_app: impl Fn() -> A,
     durability: Option<Durability>,
     byzantine: Option<ByzantineMode>,
+    sharding: ShardingPlan,
 ) -> io::Result<TcpNode> {
     let id = config.id;
     let n = config.peers.len();
     // Wrap order matters: DurableProtocol wraps ByzantineProtocol wraps
     // the replica, so mutations happen before output-withholding and
     // the WAL-before-network invariant survives (and the WAL records
-    // the honest state machine, not the forgeries).
+    // the honest state machine, not the forgeries). Sharding stacks
+    // outermost — every shard hosts the full stack, adversary included.
     match protocol {
         ProtocolKind::Pbft => {
-            let replica = PbftReplica::new(cluster_config(n)?, id, seed, app);
+            let cluster = cluster_config(n)?;
+            let make = || PbftReplica::new(cluster.clone(), id, seed, make_app());
             match byzantine {
-                None => start_durable(bound, config, seed, replica, durability),
-                Some(mode) => {
-                    let byz = ByzantineProtocol::new(replica, mode, seed, id, n);
-                    start_durable(bound, config, seed, byz, durability)
-                }
+                None => host_shards(bound, config, seed, sharding, durability, make),
+                Some(mode) => host_shards(bound, config, seed, sharding, durability, || {
+                    ByzantineProtocol::new(make(), mode, seed, id, n)
+                }),
             }
         }
         ProtocolKind::SplitBft => {
-            let replica = SplitBftReplica::new(
-                cluster_config(n)?,
-                id,
-                seed,
-                app,
-                ExecMode::Hardware,
-                CostModel::paper_calibrated(),
-            );
+            let cluster = cluster_config(n)?;
+            let make = || {
+                SplitBftReplica::new(
+                    cluster.clone(),
+                    id,
+                    seed,
+                    make_app(),
+                    ExecMode::Hardware,
+                    CostModel::paper_calibrated(),
+                )
+            };
             match byzantine {
-                None => start_durable(bound, config, seed, replica, durability),
-                Some(mode) => {
-                    let byz = ByzantineProtocol::new(replica, mode, seed, id, n);
-                    start_durable(bound, config, seed, byz, durability)
-                }
+                None => host_shards(bound, config, seed, sharding, durability, make),
+                Some(mode) => host_shards(bound, config, seed, sharding, durability, || {
+                    ByzantineProtocol::new(make(), mode, seed, id, n)
+                }),
             }
         }
         ProtocolKind::MinBft => {
             let cluster = HybridConfig::new(n).map_err(invalid)?;
-            let replica = HybridReplica::new(cluster, id, seed, Usig::new(seed, id), app);
+            let make =
+                || HybridReplica::new(cluster.clone(), id, seed, Usig::new(seed, id), make_app());
             match byzantine {
-                None => start_durable(bound, config, seed, replica, durability),
-                Some(mode) => {
-                    let byz = ByzantineProtocol::new(replica, mode, seed, id, n);
-                    start_durable(bound, config, seed, byz, durability)
-                }
+                None => host_shards(bound, config, seed, sharding, durability, make),
+                Some(mode) => host_shards(bound, config, seed, sharding, durability, || {
+                    ByzantineProtocol::new(make(), mode, seed, id, n)
+                }),
             }
         }
     }
@@ -608,6 +709,27 @@ pub fn reply_quorum_for(protocol: ProtocolKind, n: usize) -> io::Result<usize> {
         ProtocolKind::Pbft | ProtocolKind::SplitBft => cluster_config(n)?.reply_quorum(),
         ProtocolKind::MinBft => HybridConfig::new(n).map_err(invalid)?.reply_quorum(),
     })
+}
+
+/// Cross-process exclusive lock serializing the heavy subprocess-cluster
+/// e2e suites (crash recovery, chaos, sharded recovery).
+///
+/// Each of those suites stands up a real multi-replica cluster under
+/// sustained load. `cargo test` serializes tests *within* a binary (the
+/// suites hold a static mutex) but runs separate test **binaries**
+/// concurrently, so on small runners the clusters starve each other's
+/// probe budgets into flaky timeouts. This advisory `flock` spans
+/// processes; the lock releases when the returned handle drops.
+pub fn e2e_cluster_lock() -> std::fs::File {
+    let path = std::env::temp_dir().join("splitbft-e2e-cluster.lock");
+    let file = std::fs::OpenOptions::new()
+        .create(true)
+        .read(true)
+        .write(true)
+        .open(&path)
+        .expect("open e2e cluster lock file");
+    file.lock().expect("lock e2e cluster lock file");
+    file
 }
 
 /// Faulty replicas tolerated by `protocol` at cluster size `n` —

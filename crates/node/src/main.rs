@@ -51,6 +51,7 @@ USAGE:
                          [--data-dir <dir>] [--wal-group-commit-us <us>]
                          [--timeout-ms <ms>] [--batch-frames <n>]
                          [--batch-bytes <n>] [--batch-linger-us <us>]
+                         [--shards <n>]
     splitbft-node client --config <cluster.toml> [--protocol <p>] [--client <id>]
                          [--op <bytes>] [--requests <n>] [--timeout-secs <s>]
     splitbft-node bench  (--protocol <p> | --compare) [--config <cluster.toml>]
@@ -61,15 +62,16 @@ USAGE:
                          [--read-ratio <f>] [--payload <n>]
                          [--batch-frames <n>] [--sweep-batch-frames <a,b,..>]
                          [--data-dir <dir>] [--wal-group-commit-us <us>]
-                         [--out <dir>] [--name <name>]
+                         [--shards <n>] [--out <dir>] [--name <name>]
     splitbft-node chaos  --scenario rolling-restart|repeated-kill|primary-kill|
                                     staggered-start|partition-primary|asymmetric-link|
-                                    equivocate-under-load|concurrent-victim
+                                    equivocate-under-load|concurrent-victim|
+                                    lossy-link|reorder-under-load|duplicate-storm
                          (--protocol <p> | --compare) [--replicas <n>] [--rounds <n>]
                          [--clients <n>] [--pipeline <n>] [--timeout-ms <ms>]
                          [--wal-group-commit-us <us>] [--rejoin-secs <s>]
                          [--probe-secs <s>] [--root <dir>] [--keep-data]
-                         [--skip-group-commit] [--out <dir>]
+                         [--skip-group-commit] [--shards <n>] [--out <dir>]
 
 The cluster file lists every replica's id and address plus the shared
 seed, protocol, application, and runtime knobs (view-change timer,
@@ -108,6 +110,12 @@ fn options_from(args: &[String], file: &ClusterFile) -> Result<NodeOptions, Stri
     if let Some(mode) = flag(args, "--byzantine") {
         options.byzantine =
             Some(mode.parse().map_err(|e: splitbft_node::ConfigError| e.to_string())?);
+    }
+    if let Some(shards) = flag(args, "--shards") {
+        options.shards = match shards.parse::<u32>() {
+            Ok(0) | Err(_) => return Err("--shards must be a positive integer".to_string()),
+            Ok(s) => s,
+        };
     }
     apply_durability_flags(args, &mut options)?;
     apply_batch_flags(args, &mut options.batch)?;

@@ -32,11 +32,14 @@ use std::sync::{Mutex, MutexGuard};
 
 /// Each scenario stands up a real subprocess cluster under sustained
 /// load; run concurrently they contend for cores and starve each
-/// other's probe budgets into flaky timeouts. One at a time, like CI.
+/// other's probe budgets into flaky timeouts. One at a time, like CI —
+/// the mutex serializes within this binary, the file lock against the
+/// other cluster-heavy test binaries (crash_recovery, sharded_e2e).
 static SERIAL: Mutex<()> = Mutex::new(());
 
-fn serial() -> MutexGuard<'static, ()> {
-    SERIAL.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+fn serial() -> (MutexGuard<'static, ()>, std::fs::File) {
+    let guard = SERIAL.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    (guard, splitbft_node::e2e_cluster_lock())
 }
 
 fn config_for(protocol: &str, scenario: &str, n: usize, reply_quorum: usize) -> ChaosConfig {

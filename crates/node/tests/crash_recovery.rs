@@ -191,6 +191,9 @@ fn wal_path(cluster: &Cluster, id: usize) -> PathBuf {
 }
 
 fn crash_recovery_scenario(protocol: ProtocolKind) {
+    // Serialize against the other cluster-heavy test binaries (cargo
+    // runs test binaries concurrently; clusters starve each other).
+    let _lock = splitbft_node::e2e_cluster_lock();
     let mut cluster = launch(protocol);
     let file = parse_file(&cluster);
     let quorum = reply_quorum_for(protocol, N).expect("quorum");

@@ -288,9 +288,12 @@ impl<A: Application> Replica<A> {
                     self.status = Status::Normal;
                 }
             }
-            // Trusted counters are the hybrid's concern; the stable
-            // marker only matters to the WAL's garbage collector.
-            DurableEvent::CounterIssued { .. } | DurableEvent::StableCheckpoint { .. } => {}
+            // Trusted counters are the hybrid's concern, the stable
+            // marker only matters to the WAL's garbage collector, and
+            // the shard tag to the sharding shim above this replica.
+            DurableEvent::CounterIssued { .. }
+            | DurableEvent::StableCheckpoint { .. }
+            | DurableEvent::ShardTag { .. } => {}
         }
     }
 

@@ -1,0 +1,36 @@
+//! Sharded multi-group consensus plane.
+//!
+//! A single consensus instance serializes every request through one
+//! primary, one WAL, and one suffix ring no matter how fast the
+//! transport underneath it gets. This crate lifts the paper's
+//! composition discipline one level up: instead of composing protocol
+//! *stages* behind narrow interfaces inside a replica, it composes
+//! whole protocol *instances* behind the one interface every runtime
+//! already hosts — [`splitbft_net::transport::Protocol`].
+//!
+//! - [`ShardRouter`] — the deterministic static router: KVS keys hash
+//!   to their owning group via [`splitbft_types::shard_for_key`],
+//!   non-keyed applications pin to shard 0, and multi-shard
+//!   transactions are rejected with the typed [`ShardError::CrossShard`]
+//!   rather than split.
+//! - [`Sharded`] — the combinator: N inner instances, each a complete
+//!   replica of its own group, multiplexed over the node's existing
+//!   connections by tagging every message with a
+//!   [`splitbft_types::ShardEnvelope`]. No new ports, no per-shard
+//!   clusters.
+//! - [`ShardMember`] — the durable-stacking shim that writes a
+//!   [`splitbft_types::DurableEvent::ShardTag`] into each shard's WAL
+//!   so recovered directories self-identify.
+//!
+//! The node plane only wraps when `shards > 1`; a single-shard
+//! deployment hosts the protocol unwrapped and stays byte-compatible —
+//! on the wire and on disk — with a build that predates this crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod router;
+pub mod sharded;
+
+pub use router::{ShardError, ShardRouter};
+pub use sharded::{ShardMember, Sharded};

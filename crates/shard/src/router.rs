@@ -1,0 +1,209 @@
+//! The deterministic key → shard router.
+//!
+//! Routing is a pure, static function of the request bytes: KVS
+//! operations decode to extract their key, which hashes to a shard via
+//! [`splitbft_types::shard_for_key`]; everything else — non-KVS
+//! applications, undecodable operations — is pinned to shard 0. There
+//! is no routing table to replicate, no rebalancing protocol, and no
+//! way for two correct replicas to disagree on where a request belongs.
+
+use splitbft_app::kvs::KvOp;
+use splitbft_types::wire::decode;
+use splitbft_types::{shard_for_key, Request, ShardId};
+use std::fmt;
+
+/// A typed routing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// A transaction touched keys owned by different shards.
+    /// Cross-shard transactions are out of scope for the sharding plane
+    /// — the caller must reject the batch rather than split it, because
+    /// splitting would break the transaction's atomicity.
+    CrossShard {
+        /// The distinct shards the transaction touched, in first-seen
+        /// order.
+        shards: Vec<ShardId>,
+    },
+    /// An empty transaction has no shard to run on.
+    EmptyTransaction,
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::CrossShard { shards } => {
+                let list: Vec<String> = shards.iter().map(ShardId::to_string).collect();
+                write!(
+                    f,
+                    "cross-shard transaction touches shards {} — \
+                     cross-shard transactions are not supported",
+                    list.join(", ")
+                )
+            }
+            ShardError::EmptyTransaction => write!(f, "empty transaction has no home shard"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// Maps requests to the consensus group that owns them.
+///
+/// Construction fixes the two routing inputs for the deployment's
+/// lifetime: the shard count and whether the application is *keyed*
+/// (the KVS — the only app whose operations carry a key). A non-keyed
+/// router sends everything to shard 0, which is also what a keyed
+/// router with one shard does, so `--shards 1` routes identically to a
+/// build with no router at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRouter {
+    shards: u32,
+    keyed: bool,
+}
+
+impl ShardRouter {
+    /// A router over `shards` groups; `keyed` says whether operations
+    /// carry KVS keys. A shard count of 0 is clamped to 1.
+    pub fn new(shards: u32, keyed: bool) -> Self {
+        ShardRouter { shards: shards.max(1), keyed }
+    }
+
+    /// The shard count this router was built for.
+    #[inline]
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// Routes one raw operation. Keyed apps hash the decoded KVS key;
+    /// undecodable operations go to shard 0, mirroring the KVS itself,
+    /// which executes them as deterministic no-ops — every replica
+    /// agrees on both the destination and the outcome.
+    pub fn route_op(&self, op: &[u8]) -> ShardId {
+        if !self.keyed || self.shards <= 1 {
+            return ShardId(0);
+        }
+        match decode::<KvOp>(op) {
+            Ok(KvOp::Put { key, .. } | KvOp::Get { key } | KvOp::Delete { key }) => {
+                shard_for_key(&key, self.shards)
+            }
+            Err(_) => ShardId(0),
+        }
+    }
+
+    /// Routes one client request (by its operation bytes).
+    #[inline]
+    pub fn route_request(&self, request: &Request) -> ShardId {
+        self.route_op(&request.op)
+    }
+
+    /// Routes a multi-request transaction that must execute atomically
+    /// on a single shard.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::CrossShard`] when the requests map to more than
+    /// one shard, [`ShardError::EmptyTransaction`] for an empty slice.
+    pub fn route_transaction(&self, requests: &[Request]) -> Result<ShardId, ShardError> {
+        let mut shards: Vec<ShardId> = Vec::new();
+        for request in requests {
+            let shard = self.route_request(request);
+            if !shards.contains(&shard) {
+                shards.push(shard);
+            }
+        }
+        match shards.len() {
+            0 => Err(ShardError::EmptyTransaction),
+            1 => Ok(shards[0]),
+            _ => Err(ShardError::CrossShard { shards }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use splitbft_types::{ClientId, RequestId, Timestamp};
+
+    fn request(op: Bytes) -> Request {
+        Request {
+            id: RequestId { client: ClientId(1), timestamp: Timestamp(1) },
+            op,
+            encrypted: false,
+            auth: [0u8; 32],
+        }
+    }
+
+    #[test]
+    fn non_keyed_apps_pin_to_shard_zero() {
+        let router = ShardRouter::new(4, false);
+        for op in [&b"inc"[..], b"read", b"anything"] {
+            assert_eq!(router.route_op(op), ShardId(0));
+        }
+    }
+
+    #[test]
+    fn keyed_routing_matches_the_shared_hash() {
+        let router = ShardRouter::new(4, true);
+        for i in 0..64u32 {
+            let key = format!("key{i:08}");
+            let op = KvOp::get(key.as_bytes()).encode_op();
+            assert_eq!(router.route_op(&op), shard_for_key(key.as_bytes(), 4));
+        }
+    }
+
+    #[test]
+    fn put_get_delete_on_one_key_share_a_shard() {
+        let router = ShardRouter::new(8, true);
+        let key = b"user:42";
+        let put = router.route_op(&KvOp::put(key, b"v").encode_op());
+        let get = router.route_op(&KvOp::get(key).encode_op());
+        let del = router.route_op(&KvOp::delete(key).encode_op());
+        assert_eq!(put, get);
+        assert_eq!(get, del);
+    }
+
+    #[test]
+    fn malformed_ops_route_to_shard_zero() {
+        let router = ShardRouter::new(4, true);
+        assert_eq!(router.route_op(b"\xff\xff garbage"), ShardId(0));
+        assert_eq!(router.route_op(b""), ShardId(0));
+    }
+
+    #[test]
+    fn cross_shard_transactions_are_rejected_with_the_typed_error() {
+        let router = ShardRouter::new(4, true);
+        // Find two keys on different shards.
+        let mut keys: Vec<String> = Vec::new();
+        for i in 0..64u32 {
+            let key = format!("key{i:08}");
+            if keys.is_empty()
+                || shard_for_key(key.as_bytes(), 4)
+                    != shard_for_key(keys[0].as_bytes(), 4)
+            {
+                keys.push(key);
+            }
+            if keys.len() == 2 {
+                break;
+            }
+        }
+        assert_eq!(keys.len(), 2, "64 keys must hit at least two of four shards");
+        let txn: Vec<Request> = keys
+            .iter()
+            .map(|k| request(KvOp::put(k.as_bytes(), b"v").encode_op()))
+            .collect();
+        match router.route_transaction(&txn) {
+            Err(ShardError::CrossShard { shards }) => assert_eq!(shards.len(), 2),
+            other => panic!("expected CrossShard, got {other:?}"),
+        }
+        // Same-shard transactions pass.
+        let same: Vec<Request> = (0..3)
+            .map(|_| request(KvOp::put(keys[0].as_bytes(), b"v").encode_op()))
+            .collect();
+        assert_eq!(
+            router.route_transaction(&same).unwrap(),
+            shard_for_key(keys[0].as_bytes(), 4)
+        );
+        assert_eq!(router.route_transaction(&[]), Err(ShardError::EmptyTransaction));
+    }
+}

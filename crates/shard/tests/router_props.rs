@@ -1,0 +1,93 @@
+//! Property tests for the shard router.
+//!
+//! Three invariants keep a sharded keyspace coherent forever:
+//!
+//! 1. **Stability** — the same key maps to the same shard on every
+//!    call, in every process, under any interleaving. Routing is a pure
+//!    function; there is nothing to warm up and nothing to drift.
+//! 2. **Balance** — random keys spread across the shards roughly
+//!    uniformly, because the scaling claim depends on every group
+//!    carrying a fair slice of the load.
+//! 3. **Pinning** — non-keyed applications (counter, blockchain) and
+//!    undecodable operations land on shard 0, always, so a sharded
+//!    counter deployment behaves exactly like an unsharded one.
+
+use proptest::prelude::*;
+use splitbft_app::kvs::KvOp;
+use splitbft_shard::ShardRouter;
+use splitbft_types::{shard_for_key, ShardId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // Stability: routing is a pure function of (key, shard count), and
+    // every op kind touching a key agrees with the shared hash.
+    #[test]
+    fn key_to_shard_is_stable_across_runs_and_op_kinds(
+        key in collection::vec(any::<u8>(), 0..64),
+        value in collection::vec(any::<u8>(), 0..32),
+        shards in 1u32..16,
+    ) {
+        let router = ShardRouter::new(shards, true);
+        let expected = shard_for_key(&key, shards);
+        prop_assert_eq!(router.route_op(&KvOp::put(&key, &value).encode_op()), expected);
+        prop_assert_eq!(router.route_op(&KvOp::get(&key).encode_op()), expected);
+        prop_assert_eq!(router.route_op(&KvOp::delete(&key).encode_op()), expected);
+        // A second, independently constructed router agrees.
+        let again = ShardRouter::new(shards, true);
+        prop_assert_eq!(again.route_op(&KvOp::get(&key).encode_op()), expected);
+        // And every shard is in range.
+        prop_assert!(expected.0 < shards);
+    }
+
+    // Balance: over many random keys no shard starves. The bound is
+    // deliberately loose (half the uniform share) — this is a skew
+    // alarm, not a chi-squared test.
+    #[test]
+    fn random_keys_spread_roughly_uniformly(
+        seed in any::<u64>(),
+        shards in 2u32..9,
+    ) {
+        let keys = 2048u64;
+        let mut counts = vec![0u64; shards as usize];
+        for i in 0..keys {
+            // Derive distinct keys from the case seed without an RNG.
+            let key = format!("key-{seed:016x}-{i:08}");
+            counts[shard_for_key(key.as_bytes(), shards).as_usize()] += 1;
+        }
+        let fair = keys / u64::from(shards);
+        for (shard, &count) in counts.iter().enumerate() {
+            prop_assert!(
+                count >= fair / 2,
+                "shard {} got {} of {} keys (fair share {})",
+                shard, count, keys, fair
+            );
+        }
+    }
+
+    // Pinning: a non-keyed router never leaves shard 0, whatever the
+    // operation bytes are — counter `inc`s, blockchain payloads, or
+    // bytes that happen to decode as a KvOp.
+    #[test]
+    fn non_keyed_apps_always_pin_to_shard_zero(
+        op in collection::vec(any::<u8>(), 0..128),
+        shards in 1u32..16,
+    ) {
+        let router = ShardRouter::new(shards, false);
+        prop_assert_eq!(router.route_op(&op), ShardId(0));
+    }
+
+    // Undecodable operations on a keyed router also pin to shard 0 —
+    // the router must agree with the KVS, which executes them as
+    // deterministic no-ops.
+    #[test]
+    fn undecodable_keyed_ops_pin_to_shard_zero(
+        garbage in collection::vec(any::<u8>(), 0..64),
+        shards in 2u32..16,
+    ) {
+        let router = ShardRouter::new(shards, true);
+        if splitbft_types::wire::decode::<KvOp>(&garbage).is_err() {
+            prop_assert_eq!(router.route_op(&garbage), ShardId(0));
+        }
+    }
+}

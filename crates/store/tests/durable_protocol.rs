@@ -19,6 +19,11 @@ struct ToyProtocol {
     count: u64,
     durable: Vec<DurableEvent>,
     enabled: bool,
+    /// Prepended to the first non-empty drain, the way the sharding
+    /// plane's `ShardMember` writes its `ShardTag` header.
+    pending_tag: Option<DurableEvent>,
+    /// Shard recorded from a replayed `ShardTag`, if any.
+    seen_tag: Option<u32>,
 }
 
 const TOY_INTERVAL: u64 = 4;
@@ -60,14 +65,22 @@ impl Protocol for ToyProtocol {
 
     fn drain_durable_events(&mut self) -> Vec<DurableEvent> {
         self.enabled = true;
-        std::mem::take(&mut self.durable)
+        let mut events = std::mem::take(&mut self.durable);
+        if !events.is_empty() {
+            if let Some(tag) = self.pending_tag.take() {
+                events.insert(0, tag);
+            }
+        }
+        events
     }
 
     fn replay_durable_event(&mut self, event: DurableEvent) {
-        if let DurableEvent::Committed { seq, .. } = event {
-            if seq.0 == self.count + 1 {
+        match event {
+            DurableEvent::Committed { seq, .. } if seq.0 == self.count + 1 => {
                 self.count = seq.0;
             }
+            DurableEvent::ShardTag { shard } => self.seen_tag = Some(shard.0),
+            _ => {}
         }
     }
 
@@ -169,6 +182,33 @@ fn checkpoints_bound_the_wal_and_anchor_recovery() {
         .filter(|e| e.file_name().to_string_lossy().ends_with(".sealed"))
         .count();
     assert!(sealed >= 1 && sealed <= 2, "expected 1-2 sealed checkpoints, found {sealed}");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn shard_tag_survives_wal_gc_and_replays_on_recovery() {
+    let dir = scenario("shard-tag");
+    {
+        let toy = ToyProtocol {
+            pending_tag: Some(DurableEvent::ShardTag { shard: splitbft_types::ShardId(3) }),
+            ..ToyProtocol::default()
+        };
+        let mut durable = DurableProtocol::recover(toy, &dir, identity()).unwrap();
+        // Far past the checkpoint interval: the WAL is GC'd repeatedly,
+        // and each GC must carry the shard tag forward even though every
+        // pre-checkpoint Committed record is dropped.
+        for ts in 1..=41u64 {
+            durable.on_client_requests(vec![request(ts)]);
+        }
+        assert!(durable.wal_len() < 1024, "WAL must still be GC'd with a tag present");
+    }
+    let recovered = DurableProtocol::recover(ToyProtocol::default(), &dir, identity()).unwrap();
+    assert_eq!(recovered.progress(), 41);
+    assert_eq!(
+        recovered.inner().seen_tag,
+        Some(3),
+        "the shard tag must survive every GC rewrite and replay on recovery"
+    );
     let _ = std::fs::remove_dir_all(dir);
 }
 

@@ -100,6 +100,14 @@ pub enum DurableEvent {
         /// The stable slot.
         seq: SeqNum,
     },
+    /// The consensus group this WAL belongs to in a sharded deployment.
+    /// Written once near the head of each per-shard log so a recovered
+    /// directory self-identifies: replaying shard 1's log into shard 0's
+    /// state machine is detected instead of silently corrupting state.
+    ShardTag {
+        /// The owning shard.
+        shard: crate::shard::ShardId,
+    },
 }
 
 impl Encode for DurableEvent {
@@ -128,6 +136,10 @@ impl Encode for DurableEvent {
                 buf.push(5);
                 seq.encode(buf);
             }
+            DurableEvent::ShardTag { shard } => {
+                buf.push(6);
+                shard.encode(buf);
+            }
         }
     }
 }
@@ -146,6 +158,7 @@ impl Decode for DurableEvent {
             3 => Ok(DurableEvent::EnteredView { view: View::decode(r)? }),
             4 => Ok(DurableEvent::CounterIssued { counter: u64::decode(r)? }),
             5 => Ok(DurableEvent::StableCheckpoint { seq: SeqNum::decode(r)? }),
+            6 => Ok(DurableEvent::ShardTag { shard: crate::shard::ShardId::decode(r)? }),
             tag => Err(WireError::InvalidTag { ty: "DurableEvent", tag }),
         }
     }
@@ -285,6 +298,7 @@ mod tests {
         roundtrip(&DurableEvent::EnteredView { view: View(3) });
         roundtrip(&DurableEvent::CounterIssued { counter: 42 });
         roundtrip(&DurableEvent::StableCheckpoint { seq: SeqNum(128) });
+        roundtrip(&DurableEvent::ShardTag { shard: crate::shard::ShardId(3) });
     }
 
     #[test]

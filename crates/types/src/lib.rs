@@ -26,6 +26,9 @@
 //! - [`fault`] — the chaos plane's control vocabulary: runtime
 //!   [`FaultCommand`]s steering per-link fault rules and named
 //!   partitions on the transport.
+//! - [`shard`] — the sharding plane's vocabulary: [`ShardId`], the
+//!   shard-tagged [`ShardEnvelope`] multiplexing N consensus groups
+//!   over one transport, and the deterministic [`shard_for_key`] hash.
 //! - [`compartment`] — the three compartment kinds of the paper
 //!   (Preparation, Confirmation, Execution).
 //! - [`config`] — cluster and batching configuration with the `3f + 1`
@@ -53,6 +56,7 @@ pub mod error;
 pub mod fault;
 pub mod ids;
 pub mod message;
+pub mod shard;
 pub mod wire;
 
 pub use compartment::CompartmentKind;
@@ -67,3 +71,4 @@ pub use message::{
     PrePrepare, Prepare, PrepareCertificate, PublicKey, Reply, Request, RequestBatch, Signature,
     Signed, ViewChange,
 };
+pub use shard::{shard_for_key, ShardEnvelope, ShardId};
