@@ -146,6 +146,10 @@ impl ChaosCluster {
                 &id.to_string(),
                 "--data-dir",
                 self.data_dir().to_str().ok_or_else(non_utf8)?,
+                // Chaos replicas must accept the orchestrator's
+                // FAULT_CONTROL frames (partitions, link rules); the
+                // serve default refuses them.
+                "--enable-fault-injection",
             ])
             .stdout(Stdio::null())
             .stderr(Stdio::from(log))

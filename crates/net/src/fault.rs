@@ -21,13 +21,16 @@
 //!
 //! # Runtime control
 //!
-//! Plans are mutable while the node runs: the socket runtime accepts
-//! [`FaultCommand`] frames (kind [`frame_kind::FAULT_CONTROL`]) on any
-//! inbound connection and applies them directly, so an orchestrator can
-//! open a partition mid-schedule with [`send_fault_command`] and heal it
+//! Plans are mutable while the node runs: a socket runtime launched
+//! with fault injection enabled (`TcpNodeConfig::fault_injection`, the
+//! `--enable-fault-injection` serve flag) accepts [`FaultCommand`]
+//! frames (kind [`frame_kind::FAULT_CONTROL`]) on any inbound
+//! connection and applies them directly, so an orchestrator can open a
+//! partition mid-schedule with [`send_fault_command`] and heal it
 //! later. The control frame is unauthenticated test tooling — exactly
-//! like the process-kill side of the chaos plane — and must not be
-//! reachable in a real deployment.
+//! like the process-kill side of the chaos plane — so the flag is off
+//! by default and a node without it *closes* any connection that sends
+//! a control frame, keeping the plan unreachable in a real deployment.
 //!
 //! [`PeerOutbox::enqueue`]: crate::transport::PeerOutbox::enqueue
 //! [`ThreadedCluster`]: crate::runtime::ThreadedCluster

@@ -116,11 +116,18 @@ pub struct TcpNodeConfig {
     /// linger lets the core loop coalesce every queued event plus up to
     /// that much waiting time into one batch sharing a single fsync.
     pub group_commit: Duration,
-    /// The node's fault plan, consulted by every peer outbox and mutated
-    /// by inbound `FAULT_CONTROL` frames. Defaults to an inert plan;
-    /// chaos harnesses share one plan across in-process nodes or seed it
-    /// per node for determinism.
+    /// The node's fault plan, consulted by every peer outbox. Defaults
+    /// to an inert plan; chaos harnesses share one plan across
+    /// in-process nodes or seed it per node for determinism.
     pub faults: Arc<FaultPlan>,
+    /// Honor inbound `FAULT_CONTROL` frames (chaos-plane steering of
+    /// the fault plan). **Off by default**: the control frame is
+    /// unauthenticated, so a production node must never let an
+    /// arbitrary connecting client install drop rules or partitions.
+    /// Only chaos/bench harnesses opt in; with the flag off, a
+    /// connection sending `FAULT_CONTROL` is closed as protocol
+    /// garbage and the plan stays untouched.
+    pub fault_injection: bool,
 }
 
 impl TcpNodeConfig {
@@ -136,6 +143,7 @@ impl TcpNodeConfig {
             recovery: None,
             group_commit: Duration::ZERO,
             faults: FaultPlan::shared(u64::from(id.0)),
+            fault_injection: false,
         }
     }
 }
@@ -265,6 +273,7 @@ impl TcpNode {
             let conn_threads = Arc::clone(&conn_threads);
             let events_tx = events_tx.clone();
             let faults = Arc::clone(&config.faults);
+            let fault_injection = config.fault_injection;
             let id = config.id;
             threads.push(
                 std::thread::Builder::new()
@@ -278,6 +287,7 @@ impl TcpNode {
                             conn_threads,
                             events_tx,
                             faults,
+                            fault_injection,
                         )
                     })
                     .expect("spawn accept loop"),
@@ -420,6 +430,7 @@ impl TcpNode {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn accept_loop<P: Protocol>(
     listener: TcpListener,
     shutdown: Arc<AtomicBool>,
@@ -428,6 +439,7 @@ fn accept_loop<P: Protocol>(
     conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
     events_tx: Sender<Event<P::Message>>,
     faults: Arc<FaultPlan>,
+    fault_injection: bool,
 ) {
     // Generation counter for connections accepted by this node; tags
     // registry entries so teardown of a stale connection never clobbers
@@ -460,6 +472,7 @@ fn accept_loop<P: Protocol>(
                 threads_for_reader,
                 shutdown,
                 faults,
+                fault_injection,
             );
             // Deregister so long-running nodes don't accumulate dead fds.
             inbound_cleanup.lock().expect("inbound registry").remove(&generation);
@@ -494,6 +507,7 @@ fn read_connection<P: Protocol>(
     conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
     shutdown: Arc<AtomicBool>,
     faults: Arc<FaultPlan>,
+    fault_injection: bool,
 ) -> io::Result<()> {
     let (kind, hello) = read_frame(&mut stream)?;
     // For replica connections, the hello-claimed peer id. State-transfer
@@ -569,9 +583,19 @@ fn read_connection<P: Protocol>(
                     Event::StateResponse(resp)
                 }
                 frame_kind::FAULT_CONTROL => {
-                    // Chaos-plane steering: applied directly to the
-                    // shared plan, never routed through the core loop —
-                    // a wedged protocol must not delay a heal.
+                    // Chaos-plane steering, honored only when the node
+                    // was launched with fault injection enabled: the
+                    // frame is unauthenticated, so on a production node
+                    // it is protocol garbage and costs the sender its
+                    // connection. When enabled, commands apply directly
+                    // to the shared plan, never routed through the core
+                    // loop — a wedged protocol must not delay a heal.
+                    if !fault_injection {
+                        return Err(io::Error::new(
+                            io::ErrorKind::PermissionDenied,
+                            "fault injection is not enabled on this node",
+                        ));
+                    }
                     let cmd: FaultCommand = decode(&payload)
                         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
                     faults.apply(cmd);
@@ -1418,6 +1442,53 @@ mod tests {
         assert_eq!(&reply.result[..], b"ping");
 
         client.close();
+        node.shutdown();
+    }
+
+    #[test]
+    fn fault_control_requires_explicit_opt_in() {
+        use splitbft_types::fault::LinkRule;
+        let cmd = FaultCommand::SetRule(LinkRule {
+            from: ReplicaId(0),
+            to: ReplicaId(1),
+            drop_percent: 100,
+            duplicate_percent: 0,
+            reorder_percent: 0,
+            delay_ms: 0,
+        });
+
+        // Default node: the connection is closed and the plan stays
+        // inert. EOF on our side proves the reader rejected the frame
+        // (rather than us merely not waiting long enough).
+        let config =
+            TcpNodeConfig::new(ReplicaId(0), "127.0.0.1:0".parse().unwrap(), Vec::new());
+        let faults = Arc::clone(&config.faults);
+        let node = TcpNode::spawn(config, EchoProtocol { id: ReplicaId(0) }).unwrap();
+        let mut stream = TcpStream::connect(node.local_addr()).unwrap();
+        write_value(&mut stream, frame_kind::CLIENT_HELLO, &ClientId(123)).unwrap();
+        write_value(&mut stream, frame_kind::FAULT_CONTROL, &cmd).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut buf = [0u8; 1];
+        assert_eq!(
+            io::Read::read(&mut stream, &mut buf).unwrap_or(0),
+            0,
+            "the node must close a connection that sends FAULT_CONTROL"
+        );
+        assert!(!faults.is_active(), "the command must not reach the plan");
+        node.shutdown();
+
+        // Opted-in node: the same command lands.
+        let mut config =
+            TcpNodeConfig::new(ReplicaId(0), "127.0.0.1:0".parse().unwrap(), Vec::new());
+        config.fault_injection = true;
+        let faults = Arc::clone(&config.faults);
+        let node = TcpNode::spawn(config, EchoProtocol { id: ReplicaId(0) }).unwrap();
+        crate::fault::send_fault_command(node.local_addr(), &cmd).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !faults.is_active() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(faults.is_active(), "an opted-in node applies the command");
         node.shutdown();
     }
 

@@ -31,10 +31,10 @@ use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Bound on messages a protocol can put on the wire: canonically
 /// encodable, decodable from untrusted bytes, and cheap to fan out.
@@ -243,7 +243,10 @@ pub mod frame_kind {
     pub const STATE_RESPONSE: u8 = 7;
     /// A chaos-plane control command mutating the node's fault plan;
     /// payload: `FaultCommand`. Sent on client connections by the chaos
-    /// orchestrator (see [`crate::fault::send_fault_command`]).
+    /// orchestrator (see [`crate::fault::send_fault_command`]); honored
+    /// only by nodes launched with fault injection enabled
+    /// (`TcpNodeConfig::fault_injection`) — everyone else closes the
+    /// connection.
     pub const FAULT_CONTROL: u8 = 8;
 }
 
@@ -349,6 +352,14 @@ pub struct PeerOutbox {
     tx: Option<Sender<Arc<Vec<u8>>>>,
     closed: Arc<AtomicBool>,
     worker: Option<JoinHandle<()>>,
+    /// The delay lane for [`FaultDecision::DeliverAfter`] frames: one
+    /// timer thread per outbox (spawned lazily on the first delayed
+    /// frame) holding any number of frames until their deadlines, so a
+    /// busy link under a reorder/delay rule never spawns per-frame
+    /// threads.
+    ///
+    /// [`FaultDecision::DeliverAfter`]: crate::fault::FaultDecision::DeliverAfter
+    delay: Mutex<Option<(Sender<(Instant, Arc<Vec<u8>>)>, JoinHandle<()>)>>,
 }
 
 impl PeerOutbox {
@@ -376,7 +387,15 @@ impl PeerOutbox {
             .name(format!("outbox-{}-to-{}", local.0, peer.0))
             .spawn(move || outbox_worker(local, addr, rx, closed_worker, policy))
             .expect("spawn outbox worker");
-        PeerOutbox { local, peer, faults, tx: Some(tx), closed, worker: Some(worker) }
+        PeerOutbox {
+            local,
+            peer,
+            faults,
+            tx: Some(tx),
+            closed,
+            worker: Some(worker),
+            delay: Mutex::new(None),
+        }
     }
 
     /// Enqueues one pre-framed message for delivery, subject to the
@@ -393,16 +412,21 @@ impl PeerOutbox {
                 let _ = tx.send(framed);
             }
             crate::fault::FaultDecision::DeliverAfter(delay) => {
-                // Hold the frame back on a sleeper thread; frames
-                // enqueued in the meantime overtake it, producing real
-                // reordering on the wire.
-                let tx = tx.clone();
-                let _ = std::thread::Builder::new()
-                    .name(format!("outbox-delay-{}-to-{}", self.local.0, self.peer.0))
-                    .spawn(move || {
-                        std::thread::sleep(delay);
-                        let _ = tx.send(framed);
-                    });
+                // Hold the frame back on the outbox's delay lane;
+                // frames enqueued in the meantime overtake it,
+                // producing real reordering on the wire.
+                let deadline = Instant::now() + delay;
+                let mut lane = self.delay.lock().expect("delay lane");
+                let (delay_tx, _) = lane.get_or_insert_with(|| {
+                    let (delay_tx, delay_rx) = channel::<(Instant, Arc<Vec<u8>>)>();
+                    let out = tx.clone();
+                    let worker = std::thread::Builder::new()
+                        .name(format!("outbox-delay-{}-to-{}", self.local.0, self.peer.0))
+                        .spawn(move || delay_worker(delay_rx, out))
+                        .expect("spawn delay worker");
+                    (delay_tx, worker)
+                });
+                let _ = delay_tx.send((deadline, framed));
             }
         }
     }
@@ -415,6 +439,14 @@ impl PeerOutbox {
 
     fn shutdown(&mut self) {
         self.closed.store(true, Ordering::SeqCst);
+        // The delay lane first: its worker holds a clone of the main
+        // sender, so the main worker cannot see disconnection until the
+        // lane is gone. Frames still held at close are dropped, like
+        // any other unsent message.
+        if let Some((delay_tx, worker)) = self.delay.lock().expect("delay lane").take() {
+            drop(delay_tx);
+            let _ = worker.join();
+        }
         self.tx.take(); // disconnect the channel so a blocked recv returns
         if let Some(worker) = self.worker.take() {
             let _ = worker.join();
@@ -425,6 +457,44 @@ impl PeerOutbox {
 impl Drop for PeerOutbox {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// The delay lane of one [`PeerOutbox`]: receives `(deadline, frame)`
+/// pairs and releases each frame into the main queue once its deadline
+/// passes. A single thread serves any number of concurrently-held
+/// frames; it exits when the outbox closes (sender dropped), dropping
+/// whatever it still holds.
+fn delay_worker(rx: Receiver<(Instant, Arc<Vec<u8>>)>, out: Sender<Arc<Vec<u8>>>) {
+    // Held frames, in arrival order (preserved among equal deadlines).
+    // Bounded by frames-in-flight on one link, i.e. small.
+    let mut held: Vec<(Instant, Arc<Vec<u8>>)> = Vec::new();
+    loop {
+        let now = Instant::now();
+        let mut index = 0;
+        while index < held.len() {
+            if held[index].0 <= now {
+                let (_, frame) = held.remove(index);
+                let _ = out.send(frame);
+            } else {
+                index += 1;
+            }
+        }
+        let next_deadline = held.iter().map(|(at, _)| *at).min();
+        let incoming = match next_deadline {
+            None => match rx.recv() {
+                Ok(pair) => Some(pair),
+                Err(_) => return, // outbox closed, nothing held
+            },
+            Some(at) => {
+                match rx.recv_timeout(at.saturating_duration_since(Instant::now())) {
+                    Ok(pair) => Some(pair),
+                    Err(RecvTimeoutError::Timeout) => None, // release on next pass
+                    Err(RecvTimeoutError::Disconnected) => return, // drop held frames
+                }
+            }
+        };
+        held.extend(incoming);
     }
 }
 
@@ -579,6 +649,47 @@ mod tests {
             let v: u64 = read_value(&mut conn, frame_kind::PROTOCOL).unwrap();
             assert_eq!(v, i);
         }
+        outbox.close();
+    }
+
+    #[test]
+    fn delay_lane_holds_frames_and_undelayed_frames_overtake() {
+        use splitbft_types::fault::{FaultCommand, LinkRule};
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let plan = crate::fault::FaultPlan::shared(0);
+        plan.apply(FaultCommand::SetRule(LinkRule {
+            from: ReplicaId(0),
+            to: ReplicaId(1),
+            drop_percent: 0,
+            duplicate_percent: 0,
+            reorder_percent: 0,
+            delay_ms: 300,
+        }));
+        let outbox = PeerOutbox::spawn_with_faults(
+            ReplicaId(0),
+            ReplicaId(1),
+            addr,
+            BatchPolicy::default(),
+            Arc::clone(&plan),
+        );
+        // A burst of pure-delay frames all ride the one delay lane (the
+        // per-frame-thread regression this guards against) and still
+        // arrive, in order.
+        for i in 0..20u64 {
+            outbox.enqueue(Arc::new(frame(frame_kind::PROTOCOL, &encode(&i))));
+        }
+        // An undelayed frame enqueued while they are held overtakes them.
+        plan.apply(FaultCommand::ClearRules);
+        outbox.enqueue(Arc::new(frame(frame_kind::PROTOCOL, &encode(&99u64))));
+
+        let (mut conn, _) = listener.accept().unwrap();
+        let _: ReplicaId = read_value(&mut conn, frame_kind::PEER_HELLO).unwrap();
+        let got: Vec<u64> = (0..21)
+            .map(|_| read_value::<_, u64>(&mut conn, frame_kind::PROTOCOL).unwrap())
+            .collect();
+        assert_eq!(got[0], 99, "the undelayed frame must overtake the held burst");
+        assert_eq!(got[1..], (0..20).collect::<Vec<u64>>()[..], "held frames release in order");
         outbox.close();
     }
 

@@ -499,6 +499,7 @@ fn run_measurement(
         wal_group_commit: invocation.wal_group_commit,
         byzantine: None,
         shards,
+        fault_injection: false,
     };
 
     // A cluster: launched here, or described by the external file.

@@ -191,6 +191,12 @@ pub struct NodeOptions {
     /// applications pin to shard 0, and a durable replica keeps one WAL
     /// per group under `<data_dir>/replica-<id>/shard-<s>/`.
     pub shards: u32,
+    /// Honor unauthenticated `FAULT_CONTROL` frames steering the
+    /// transport fault plan (`--enable-fault-injection` on the CLI).
+    /// Off by default — a production replica must not let any
+    /// connecting client install drop rules or partitions; the chaos
+    /// harness passes the flag to the clusters it spawns.
+    pub fault_injection: bool,
 }
 
 impl Default for NodeOptions {
@@ -202,6 +208,7 @@ impl Default for NodeOptions {
             wal_group_commit: Duration::ZERO,
             byzantine: None,
             shards: 1,
+            fault_injection: false,
         }
     }
 }
@@ -460,6 +467,7 @@ pub fn start_replica_on(
     let mut config = TcpNodeConfig::new(bound.id(), bound.local_addr()?, peers);
     config.batch = options.batch;
     config.timeout_every = options.timeout_every;
+    config.fault_injection = options.fault_injection;
     let durability = match &options.data_dir {
         None => None,
         Some(base) => {
@@ -620,10 +628,26 @@ fn host_shards<P: Protocol>(
             let identity = replica_sealing_identity(seed, bound.id());
             let mut instances = Vec::with_capacity(sharding.shards as usize);
             for s in 0..sharding.shards {
+                let shard_dir = dir.join(format!("shard-{s}"));
                 let member = ShardMember::new(ShardId(s), make());
-                let durable =
-                    DurableProtocol::recover(member, &dir.join(format!("shard-{s}")), identity)?
-                        .with_group_commit(group_commit);
+                let durable = DurableProtocol::recover(member, &shard_dir, identity)?
+                    .with_group_commit(group_commit);
+                // A WAL that names another group means the directory is
+                // miswired; serving the partially-recovered replica
+                // would silently diverge from its peers, so startup
+                // fails instead.
+                if let Some(found) = durable.inner().wal_identity_mismatch() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "replica {} shard {s}: WAL in {} identifies itself as shard {} — \
+                             the directory is miswired; refusing to start",
+                            bound.id().0,
+                            shard_dir.display(),
+                            found.0,
+                        ),
+                    ));
+                }
                 log_recovery(bound.id(), Some(ShardId(s)), &durable);
                 instances.push(durable);
             }

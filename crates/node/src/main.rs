@@ -51,7 +51,7 @@ USAGE:
                          [--data-dir <dir>] [--wal-group-commit-us <us>]
                          [--timeout-ms <ms>] [--batch-frames <n>]
                          [--batch-bytes <n>] [--batch-linger-us <us>]
-                         [--shards <n>]
+                         [--shards <n>] [--enable-fault-injection]
     splitbft-node client --config <cluster.toml> [--protocol <p>] [--client <id>]
                          [--op <bytes>] [--requests <n>] [--timeout-secs <s>]
     splitbft-node bench  (--protocol <p> | --compare) [--config <cluster.toml>]
@@ -80,7 +80,9 @@ splitbft_node crate docs and docs/OPERATIONS.md. `--data-dir` makes the
 replica durable: consensus events are WAL'd and checkpoints sealed
 under <dir>/replica-<id>/, and a restarted replica recovers from them
 plus peer state transfer. `--wal-group-commit-us` shares one WAL fsync
-across each core-loop drain batch. `bench` without --config
+across each core-loop drain batch. `--enable-fault-injection` lets the
+replica honor unauthenticated FAULT_CONTROL frames (partitions, lossy
+links); it is for chaos harnesses only — never pass it in production. `bench` without --config
 self-orchestrates a localhost cluster, writes one BENCH_<name>.json per
 run, and exits nonzero if a run completes zero requests. `chaos` drives
 a live subprocess cluster through a scripted fault schedule under load,
@@ -116,6 +118,9 @@ fn options_from(args: &[String], file: &ClusterFile) -> Result<NodeOptions, Stri
             Ok(0) | Err(_) => return Err("--shards must be a positive integer".to_string()),
             Ok(s) => s,
         };
+    }
+    if args.iter().any(|a| a == "--enable-fault-injection") {
+        options.fault_injection = true;
     }
     apply_durability_flags(args, &mut options)?;
     apply_batch_flags(args, &mut options.batch)?;

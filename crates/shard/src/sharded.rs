@@ -18,6 +18,7 @@
 //! replaying into the wrong group.
 
 use crate::router::ShardRouter;
+use splitbft_crypto::digest_bytes;
 use splitbft_net::transport::{Protocol, ProtocolOutput};
 use splitbft_types::wire::{decode, encode};
 use splitbft_types::{
@@ -107,10 +108,13 @@ impl<P: Protocol> Protocol for Sharded<P> {
         requests: Vec<Request>,
     ) -> Vec<ProtocolOutput<Self::Message>> {
         // Group per shard, preserving arrival order within each group.
+        // The router's range equals the instance count (asserted in
+        // `new`), so an out-of-range shard here is a routing bug that
+        // must panic, not be absorbed by some arbitrary shard.
         let mut grouped: Vec<Vec<Request>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
         for request in requests {
             let shard = self.router.route_request(&request);
-            grouped[shard.as_usize().min(self.shards.len() - 1)].push(request);
+            grouped[shard.as_usize()].push(request);
         }
         let mut outputs = Vec::new();
         for (index, batch) in grouped.into_iter().enumerate() {
@@ -239,21 +243,21 @@ fn composite_seq(parts: &[(ShardId, Option<DurableCheckpoint>)]) -> SeqNum {
 /// triples. Correct replicas that sealed the same per-shard checkpoints
 /// compute the same composite, so the `f + 1` agreement rule of peer
 /// state transfer carries over unchanged.
+///
+/// This must be the workspace's cryptographic hash, not an ad-hoc
+/// mixer: `f + 1` peers agreeing on `(seq, digest)` is only worth `f`
+/// Byzantine peers if a forged parts vector colliding with the honest
+/// composite is as hard as a hash collision. The preimage is a
+/// sequence of fixed-width fields, so it is injective in the parts.
 fn composite_digest(parts: &[(ShardId, Option<DurableCheckpoint>)]) -> Digest {
-    let mut acc = [0u8; 32];
+    let mut preimage = Vec::with_capacity(parts.len() * 44);
     for (shard, cp) in parts {
         let Some(cp) = cp else { continue };
-        let mut mixed = [0u8; 32];
-        mixed[..4].copy_from_slice(&shard.0.to_le_bytes());
-        mixed[4..12].copy_from_slice(&cp.seq.0.to_le_bytes());
-        for (i, b) in cp.digest.as_bytes().iter().enumerate() {
-            mixed[i] ^= b.rotate_left((shard.0 % 7) + 1);
-        }
-        for (a, m) in acc.iter_mut().zip(mixed.iter()) {
-            *a = a.wrapping_mul(31) ^ m;
-        }
+        preimage.extend_from_slice(&shard.0.to_le_bytes());
+        preimage.extend_from_slice(&cp.seq.0.to_le_bytes());
+        preimage.extend_from_slice(cp.digest.as_bytes());
     }
-    Digest::from_bytes(acc)
+    digest_bytes(&preimage)
 }
 
 /// The WAL-identity shim for durable sharded stacks: delegates every
@@ -261,24 +265,44 @@ fn composite_digest(parts: &[(ShardId, Option<DurableCheckpoint>)]) -> Digest {
 /// [`DurableEvent::ShardTag`] ahead of the first real WAL append, so
 /// each `shard-<s>/` log names the group it belongs to. On replay the
 /// tag is verified instead of forwarded; a mismatch means an operator
-/// pointed a shard at another shard's directory, which is reported
-/// loudly (and the events still replay, leaving the mismatch visible
-/// rather than half-hidden behind a partial recovery).
+/// pointed a shard at another shard's directory, and the member then
+/// **refuses to replay any further event** from the foreign log — a
+/// replica must never merge another group's history and silently
+/// diverge from its peers. Hosts check
+/// [`ShardMember::wal_identity_mismatch`] after recovery and fail
+/// startup on `Some`.
 pub struct ShardMember<P: Protocol> {
     inner: P,
     shard: ShardId,
     tag_recorded: bool,
+    /// The foreign shard a replayed tag named, if any. While set, all
+    /// replay is refused.
+    mismatched_tag: Option<ShardId>,
 }
 
 impl<P: Protocol> ShardMember<P> {
     /// Wraps `inner` as the member for `shard`.
     pub fn new(shard: ShardId, inner: P) -> Self {
-        ShardMember { inner, shard, tag_recorded: false }
+        ShardMember { inner, shard, tag_recorded: false, mismatched_tag: None }
+    }
+
+    /// The wrapped protocol instance.
+    pub fn inner(&self) -> &P {
+        &self.inner
     }
 
     /// The shard this member belongs to.
     pub fn shard(&self) -> ShardId {
         self.shard
+    }
+
+    /// `Some(foreign)` when WAL replay hit a [`DurableEvent::ShardTag`]
+    /// naming another group — the directory this member recovered from
+    /// belongs to shard `foreign`, and every event after the tag was
+    /// dropped rather than merged. Hosts must treat this as a fatal
+    /// miswiring instead of serving the partially-recovered replica.
+    pub fn wal_identity_mismatch(&self) -> Option<ShardId> {
+        self.mismatched_tag
     }
 }
 
@@ -321,13 +345,21 @@ impl<P: Protocol> Protocol for ShardMember<P> {
     }
 
     fn replay_durable_event(&mut self, event: DurableEvent) {
+        if self.mismatched_tag.is_some() {
+            // A foreign log must not replay into this group: everything
+            // after the mismatched tag is dropped, and the host fails
+            // recovery via `wal_identity_mismatch`.
+            return;
+        }
         if let DurableEvent::ShardTag { shard } = event {
             if shard != self.shard {
+                self.mismatched_tag = Some(shard);
                 eprintln!(
-                    "shard {}: WAL identifies itself as {} — refusing to claim another \
-                     group's log would lose data, but this directory is MISWIRED",
+                    "shard {}: WAL identifies itself as {} — this directory is MISWIRED; \
+                     refusing to replay another group's log",
                     self.shard, shard
                 );
+                return;
             }
             self.tag_recorded = true;
             return;
@@ -578,6 +610,36 @@ mod tests {
                 .iter()
                 .any(|e| matches!(e, DurableEvent::ShardTag { .. })),
             "a replayed tag must not be re-written"
+        );
+    }
+
+    #[test]
+    fn shard_member_refuses_to_replay_a_foreign_log() {
+        use splitbft_types::View;
+
+        let inner = PbftReplica::new(
+            ClusterConfig::new(N).unwrap(),
+            ReplicaId(0),
+            SEED,
+            KeyValueStore::new(),
+        );
+        let mut member = ShardMember::new(ShardId(0), inner);
+        assert_eq!(member.wal_identity_mismatch(), None);
+
+        member.replay_durable_event(DurableEvent::ShardTag { shard: ShardId(2) });
+        assert_eq!(
+            member.wal_identity_mismatch(),
+            Some(ShardId(2)),
+            "a foreign tag must poison the member"
+        );
+
+        // Everything after the foreign tag is another group's history:
+        // none of it may reach the inner replica.
+        member.replay_durable_event(DurableEvent::EnteredView { view: View(7) });
+        assert_eq!(
+            member.inner().view(),
+            View(0),
+            "events replayed after a foreign tag must be dropped"
         );
     }
 }
