@@ -112,6 +112,17 @@ impl PreparationCompartment {
         key.verify(&Request::auth_bytes(req.id, &req.op, req.encrypted), &req.auth)
     }
 
+    /// Authenticates a whole proposed batch with one constant-time
+    /// digest comparison ([`splitbft_crypto::verify_tag_batch`]); any
+    /// failing member rejects the batch, so per-request verdicts are
+    /// unnecessary on this path.
+    fn verify_request_batch(&self, requests: &[Request]) -> bool {
+        splitbft_crypto::verify_tag_batch(requests.iter().map(|req| {
+            let key = client_mac_key(self.auth_seed, req.client());
+            (key.tag(&Request::auth_bytes(req.id, &req.op, req.encrypted)), req.auth)
+        }))
+    }
+
     /// Handler (1): the primary orders a batch.
     fn on_client_batch(&mut self, requests: Vec<Request>) -> Vec<CompartmentOutput> {
         if !self.is_primary() {
@@ -154,7 +165,7 @@ impl PreparationCompartment {
         if digest_of(&pp.payload.batch) != pp.payload.digest {
             return Err(ProtocolError::BadCertificate { kind: "pre-prepare digest" });
         }
-        if !pp.payload.batch.requests.iter().all(|r| self.verify_request(r)) {
+        if !self.verify_request_batch(&pp.payload.batch.requests) {
             return Err(ProtocolError::BadAuthenticator { kind: "request in batch" });
         }
         self.accept_pre_prepare(pp)

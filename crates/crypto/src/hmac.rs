@@ -51,6 +51,28 @@ pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
     acc == 0
 }
 
+/// Verifies many `(expected, claimed)` tag pairs as one batch with a
+/// **single** constant-time comparison: each side is folded into one
+/// SHA-256 digest and only the two digests are compared.
+///
+/// Agreement paths that authenticate a whole request batch before
+/// accepting it ([`crate`] callers reject the entire batch when any
+/// member fails) use this instead of one `ct_eq` per request: the
+/// decision — and therefore the timing surface — collapses to one
+/// comparison per batch. Soundness rides on SHA-256 collision
+/// resistance, and the fold is unambiguous because every tag has a
+/// fixed 32-byte width. An empty batch verifies vacuously, matching
+/// `iter().all(..)`.
+pub fn verify_tag_batch(pairs: impl IntoIterator<Item = ([u8; 32], [u8; 32])>) -> bool {
+    let mut expected = Sha256::new();
+    let mut claimed = Sha256::new();
+    for (exp, got) in pairs {
+        expected.update(&exp);
+        claimed.update(&got);
+    }
+    ct_eq(&expected.finalize(), &claimed.finalize())
+}
+
 /// A symmetric MAC key shared between a client and the Execution
 /// compartments.
 #[derive(Clone, PartialEq, Eq)]
@@ -159,6 +181,30 @@ mod tests {
         let c = MacKey::derive(b"master", b"client-2");
         assert_eq!(a.as_bytes(), b.as_bytes());
         assert_ne!(a.as_bytes(), c.as_bytes());
+    }
+
+    #[test]
+    fn batched_verification_agrees_with_per_tag_verification() {
+        let keys: Vec<MacKey> = (0u8..8).map(|i| MacKey::new([i; 32])).collect();
+        let msgs: Vec<Vec<u8>> = (0u8..8).map(|i| vec![i; 16]).collect();
+        let tags: Vec<[u8; 32]> = keys.iter().zip(&msgs).map(|(k, m)| k.tag(m)).collect();
+
+        let pairs = |tags: &[[u8; 32]]| {
+            keys.iter()
+                .zip(&msgs)
+                .zip(tags.to_vec())
+                .map(|((k, m), t)| (k.tag(m), t))
+                .collect::<Vec<_>>()
+        };
+        assert!(verify_tag_batch(pairs(&tags)));
+        // One corrupted tag anywhere fails the whole batch.
+        for i in 0..tags.len() {
+            let mut bad = tags.clone();
+            bad[i][0] ^= 1;
+            assert!(!verify_tag_batch(pairs(&bad)));
+        }
+        // Empty batches verify vacuously, like `iter().all(..)`.
+        assert!(verify_tag_batch(std::iter::empty()));
     }
 
     #[test]

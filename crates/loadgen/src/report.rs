@@ -385,6 +385,8 @@ pub struct RateSweepReport {
     pub name: String,
     /// Protocol under test.
     pub protocol: String,
+    /// Transport backend the replicas ran on (`blocking` / `evented`).
+    pub transport: String,
     /// Cluster size.
     pub n: usize,
     /// Replicated application.
@@ -433,6 +435,7 @@ impl RateSweepReport {
                 "  \"schema\": \"{schema}\",\n",
                 "  \"name\": \"{name}\",\n",
                 "  \"protocol\": \"{protocol}\",\n",
+                "  \"transport\": \"{transport}\",\n",
                 "  \"n\": {n},\n",
                 "  \"app\": \"{app}\",\n",
                 "  \"clients\": {clients},\n",
@@ -444,6 +447,7 @@ impl RateSweepReport {
             schema = SWEEP_SCHEMA,
             name = json_escape(&self.name),
             protocol = json_escape(&self.protocol),
+            transport = json_escape(&self.transport),
             n = self.n,
             app = json_escape(&self.app),
             clients = self.clients,
@@ -644,6 +648,7 @@ mod tests {
         let sweep = RateSweepReport {
             name: "knee test".into(),
             protocol: "splitbft".into(),
+            transport: "blocking".into(),
             n: 4,
             app: "counter".into(),
             clients: 4,
@@ -667,6 +672,7 @@ mod tests {
         let sweep = RateSweepReport {
             name: "flat".into(),
             protocol: "pbft".into(),
+            transport: "evented".into(),
             n: 4,
             app: "counter".into(),
             clients: 4,

@@ -16,7 +16,17 @@
 //!   replica is its own process listening on a TCP address and messages
 //!   travel as length-prefixed frames (see [`splitbft_types::wire`]),
 //!   with per-peer reconnecting outboxes and send-path batching
-//!   ([`transport::PeerOutbox`]).
+//!   ([`transport::PeerOutbox`]);
+//! - [`evented`] — a second deployable socket runtime
+//!   ([`evented::EventedNode`]), wire-compatible with [`tcp`], that
+//!   serves every connection from one readiness loop per node:
+//!   nonblocking sockets, bounded per-peer rings with backpressure
+//!   instead of writer threads, and zero-copy frame decoding.
+//!
+//! The [`backend`] module erases the choice behind the
+//! [`backend::TransportBackend`] trait (plus a third, in-process bus
+//! backend for tests) and the [`backend::TransportKind`] runtime switch
+//! the `splitbft-node` CLI exposes as `--transport`.
 //!
 //! Both hosting runtimes additionally consult a shared
 //! [`fault::FaultPlan`] on their send paths — a seeded, runtime-mutable
@@ -26,12 +36,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
+pub mod evented;
 pub mod fault;
+mod host;
 pub mod link;
+mod ring;
 pub mod runtime;
 pub mod tcp;
 pub mod transport;
 
+pub use backend::{
+    AnyBound, AnyNode, BlockingBackend, EventedBackend, InProcessBackend, RunningNode,
+    TransportBackend, TransportClient, TransportKind,
+};
+pub use evented::{BoundEventedNode, EventedNode};
 pub use fault::{broadcast_fault_command, send_fault_command, FaultDecision, FaultPlan};
 pub use link::{LinkFate, LinkModel, NetConfig};
 pub use runtime::{NodeHandle, NodeInput, ThreadedCluster};

@@ -24,15 +24,17 @@
 //! locking.
 
 use crate::fault::FaultPlan;
+use crate::host::{ClientSink, Event, Gauges, Host, PeerSink, MAX_DRAIN_BATCH};
 use crate::transport::{
     frame_kind, read_frame, read_value, write_value, BatchPolicy, PeerOutbox, Protocol,
-    ProtocolOutput,
 };
-use splitbft_types::wire::{decode, encode, frame};
+use splitbft_types::wire::decode;
 use splitbft_types::{
-    ClientId, FaultCommand, ReplicaId, Reply, Request, SeqNum, StateTransferRequest,
+    ClientId, FaultCommand, ReplicaId, Reply, Request, StateTransferRequest,
     StateTransferResponse,
 };
+
+pub use crate::host::RecoveryPolicy;
 use std::collections::HashMap;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -73,20 +75,6 @@ pub struct PeerAddr {
     pub id: ReplicaId,
     /// Its listen address.
     pub addr: SocketAddr,
-}
-
-/// State-transfer policy for a node that hosts a durable (or merely
-/// lagging-tolerant) protocol.
-///
-/// When set, the node broadcasts a `STATE_REQUEST` to every peer at
-/// startup and re-requests on each timer tick while it is making no
-/// progress; peer checkpoints are applied once `agreement` responders
-/// vouch for the same `(seq, digest)` — with `agreement = f + 1` at
-/// least one of them is correct.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct RecoveryPolicy {
-    /// Matching peer checkpoints required before restoring (`f + 1`).
-    pub agreement: usize,
 }
 
 /// Configuration for one [`TcpNode`].
@@ -146,15 +134,6 @@ impl TcpNodeConfig {
             fault_injection: false,
         }
     }
-}
-
-enum Event<M> {
-    Peer(M),
-    Requests(Vec<Request>),
-    StateRequest(StateTransferRequest),
-    StateResponse(StateTransferResponse),
-    Timeout,
-    Shutdown,
 }
 
 /// A bound-but-not-yet-started node: the listener exists (so its
@@ -319,17 +298,15 @@ impl TcpNode {
         }
 
         // Core loop: the only thread touching protocol state.
-        let progress = Arc::new(AtomicU64::new(0));
-        let fsyncs = Arc::new(AtomicU64::new(0));
-        let shard_gauges = Arc::new(Mutex::new((Vec::new(), Vec::new())));
+        let gauges = Gauges::new();
+        let progress = Arc::clone(&gauges.progress);
+        let fsyncs = Arc::clone(&gauges.fsyncs);
+        let shard_gauges = Arc::clone(&gauges.shards);
         {
             let clients = Arc::clone(&clients);
             let id = config.id;
             let recovery = config.recovery;
             let group_commit = config.group_commit;
-            let progress = Arc::clone(&progress);
-            let fsyncs = Arc::clone(&fsyncs);
-            let shard_gauges = Arc::clone(&shard_gauges);
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("node-{}-core", id.0))
@@ -342,9 +319,7 @@ impl TcpNode {
                             clients,
                             recovery,
                             group_commit,
-                            progress,
-                            fsyncs,
-                            shard_gauges,
+                            gauges,
                         )
                     })
                     .expect("spawn core loop"),
@@ -620,194 +595,75 @@ fn read_connection<P: Protocol>(
     result
 }
 
-/// How long one `STATE_REQUEST` round stays in flight before a
-/// no-progress tick may broadcast a new one. Without this guard every
-/// tick of a stalled replica re-requested, hammering slow responders
-/// with duplicate transfers of the same (possibly large) state.
-const STATE_TRANSFER_RETRY: Duration = Duration::from_millis(1500);
-
-/// The state-transfer client's bookkeeping inside the core loop.
-struct Recovery {
-    policy: RecoveryPolicy,
-    /// Still hunting for peer state. Cleared once progress flows from
-    /// live traffic rather than transfers; a running replica that later
-    /// falls behind catches up through the protocol's own checkpoint
-    /// stream instead.
-    active: bool,
-    /// Progress as of the last tick *or* the last transfer application:
-    /// anything beyond it was made organically.
-    baseline: u64,
-    /// Latest response per peer for the current request round.
-    responses: HashMap<ReplicaId, StateTransferResponse>,
-    /// When the in-flight request round was sent; a new round may only
-    /// go out once [`STATE_TRANSFER_RETRY`] has elapsed (the retry
-    /// deadline), so a slow responder isn't hammered with duplicates.
-    requested_at: Option<Instant>,
-}
-
-impl Recovery {
-    /// `baseline` is the protocol's progress at startup — anything the
-    /// local WAL/checkpoint recovery already restored is not "organic"
-    /// progress and must not end the hunt by itself.
-    fn new(policy: RecoveryPolicy, baseline: u64) -> Self {
-        Recovery {
-            policy,
-            active: true,
-            baseline,
-            responses: HashMap::new(),
-            requested_at: None,
+/// The blocking backend's peer path: one reconnecting [`PeerOutbox`]
+/// per other replica. Self-sends drop naturally (the node's own id is
+/// never in the map).
+impl PeerSink for HashMap<ReplicaId, PeerOutbox> {
+    fn broadcast_frame(&mut self, framed: Arc<Vec<u8>>) {
+        for outbox in self.values() {
+            outbox.enqueue(Arc::clone(&framed));
         }
     }
 
-    /// `true` once the current round's retry deadline has passed (or no
-    /// round was ever sent).
-    fn may_request(&self) -> bool {
-        self.requested_at.is_none_or(|at| at.elapsed() >= STATE_TRANSFER_RETRY)
-    }
-}
-
-/// Broadcasts a `STATE_REQUEST` to every peer outbox.
-fn request_state(id: ReplicaId, have_seq: u64, outboxes: &HashMap<ReplicaId, PeerOutbox>) {
-    let req = StateTransferRequest { replica: id, have_seq: SeqNum(have_seq) };
-    let framed = Arc::new(frame(frame_kind::STATE_REQUEST, &encode(&req)));
-    for outbox in outboxes.values() {
-        outbox.enqueue(Arc::clone(&framed));
-    }
-}
-
-/// Upper bound on events coalesced into one group-commit drain batch,
-/// so a flooded queue still flushes (and routes) regularly.
-const MAX_DRAIN_BATCH: usize = 128;
-
-/// Handles one event against the protocol, returning the outputs to
-/// route. `Event::Shutdown` is the caller's job and never reaches here.
-///
-/// Peer `STATE_REQUEST`s are *deferred* (pushed onto `state_requests`)
-/// rather than answered inline: a response reads the protocol's current
-/// durable checkpoint and log suffix, which mid-batch may rest on WAL
-/// records the group-commit fsync has not covered yet — answering after
-/// the batch's `flush_durable` keeps the nothing-on-the-wire-before-
-/// fsync invariant for state transfer too.
-#[allow(clippy::too_many_arguments)]
-fn handle_event<P: Protocol>(
-    id: ReplicaId,
-    protocol: &mut P,
-    event: Event<P::Message>,
-    outboxes: &HashMap<ReplicaId, PeerOutbox>,
-    recovery: &mut Option<Recovery>,
-    armed: &mut bool,
-    last_progress: &mut u64,
-    state_requests: &mut Vec<StateTransferRequest>,
-) -> Vec<ProtocolOutput<P::Message>> {
-    match event {
-        Event::Peer(msg) => protocol.on_message(msg),
-        Event::Requests(requests) => protocol.on_client_requests(requests),
-        Event::StateRequest(req) => {
-            state_requests.push(req);
-            Vec::new()
+    fn send_frame(&mut self, to: ReplicaId, framed: Arc<Vec<u8>>) {
+        if let Some(outbox) = self.get(&to) {
+            outbox.enqueue(framed);
         }
-        Event::StateResponse(resp) => match recovery {
-            // Only cluster members' responses count toward the
-            // f + 1 agreement (the reader already pinned the id to
-            // the connection's hello).
-            Some(rec) if rec.active && outboxes.contains_key(&resp.replica) => {
-                apply_state_response(id, protocol, rec, resp)
-            }
-            _ => Vec::new(),
-        },
-        Event::Timeout => {
-            let progress = protocol.progress();
-            // Recovery retry: progress beyond the baseline means
-            // live traffic is executing again — the hunt is over.
-            // Otherwise re-request (peers answer with ever-newer
-            // checkpoints until the gap closes) — but only once the
-            // in-flight round's retry deadline passes, so a slow
-            // responder isn't hammered with duplicate requests.
-            if let Some(rec) = recovery {
-                if rec.active {
-                    if progress > rec.baseline {
-                        rec.active = false;
-                        rec.responses.clear();
-                    } else if rec.may_request() {
-                        rec.baseline = progress;
-                        rec.responses.clear();
-                        rec.requested_at = Some(Instant::now());
-                        request_state(id, progress, outboxes);
-                    }
-                }
-            }
-            let pending = protocol.has_pending_requests();
-            let fire = pending && *armed && progress == *last_progress;
-            *armed = pending && !fire;
-            *last_progress = progress;
-            if fire {
-                protocol.on_timeout()
-            } else {
-                Vec::new()
+    }
+
+    fn is_peer(&self, id: ReplicaId) -> bool {
+        self.contains_key(&id)
+    }
+}
+
+/// The blocking backend's client path: hand each reply to the client's
+/// writer thread without blocking the core loop. A full queue or a gone
+/// client drops the reply (the client's own timeout/retry logic
+/// recovers).
+impl ClientSink for ClientRegistry {
+    fn reply(&mut self, to: ClientId, reply: Reply) {
+        let mut registry = self.lock().expect("client registry");
+        if let Some(entry) = registry.get(&to) {
+            if let Err(TrySendError::Disconnected(_)) = entry.replies.try_send(reply) {
+                registry.remove(&to);
             }
         }
-        Event::Shutdown => unreachable!("shutdown handled by the core loop"),
     }
 }
 
-#[allow(clippy::too_many_arguments)]
 fn core_loop<P: Protocol>(
     id: ReplicaId,
-    mut protocol: P,
+    protocol: P,
     events_rx: Receiver<Event<P::Message>>,
     outboxes: HashMap<ReplicaId, PeerOutbox>,
     clients: ClientRegistry,
     recovery: Option<RecoveryPolicy>,
     group_commit: Duration,
-    progress_gauge: Arc<AtomicU64>,
-    fsync_gauge: Arc<AtomicU64>,
-    shard_gauges: Arc<Mutex<(Vec<u64>, Vec<u64>)>>,
+    gauges: Gauges,
 ) {
-    // Request-aware view-change timer state. A periodic tick forwards to
-    // the protocol's timeout handler only when a request has been pending
-    // across one full period with no commit progress — so the primary
-    // gets a whole tick to make progress (`armed`), idle clusters never
-    // churn views, and a genuinely stalled request still fails over on
-    // the second tick.
-    let mut last_progress = protocol.progress();
-    let mut armed = false;
-
-    // State-transfer client: ask every peer for their checkpoint + log
-    // suffix right away, then keep re-asking on timer ticks until this
-    // replica makes progress on its own.
-    let mut recovery: Option<Recovery> =
-        recovery.map(|policy| Recovery::new(policy, protocol.progress()));
-    if let Some(rec) = &mut recovery {
-        rec.requested_at = Some(Instant::now());
-        request_state(id, protocol.progress(), &outboxes);
-    }
+    // The hosting core owns the protocol, the request-aware view-change
+    // timer, and the state-transfer client (see `crate::host`); this
+    // loop only moves events in and batches out.
+    let mut peers = outboxes;
+    let mut clients = clients;
+    let mut host = Host::new(id, protocol, recovery, gauges, &mut peers);
 
     'main: while let Ok(first) = events_rx.recv() {
         // One *drain batch*: the first event plus — when group commit is
         // on — everything else queued within the linger window, all
-        // sharing the single flush_durable (fsync) below.
+        // sharing the single flush_durable (fsync) in finish_batch.
         let mut outputs = Vec::new();
         let mut stop = false;
         let deadline =
             (!group_commit.is_zero()).then(|| Instant::now() + group_commit);
         let mut next = Some(first);
         let mut drained = 0usize;
-        let mut state_requests: Vec<StateTransferRequest> = Vec::new();
         while let Some(event) = next.take() {
             if matches!(event, Event::Shutdown) {
                 stop = true;
                 break;
             }
-            outputs.extend(handle_event(
-                id,
-                &mut protocol,
-                event,
-                &outboxes,
-                &mut recovery,
-                &mut armed,
-                &mut last_progress,
-                &mut state_requests,
-            ));
+            outputs.extend(host.handle(event, &mut peers));
             drained += 1;
             let Some(deadline) = deadline else { break };
             if drained >= MAX_DRAIN_BATCH {
@@ -826,191 +682,13 @@ fn core_loop<P: Protocol>(
                 Err(TryRecvError::Disconnected) => None,
             };
         }
-        // The group-commit point: one fsync covers the whole batch, and
-        // any outputs a durable protocol withheld are released here —
-        // nothing reaches the network before its WAL records are on
-        // disk.
-        outputs.extend(protocol.flush_durable());
-        for output in outputs {
-            route(output, &outboxes, &clients);
-        }
-        // Deferred peer state requests: answered strictly after the
-        // fsync, so a served checkpoint/suffix never outruns the log.
-        for req in state_requests {
-            answer_state_request(id, &protocol, &req, &outboxes);
-        }
-        progress_gauge.store(protocol.progress(), Ordering::SeqCst);
-        fsync_gauge.store(protocol.durable_fsyncs(), Ordering::SeqCst);
-        {
-            let mut gauges = shard_gauges.lock().expect("shard gauges");
-            gauges.0 = protocol.shard_progress();
-            gauges.1 = protocol.shard_fsyncs();
-        }
+        host.finish_batch(outputs, &mut peers, &mut clients);
         if stop {
             break 'main;
         }
     }
-    for (_, outbox) in outboxes {
+    for (_, outbox) in peers {
         outbox.close();
-    }
-}
-
-/// Serves one peer's `STATE_REQUEST`: current durable checkpoint plus
-/// the retained log suffix above the requester's progress. `local` is
-/// the responding replica's own id.
-fn answer_state_request<P: Protocol>(
-    local: ReplicaId,
-    protocol: &P,
-    req: &StateTransferRequest,
-    outboxes: &HashMap<ReplicaId, PeerOutbox>,
-) {
-    let Some(outbox) = outboxes.get(&req.replica) else { return };
-    let checkpoint = protocol.durable_checkpoint();
-    let suffix = protocol.catch_up_messages(req.have_seq);
-    if checkpoint.is_none() && suffix.is_empty() {
-        return; // nothing to offer (genesis node)
-    }
-    let resp = StateTransferResponse {
-        replica: local,
-        checkpoint,
-        suffix: encode(&suffix).into(),
-    };
-    outbox.enqueue(Arc::new(frame(frame_kind::STATE_RESPONSE, &encode(&resp))));
-}
-
-/// Ingests one peer's state response: its catch-up messages feed the
-/// normal (verifying) message path immediately; its checkpoint is held
-/// until `agreement` peers vouch for the same `(seq, digest)`, then
-/// restored and the suffixes replayed.
-///
-/// Progress is reported on stderr as stable `state-transfer:` marker
-/// lines, which fault-injection orchestrators (`splitbft-chaos`) parse
-/// to distinguish a log-suffix rejoin from a checkpoint restore.
-fn apply_state_response<P: Protocol>(
-    id: ReplicaId,
-    protocol: &mut P,
-    rec: &mut Recovery,
-    resp: StateTransferResponse,
-) -> Vec<ProtocolOutput<P::Message>> {
-    let mut outputs = feed_suffix(id, protocol, &resp);
-    rec.responses.insert(resp.replica, resp);
-
-    // Checkpoint agreement: group by (seq, digest), newest qualifying
-    // group first.
-    let mut groups: HashMap<(u64, splitbft_types::Digest), usize> = HashMap::new();
-    for r in rec.responses.values() {
-        if let Some(cp) = &r.checkpoint {
-            if cp.seq.0 > protocol.progress() {
-                *groups.entry((cp.seq.0, cp.digest)).or_insert(0) += 1;
-            }
-        }
-    }
-    let Some(((seq, digest), _)) = groups
-        .into_iter()
-        .filter(|(_, n)| *n >= rec.policy.agreement)
-        .max_by_key(|((seq, _), _)| *seq)
-    else {
-        return outputs;
-    };
-    let agreed = rec
-        .responses
-        .values()
-        .find(|r| {
-            r.checkpoint
-                .as_ref()
-                .is_some_and(|cp| cp.seq.0 == seq && cp.digest == digest)
-        })
-        .and_then(|r| r.checkpoint.clone())
-        .expect("group was built from these responses");
-    let agreeing = rec
-        .responses
-        .values()
-        .filter(|r| {
-            r.checkpoint.as_ref().is_some_and(|cp| cp.seq.0 == seq && cp.digest == digest)
-        })
-        .count();
-    if protocol.restore_checkpoint(&agreed).is_ok() {
-        eprintln!(
-            "state-transfer: replica {} restored checkpoint seq={seq} from {agreeing} agreeing peer(s)",
-            id.0
-        );
-        // Replay every stored suffix on top of the restored state: what
-        // was out of the watermark window before the restore lands now.
-        let responses: Vec<StateTransferResponse> = rec.responses.values().cloned().collect();
-        for r in &responses {
-            outputs.extend(feed_suffix(id, protocol, r));
-        }
-        rec.responses.clear();
-    }
-    // Progress made *by* the transfer is not organic progress: raise
-    // the baseline so only live-traffic execution ends the hunt.
-    rec.baseline = rec.baseline.max(protocol.progress());
-    outputs
-}
-
-/// Feeds one response's suffix messages through the protocol's normal
-/// verifying message path, collecting any outputs for routing.
-fn feed_suffix<P: Protocol>(
-    id: ReplicaId,
-    protocol: &mut P,
-    resp: &StateTransferResponse,
-) -> Vec<ProtocolOutput<P::Message>> {
-    let Ok(msgs) = decode::<Vec<P::Message>>(&resp.suffix) else {
-        return Vec::new(); // malformed suffix: ignore the responder
-    };
-    if msgs.is_empty() {
-        return Vec::new();
-    }
-    let count = msgs.len();
-    let before = protocol.progress();
-    let mut outputs = Vec::new();
-    for msg in msgs {
-        outputs.extend(protocol.on_message(msg));
-    }
-    // Logged *after* feeding, with the execution progress the suffix
-    // actually bought — acceptance is protocol-internal (each message
-    // re-verifies like network input), so the progress delta, not the
-    // count, is the honest rejoin evidence.
-    eprintln!(
-        "state-transfer: replica {} applied {count} suffix message(s) from replica {} (progress {before} -> {})",
-        id.0,
-        resp.replica.0,
-        protocol.progress(),
-    );
-    outputs
-}
-
-fn route<M: crate::transport::WireMessage>(
-    output: ProtocolOutput<M>,
-    outboxes: &HashMap<ReplicaId, PeerOutbox>,
-    clients: &Mutex<HashMap<ClientId, ClientEntry>>,
-) {
-    match output {
-        ProtocolOutput::Broadcast(msg) => {
-            // Encode and frame once; every outbox shares the buffer.
-            let framed = Arc::new(frame(frame_kind::PROTOCOL, &encode(&msg)));
-            for outbox in outboxes.values() {
-                outbox.enqueue(Arc::clone(&framed));
-            }
-        }
-        // Self-sends are dropped, matching ThreadedCluster: protocol
-        // cores process their own copy internally before emitting.
-        ProtocolOutput::Send { to, msg } => {
-            if let Some(outbox) = outboxes.get(&to) {
-                outbox.enqueue(Arc::new(frame(frame_kind::PROTOCOL, &encode(&msg))));
-            }
-        }
-        ProtocolOutput::Reply { to, reply } => {
-            // Hand off to the client's writer thread without blocking the
-            // core loop; a full queue or a gone client drops the reply
-            // (the client's own timeout/retry logic recovers).
-            let mut registry = clients.lock().expect("client registry");
-            if let Some(entry) = registry.get(&to) {
-                if let Err(TrySendError::Disconnected(_)) = entry.replies.try_send(reply) {
-                    registry.remove(&to);
-                }
-            }
-        }
     }
 }
 
@@ -1382,7 +1060,8 @@ fn connect_until(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use splitbft_types::{RequestId, Timestamp, View};
+    use crate::transport::ProtocolOutput;
+    use splitbft_types::{Request, RequestId, Timestamp, View};
 
     /// A trivial protocol echoing request payloads straight back,
     /// exercising the transport without consensus logic.

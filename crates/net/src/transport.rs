@@ -5,8 +5,9 @@
 //! state machine: handlers consume one input and return a list of
 //! outputs. This module turns that convention into a first-class
 //! [`Protocol`] trait so that one runtime implementation can host any of
-//! the three, whether in-process ([`crate::runtime::ThreadedCluster`]) or
-//! across real sockets ([`crate::tcp::TcpNode`]).
+//! the three, whether in-process ([`crate::runtime::ThreadedCluster`],
+//! [`crate::backend::InProcessBackend`]) or across real sockets
+//! ([`crate::tcp::TcpNode`], [`crate::evented::EventedNode`]).
 //!
 //! It also provides the stream-transport plumbing shared by socket
 //! runtimes: frame kinds, blocking framed reads/writes over any
@@ -14,12 +15,17 @@
 //! header layout), and [`PeerOutbox`] — a per-peer outbound queue with
 //! automatic reconnection and send-path batching.
 //!
-//! The socket stack is built on `std::net` blocking I/O with one OS
-//! thread per connection. The build environment cannot fetch an async
-//! reactor (tokio) from crates.io; for the cluster sizes BFT protocols
-//! run at (4–16 replicas, hence at most a few dozen sockets per node),
-//! thread-per-connection performs equivalently and keeps the TCB free of
-//! unsafe executor code.
+//! Two socket stacks share this plumbing and the exact same wire
+//! format (see [`crate::backend::TransportKind`]): the *blocking*
+//! runtime here and in [`crate::tcp`] uses `std::net` blocking I/O with
+//! one OS thread per connection — simple, and for the cluster sizes BFT
+//! protocols run at (4–16 replicas) entirely adequate; the *evented*
+//! runtime in [`crate::evented`] serves every connection from one
+//! readiness loop over nonblocking sockets with bounded per-peer rings
+//! and zero-copy frame decoding, trading the thread fleet for a higher
+//! saturation knee. The build environment cannot fetch an async reactor
+//! (tokio) from crates.io; both stacks stay on `std::net` and keep the
+//! TCB free of unsafe executor code.
 
 use splitbft_types::wire::{
     decode, encode, frame, Decode, Encode, FrameHeader, FRAME_HEADER_LEN,

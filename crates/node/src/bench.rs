@@ -41,7 +41,8 @@ use splitbft_loadgen::report::{
     BatchSummary, BenchReport, RateSweepReport, ShardingSummary, SweepPoint,
 };
 use splitbft_loadgen::workload::Workload;
-use splitbft_net::tcp::{PeerAddr, TcpNode};
+use splitbft_net::backend::{AnyBound, AnyNode, TransportKind};
+use splitbft_net::tcp::PeerAddr;
 use splitbft_net::transport::BatchPolicy;
 use splitbft_types::{ClientId, ReplicaId};
 use std::io;
@@ -50,9 +51,10 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 /// A self-orchestrated localhost cluster: every replica is a full
-/// [`TcpNode`] (real sockets, real threads) inside this process.
+/// socket node (real sockets, real threads) inside this process, on
+/// whichever backend `options.transport` selects.
 pub struct LocalCluster {
-    nodes: Vec<TcpNode>,
+    nodes: Vec<AnyNode>,
     replicas: Vec<PeerAddr>,
 }
 
@@ -69,7 +71,7 @@ impl LocalCluster {
         let loopback: SocketAddr = "127.0.0.1:0".parse().expect("loopback literal");
         let mut bound = Vec::with_capacity(n);
         for id in 0..n {
-            bound.push(TcpNode::bind(ReplicaId(id as u32), loopback)?);
+            bound.push(AnyBound::bind(options.transport, ReplicaId(id as u32), loopback)?);
         }
         let replicas: Vec<PeerAddr> = bound
             .iter()
@@ -95,7 +97,7 @@ impl LocalCluster {
     /// Total WAL fsyncs across every node so far (`0` unless the
     /// cluster was launched with a data dir).
     pub fn fsyncs(&self) -> u64 {
-        self.nodes.iter().map(TcpNode::fsyncs).sum()
+        self.nodes.iter().map(AnyNode::fsyncs).sum()
     }
 
     /// Per-shard execution progress: the element-wise **max** across
@@ -175,6 +177,10 @@ pub struct BenchInvocation {
     /// multi-shard report carries a `sharding` section with the scaling
     /// factor and per-shard gauges.
     pub shards: u32,
+    /// Socket backends to run (`--transport`, comma-separated): each
+    /// backend gets its own clusters and reports, so one invocation can
+    /// place `blocking` and `evented` knees side by side.
+    pub transports: Vec<TransportKind>,
     /// Report output directory.
     pub out_dir: PathBuf,
     /// Report name override (suffixed per combination when sweeping).
@@ -211,6 +217,7 @@ const KNOWN_FLAGS: &[&str] = &[
     "--batch-frames", "--batch-bytes", "--batch-linger-us", "--sweep-batch-frames",
     "--timeout-ms", "--out", "--name", "--window-ms", "--retry-ms", "--drain-secs",
     "--client-base", "--data-dir", "--sweep-rate", "--wal-group-commit-us", "--shards",
+    "--transport",
 ];
 
 /// Parses the `bench` subcommand's arguments.
@@ -326,6 +333,28 @@ pub fn parse_args(args: &[String]) -> Result<BenchInvocation, String> {
         return Err("--shards must be a positive integer".into());
     }
 
+    let transports: Vec<TransportKind> = match flag(args, "--transport") {
+        None => vec![TransportKind::default()],
+        Some(list) => {
+            let mut kinds = Vec::new();
+            for part in list.split(',') {
+                let kind: TransportKind =
+                    part.trim().parse().map_err(|e: String| format!("--transport: {e}"))?;
+                if !kinds.contains(&kind) {
+                    kinds.push(kind);
+                }
+            }
+            if kinds.len() > 1 && config_path.is_some() {
+                return Err(
+                    "--transport with several backends needs a self-orchestrated cluster \
+                     (a --config file's replicas already run one fixed transport)"
+                        .into(),
+                );
+            }
+            kinds
+        }
+    };
+
     Ok(BenchInvocation {
         config_path,
         protocols,
@@ -343,6 +372,7 @@ pub fn parse_args(args: &[String]) -> Result<BenchInvocation, String> {
         data_dir: flag(args, "--data-dir").map(PathBuf::from),
         wal_group_commit: Duration::from_micros(parse_flag(args, "--wal-group-commit-us", 0u64)?),
         shards,
+        transports,
         out_dir: PathBuf::from(flag(args, "--out").unwrap_or_else(|| ".".into())),
         name: flag(args, "--name"),
         window: Duration::from_millis(parse_flag(args, "--window-ms", 1_000u64)?.max(1)),
@@ -366,15 +396,17 @@ pub fn run(args: &[String]) -> Result<Vec<BenchReport>, String> {
     }
     let mut reports = Vec::new();
     let combos: Vec<(ProtocolKind, BatchPolicy)> = resolve_combos(&invocation)?;
-    for (protocol, batch) in combos {
-        let report =
-            run_one(&invocation, protocol, batch, invocation.rate).map_err(|e| e.to_string())?;
-        println!("{}", report.summary_line());
-        let path = report
-            .write_to(&invocation.out_dir)
-            .map_err(|e| format!("writing report: {e}"))?;
-        println!("  wrote {}", path.display());
-        reports.push(report);
+    for &transport in &invocation.transports {
+        for &(protocol, batch) in &combos {
+            let report = run_one(&invocation, protocol, batch, invocation.rate, transport)
+                .map_err(|e| e.to_string())?;
+            println!("{}", report.summary_line());
+            let path = report
+                .write_to(&invocation.out_dir)
+                .map_err(|e| format!("writing report: {e}"))?;
+            println!("  wrote {}", path.display());
+            reports.push(report);
+        }
     }
     if let Some(empty) = reports.iter().find(|r| r.completed == 0) {
         return Err(format!("bench {:?} completed zero requests", empty.name));
@@ -398,38 +430,67 @@ fn run_rate_sweep(invocation: &BenchInvocation) -> Result<Vec<BenchReport>, Stri
     };
     let batch = invocation.batch_variants[0];
     let mut all_runs = Vec::new();
-    for protocol in protocols {
-        let mut points = Vec::new();
-        for &rate in &invocation.sweep_rates {
-            let report =
-                run_one(invocation, protocol, batch, Some(rate)).map_err(|e| e.to_string())?;
-            println!("{}", report.summary_line());
-            points.push(SweepPoint {
-                offered_rps: rate,
-                achieved_rps: report.throughput_rps,
-                p50_us: report.latency.p50_us,
-                p99_us: report.latency.p99_us,
-                timed_out: report.timed_out,
-            });
-            all_runs.push(report);
-        }
-        let sweep = RateSweepReport {
-            name: invocation
+    let mut knees: Vec<(ProtocolKind, TransportKind, Option<f64>)> = Vec::new();
+    for &transport in &invocation.transports {
+        for &protocol in &protocols {
+            let mut points = Vec::new();
+            for &rate in &invocation.sweep_rates {
+                let report = run_one(invocation, protocol, batch, Some(rate), transport)
+                    .map_err(|e| e.to_string())?;
+                println!("{}", report.summary_line());
+                points.push(SweepPoint {
+                    offered_rps: rate,
+                    achieved_rps: report.throughput_rps,
+                    p50_us: report.latency.p50_us,
+                    p99_us: report.latency.p99_us,
+                    timed_out: report.timed_out,
+                });
+                all_runs.push(report);
+            }
+            let base = invocation
                 .name
                 .clone()
-                .map_or_else(|| protocol.to_string(), |n| format!("{n}_{protocol}")),
-            protocol: protocol.to_string(),
-            n: invocation.replicas,
-            app: invocation.app.to_string(),
-            clients: invocation.clients.max(1),
-            duration: invocation.duration,
-            points,
+                .map_or_else(|| protocol.to_string(), |n| format!("{n}_{protocol}"));
+            let sweep = RateSweepReport {
+                name: if invocation.transports.len() > 1 {
+                    format!("{base}_{transport}")
+                } else {
+                    base
+                },
+                protocol: protocol.to_string(),
+                transport: transport.to_string(),
+                n: invocation.replicas,
+                app: invocation.app.to_string(),
+                clients: invocation.clients.max(1),
+                duration: invocation.duration,
+                points,
+            };
+            knees.push((protocol, transport, sweep.knee().map(|p| p.offered_rps)));
+            println!("{}", sweep.summary_line());
+            let path = sweep
+                .write_to(&invocation.out_dir)
+                .map_err(|e| format!("writing sweep report: {e}"))?;
+            println!("  wrote {}", path.display());
+        }
+    }
+    // When one invocation swept both socket backends, state the verdict
+    // the artifacts exist to support: knee vs knee, same host, same run.
+    for &protocol in &protocols {
+        let knee = |kind: TransportKind| {
+            knees
+                .iter()
+                .find(|(p, t, _)| *p == protocol && *t == kind)
+                .and_then(|(_, _, k)| *k)
         };
-        println!("{}", sweep.summary_line());
-        let path = sweep
-            .write_to(&invocation.out_dir)
-            .map_err(|e| format!("writing sweep report: {e}"))?;
-        println!("  wrote {}", path.display());
+        if let (Some(blocking), Some(evented)) =
+            (knee(TransportKind::Blocking), knee(TransportKind::Evented))
+        {
+            println!(
+                "{protocol}: evented knee {evented:.0} req/s vs blocking {blocking:.0} req/s \
+                 ({:.2}x)",
+                evented / blocking
+            );
+        }
     }
     if let Some(empty) = all_runs.iter().find(|r| r.completed == 0) {
         return Err(format!("bench {:?} completed zero requests", empty.name));
@@ -461,6 +522,7 @@ fn run_one(
     protocol: ProtocolKind,
     batch: BatchPolicy,
     rate: Option<f64>,
+    transport: TransportKind,
 ) -> io::Result<BenchReport> {
     // Multi-shard runs measure their own single-shard baseline first —
     // same invocation, same knobs — so the report's `sharding` section
@@ -472,7 +534,7 @@ fn run_one(
             // Keep the baseline's WAL out of the sharded run's layout.
             baseline.data_dir = Some(dir.join("baseline-s1"));
         }
-        let report = run_measurement(&baseline, protocol, batch, rate, 1, None)?;
+        let report = run_measurement(&baseline, protocol, batch, rate, 1, None, transport)?;
         println!(
             "  1-shard baseline: {:.1} req/s ({} completed)",
             report.throughput_rps, report.completed
@@ -481,7 +543,7 @@ fn run_one(
     } else {
         None
     };
-    run_measurement(invocation, protocol, batch, rate, invocation.shards, baseline_rps)
+    run_measurement(invocation, protocol, batch, rate, invocation.shards, baseline_rps, transport)
 }
 
 fn run_measurement(
@@ -491,6 +553,7 @@ fn run_measurement(
     rate: Option<f64>,
     shards: u32,
     baseline_rps: Option<f64>,
+    transport: TransportKind,
 ) -> io::Result<BenchReport> {
     let options = NodeOptions {
         batch,
@@ -500,6 +563,7 @@ fn run_measurement(
         byzantine: None,
         shards,
         fault_injection: false,
+        transport,
     };
 
     // A cluster: launched here, or described by the external file.
@@ -556,7 +620,7 @@ fn run_measurement(
             None => stats.completed,
         };
 
-        let name = report_name(invocation, protocol, &batch, shards);
+        let name = report_name(invocation, protocol, &batch, shards, transport);
         let report = BenchReport::from_stats(
             name,
             protocol.to_string(),
@@ -644,6 +708,7 @@ fn report_name(
     protocol: ProtocolKind,
     batch: &BatchPolicy,
     shards: u32,
+    transport: TransportKind,
 ) -> String {
     let base = match &invocation.name {
         Some(name) => name.clone(),
@@ -654,6 +719,9 @@ fn report_name(
     };
     let multi_protocol = invocation.protocols.len() > 1 && invocation.name.is_some();
     let base = if multi_protocol { format!("{base}_{protocol}") } else { base };
+    // Single-transport runs keep their pre-transport-plane names.
+    let base =
+        if invocation.transports.len() > 1 { format!("{base}_{transport}") } else { base };
     // Single-shard runs keep their pre-sharding names (and bytes).
     let base = if shards > 1 { format!("{base}_s{shards}") } else { base };
     if invocation.batch_variants.len() > 1 {
@@ -756,6 +824,25 @@ mod tests {
         assert_eq!(default.shards, 1);
         assert!(parse_args(&args(&["--protocol", "pbft", "--shards", "0"])).is_err());
         assert!(parse_args(&args(&["--protocol", "pbft", "--shards", "many"])).is_err());
+    }
+
+    #[test]
+    fn transport_flag_parses_a_comma_list() {
+        let default = parse_args(&args(&["--protocol", "pbft"])).unwrap();
+        assert_eq!(default.transports, vec![TransportKind::Blocking]);
+        let inv = parse_args(&args(&[
+            "--protocol", "pbft", "--transport", "blocking,evented",
+        ]))
+        .unwrap();
+        assert_eq!(inv.transports, vec![TransportKind::Blocking, TransportKind::Evented]);
+        assert!(parse_args(&args(&["--protocol", "pbft", "--transport", "uring"])).is_err());
+        assert!(
+            parse_args(&args(&[
+                "--config", "x.toml", "--transport", "blocking,evented",
+            ]))
+            .is_err(),
+            "a config file's replicas run one fixed transport"
+        );
     }
 
     #[test]

@@ -34,6 +34,7 @@ use crate::{
 use splitbft_chaos::report::{ChaosReport, GroupCommitDelta, GroupCommitSample};
 use splitbft_chaos::schedule::Schedule;
 use splitbft_chaos::{run_scenario, ChaosConfig, ChaosError};
+use splitbft_net::backend::TransportKind;
 use splitbft_loadgen::driver::{self, DriverConfig};
 use std::io;
 use std::path::PathBuf;
@@ -65,6 +66,8 @@ pub struct ChaosInvocation {
     pub wal_group_commit_us: u64,
     /// Consensus groups per replica (`1` = unsharded, the default).
     pub shards: u32,
+    /// Socket backend the replicas serve on (`--transport`).
+    pub transport: TransportKind,
     /// Per-victim rejoin budget.
     pub rejoin_timeout: Duration,
     /// Per-probe commit-read budget.
@@ -85,7 +88,7 @@ pub struct ChaosInvocation {
 const VALUE_FLAGS: &[&str] = &[
     "--scenario", "--protocol", "--replicas", "--seed", "--rounds", "--clients", "--pipeline",
     "--timeout-ms", "--wal-group-commit-us", "--rejoin-secs", "--probe-secs", "--root", "--out",
-    "--rate", "--shards",
+    "--rate", "--shards", "--transport",
 ];
 const BARE_FLAGS: &[&str] = &["--compare", "--keep-data", "--skip-group-commit"];
 
@@ -141,6 +144,10 @@ pub fn parse_args(args: &[String]) -> Result<ChaosInvocation, String> {
                 return Err("--shards must be a positive integer".into());
             }
             shards
+        },
+        transport: match flag(args, "--transport") {
+            None => TransportKind::default(),
+            Some(kind) => kind.parse().map_err(|e: String| format!("--transport: {e}"))?,
         },
         rejoin_timeout: Duration::from_secs(parse_flag(args, "--rejoin-secs", 45u64)?.max(1)),
         probe_timeout: Duration::from_secs(parse_flag(args, "--probe-secs", 30u64)?.max(1)),
@@ -219,6 +226,7 @@ fn run_for(
     config.timeout_ms = invocation.timeout_ms;
     config.wal_group_commit_us = invocation.wal_group_commit_us;
     config.shards = invocation.shards;
+    config.transport = invocation.transport;
     config.load_clients = invocation.clients;
     config.load_pipeline = invocation.pipeline;
     config.load_rate = invocation.rate;
@@ -306,6 +314,7 @@ fn measure_group_commit(
     let options = NodeOptions {
         data_dir: Some(dir.clone()),
         wal_group_commit: Duration::from_micros(linger_us),
+        transport: invocation.transport,
         ..NodeOptions::default()
     };
     let cluster =

@@ -66,12 +66,14 @@ pub mod byzantine;
 pub mod chaos;
 
 pub use byzantine::{ByzantineMode, ByzantineProtocol};
+pub use splitbft_net::backend::TransportKind;
 
 use bytes::Bytes;
 use splitbft_app::{Application, Blockchain, CounterApp, KeyValueStore};
 use splitbft_core::{SplitBftClient, SplitBftReplica, SplitClientEvent};
 use splitbft_hybrid::{HybridClient, HybridClientEvent, HybridConfig, HybridReplica, Usig};
-use splitbft_net::tcp::{BoundTcpNode, PeerAddr, RecoveryPolicy, TcpClient, TcpNode, TcpNodeConfig};
+use splitbft_net::backend::{AnyBound, AnyNode};
+use splitbft_net::tcp::{PeerAddr, RecoveryPolicy, TcpClient, TcpNodeConfig};
 use splitbft_net::transport::{BatchPolicy, Protocol};
 use splitbft_pbft::{ClientEvent, PbftClient, Replica as PbftReplica};
 use splitbft_shard::{ShardMember, ShardRouter, Sharded};
@@ -197,6 +199,12 @@ pub struct NodeOptions {
     /// connecting client install drop rules or partitions; the chaos
     /// harness passes the flag to the clusters it spawns.
     pub fault_injection: bool,
+    /// Which socket backend serves this node (`transport` in the
+    /// cluster file, `--transport` on the CLI): `blocking` — the
+    /// thread-per-connection runtime — or `evented` — the
+    /// single-threaded readiness loop. Both speak the identical wire
+    /// format, so a cluster may mix them.
+    pub transport: TransportKind,
 }
 
 impl Default for NodeOptions {
@@ -209,6 +217,7 @@ impl Default for NodeOptions {
             byzantine: None,
             shards: 1,
             fault_injection: false,
+            transport: TransportKind::default(),
         }
     }
 }
@@ -340,6 +349,10 @@ pub fn parse_cluster_toml(text: &str) -> Result<ClusterFile, ConfigError> {
                 })?;
                 options.wal_group_commit = Duration::from_micros(us);
             }
+            (None, "transport") => {
+                options.transport =
+                    parse_string(value)?.parse().map_err(|e: String| err(e))?;
+            }
             (None, "shards") => {
                 options.shards = match value.parse::<u32>() {
                     Ok(0) | Err(_) => {
@@ -429,19 +442,20 @@ fn parse_string(value: &str) -> Result<String, ConfigError> {
 /// the given runtime `options` (usually `file.options`, unless CLI
 /// flags override).
 ///
-/// The returned [`TcpNode`] is protocol-erased: all three stacks host
-/// behind the same handle, which is what lets one binary serve all
-/// three.
+/// The returned [`AnyNode`] is protocol-erased *and* transport-erased:
+/// all three stacks host behind the same handle on whichever backend
+/// `options.transport` selects, which is what lets one binary serve
+/// every combination.
 pub fn run_replica(
     file: &ClusterFile,
     protocol: ProtocolKind,
     id: ReplicaId,
     options: &NodeOptions,
-) -> io::Result<TcpNode> {
+) -> io::Result<AnyNode> {
     let listen = file.addr_of(id).ok_or_else(|| {
         io::Error::new(io::ErrorKind::InvalidInput, format!("replica {} not in cluster file", id.0))
     })?;
-    let bound = TcpNode::bind(id, listen)?;
+    let bound = AnyBound::bind(options.transport, id, listen)?;
     // CLI --byzantine wins; otherwise the file's per-replica key applies.
     let mut options = options.clone();
     if options.byzantine.is_none() {
@@ -457,13 +471,13 @@ pub fn run_replica(
 /// known), assemble the full address book, then start each node with
 /// it. `peers` must contain an entry for the bound node itself.
 pub fn start_replica_on(
-    bound: BoundTcpNode,
+    bound: AnyBound,
     peers: Vec<PeerAddr>,
     protocol: ProtocolKind,
     app: AppKind,
     seed: u64,
     options: &NodeOptions,
-) -> io::Result<TcpNode> {
+) -> io::Result<AnyNode> {
     let mut config = TcpNodeConfig::new(bound.id(), bound.local_addr()?, peers);
     config.batch = options.batch;
     config.timeout_every = options.timeout_every;
@@ -552,12 +566,12 @@ struct ShardingPlan {
 /// checkpoints a previous incarnation left there, and logging what was
 /// found.
 fn start_durable<P: Protocol>(
-    bound: BoundTcpNode,
+    bound: AnyBound,
     config: TcpNodeConfig,
     seed: u64,
     protocol: P,
     durability: Option<Durability>,
-) -> io::Result<TcpNode> {
+) -> io::Result<AnyNode> {
     match durability {
         None => bound.start(config, protocol),
         Some(Durability { dir, group_commit }) => {
@@ -606,13 +620,13 @@ fn log_recovery<P: Protocol>(id: ReplicaId, shard: Option<ShardId>, durable: &Du
 /// each [`DurableProtocol`] stamps the log so a recovered directory
 /// self-identifies.
 fn host_shards<P: Protocol>(
-    bound: BoundTcpNode,
+    bound: AnyBound,
     config: TcpNodeConfig,
     seed: u64,
     sharding: ShardingPlan,
     durability: Option<Durability>,
     make: impl Fn() -> P,
-) -> io::Result<TcpNode> {
+) -> io::Result<AnyNode> {
     if sharding.shards <= 1 {
         return start_durable(bound, config, seed, make(), durability);
     }
@@ -657,7 +671,7 @@ fn host_shards<P: Protocol>(
 }
 
 fn start_with_app<A: Application + 'static>(
-    bound: BoundTcpNode,
+    bound: AnyBound,
     config: TcpNodeConfig,
     protocol: ProtocolKind,
     seed: u64,
@@ -665,7 +679,7 @@ fn start_with_app<A: Application + 'static>(
     durability: Option<Durability>,
     byzantine: Option<ByzantineMode>,
     sharding: ShardingPlan,
-) -> io::Result<TcpNode> {
+) -> io::Result<AnyNode> {
     let id = config.id;
     let n = config.peers.len();
     // Wrap order matters: DurableProtocol wraps ByzantineProtocol wraps

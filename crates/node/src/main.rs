@@ -51,7 +51,8 @@ USAGE:
                          [--data-dir <dir>] [--wal-group-commit-us <us>]
                          [--timeout-ms <ms>] [--batch-frames <n>]
                          [--batch-bytes <n>] [--batch-linger-us <us>]
-                         [--shards <n>] [--enable-fault-injection]
+                         [--shards <n>] [--transport blocking|evented]
+                         [--enable-fault-injection]
     splitbft-node client --config <cluster.toml> [--protocol <p>] [--client <id>]
                          [--op <bytes>] [--requests <n>] [--timeout-secs <s>]
     splitbft-node bench  (--protocol <p> | --compare) [--config <cluster.toml>]
@@ -62,7 +63,8 @@ USAGE:
                          [--read-ratio <f>] [--payload <n>]
                          [--batch-frames <n>] [--sweep-batch-frames <a,b,..>]
                          [--data-dir <dir>] [--wal-group-commit-us <us>]
-                         [--shards <n>] [--out <dir>] [--name <name>]
+                         [--shards <n>] [--transport blocking[,evented]]
+                         [--out <dir>] [--name <name>]
     splitbft-node chaos  --scenario rolling-restart|repeated-kill|primary-kill|
                                     staggered-start|partition-primary|asymmetric-link|
                                     equivocate-under-load|concurrent-victim|
@@ -72,17 +74,23 @@ USAGE:
                          [--wal-group-commit-us <us>] [--rejoin-secs <s>]
                          [--probe-secs <s>] [--root <dir>] [--keep-data]
                          [--skip-group-commit] [--shards <n>] [--out <dir>]
+                         [--transport blocking|evented]
 
 The cluster file lists every replica's id and address plus the shared
 seed, protocol, application, and runtime knobs (view-change timer,
-send-path batching, data_dir, wal_group_commit_us); see the
+send-path batching, data_dir, wal_group_commit_us, transport); see the
 splitbft_node crate docs and docs/OPERATIONS.md. `--data-dir` makes the
 replica durable: consensus events are WAL'd and checkpoints sealed
 under <dir>/replica-<id>/, and a restarted replica recovers from them
 plus peer state transfer. `--wal-group-commit-us` shares one WAL fsync
 across each core-loop drain batch. `--enable-fault-injection` lets the
 replica honor unauthenticated FAULT_CONTROL frames (partitions, lossy
-links); it is for chaos harnesses only — never pass it in production. `bench` without --config
+links); it is for chaos harnesses only — never pass it in production.
+`--transport` picks the socket backend: `blocking` (thread-per-
+connection, the default) or `evented` (one readiness loop per node);
+both speak the same wire format. `bench --transport blocking,evented`
+runs every measurement on each backend and prints the knee-vs-knee
+comparison. `bench` without --config
 self-orchestrates a localhost cluster, writes one BENCH_<name>.json per
 run, and exits nonzero if a run completes zero requests. `chaos` drives
 a live subprocess cluster through a scripted fault schedule under load,
@@ -118,6 +126,9 @@ fn options_from(args: &[String], file: &ClusterFile) -> Result<NodeOptions, Stri
             Ok(0) | Err(_) => return Err("--shards must be a positive integer".to_string()),
             Ok(s) => s,
         };
+    }
+    if let Some(kind) = flag(args, "--transport") {
+        options.transport = kind.parse().map_err(|e: String| e)?;
     }
     if args.iter().any(|a| a == "--enable-fault-injection") {
         options.fault_injection = true;

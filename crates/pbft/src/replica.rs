@@ -492,6 +492,18 @@ impl<A: Application> Replica<A> {
         key.verify(&Request::auth_bytes(req.id, &req.op, req.encrypted), &req.auth)
     }
 
+    /// Authenticates every request in a proposed batch at once: the
+    /// per-request tags are still computed, but accept/reject collapses
+    /// to a single constant-time digest comparison
+    /// ([`splitbft_crypto::verify_tag_batch`]) — the whole batch is
+    /// rejected on any failure, so no per-request verdict is needed.
+    fn verify_request_batch(&self, requests: &[Request]) -> bool {
+        splitbft_crypto::verify_tag_batch(requests.iter().map(|req| {
+            let key = client_mac_key(self.auth_seed, req.client());
+            (key.tag(&Request::auth_bytes(req.id, &req.op, req.encrypted)), req.auth)
+        }))
+    }
+
     /// Records an accepted-but-unexecuted request for the view-change
     /// timer. One entry per client (the highest timestamp seen) bounds
     /// the map at one entry per live client.
@@ -544,7 +556,7 @@ impl<A: Application> Replica<A> {
         // Backups refuse to prepare a batch containing unauthenticated
         // requests: a byzantine primary must not be able to launder
         // forged client operations through agreement.
-        if !pp.payload.batch.requests.iter().all(|r| self.verify_request(r)) {
+        if !self.verify_request_batch(&pp.payload.batch.requests) {
             return Err(ProtocolError::BadAuthenticator { kind: "request in batch" });
         }
         self.accept_pre_prepare(pp)

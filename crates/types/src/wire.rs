@@ -492,6 +492,189 @@ pub fn frame(kind: u8, payload: &[u8]) -> Vec<u8> {
     out
 }
 
+/// A decoded frame header plus a **borrowed** view of its payload.
+///
+/// This is the zero-copy counterpart of the owned `read_frame` path: the
+/// payload is a slice into the receive buffer, so handing it to a
+/// [`Decode`] implementation costs no intermediate allocation per frame.
+/// The view borrows the buffer it was parsed from and must be consumed
+/// before more bytes are appended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameView<'a> {
+    /// Transport-defined frame discriminator (see [`FrameHeader::kind`]).
+    pub kind: u8,
+    /// The frame's payload, borrowed from the receive buffer.
+    pub payload: &'a [u8],
+}
+
+/// Internal: locates one frame at the front of `buf` without building a
+/// borrowed view, returning `(kind, payload_offset, payload_len, total)`.
+/// `Ok(None)` means the buffer holds a valid but incomplete prefix.
+fn frame_bounds(buf: &[u8]) -> Result<Option<(u8, usize, usize)>, WireError> {
+    // Validate the magic/version prefix as early as it is available, so a
+    // stream that is definitely garbage is rejected before the peer
+    // finishes sending a full (possibly huge) "header".
+    let prefix = buf.len().min(4);
+    if buf[..prefix] != FRAME_MAGIC[..prefix] {
+        let mut magic = [0u8; 4];
+        magic[..prefix].copy_from_slice(&buf[..prefix]);
+        return Err(WireError::BadMagic(magic));
+    }
+    if buf.len() < FRAME_HEADER_LEN {
+        return Ok(None);
+    }
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    header.copy_from_slice(&buf[..FRAME_HEADER_LEN]);
+    let header = FrameHeader::parse(&header)?;
+    let len = header.len as usize;
+    if buf.len() < FRAME_HEADER_LEN + len {
+        return Ok(None);
+    }
+    Ok(Some((header.kind, FRAME_HEADER_LEN, len)))
+}
+
+/// Parses one frame from the front of `buf` **without copying**.
+///
+/// Returns `Ok(None)` when `buf` holds a valid but incomplete frame
+/// prefix (more bytes needed), or `Ok(Some((view, consumed)))` where
+/// `view.payload` borrows `buf` and `consumed` is the total frame size
+/// (header + payload). Header invariants (magic, version, length bound)
+/// are enforced exactly as in [`FrameHeader::parse`]; a four-byte magic
+/// mismatch is reported as soon as the mismatching byte arrives, even
+/// before a full header is buffered.
+///
+/// ```
+/// use splitbft_types::wire::{frame, parse_frame, FRAME_HEADER_LEN};
+///
+/// let bytes = frame(7, b"abc");
+/// let (view, consumed) = parse_frame(&bytes).unwrap().unwrap();
+/// assert_eq!((view.kind, view.payload), (7, &b"abc"[..]));
+/// assert_eq!(consumed, FRAME_HEADER_LEN + 3);
+/// assert_eq!(parse_frame(&bytes[..5]).unwrap(), None, "incomplete header");
+/// ```
+pub fn parse_frame(buf: &[u8]) -> Result<Option<(FrameView<'_>, usize)>, WireError> {
+    match frame_bounds(buf)? {
+        None => Ok(None),
+        Some((kind, off, len)) => {
+            Ok(Some((FrameView { kind, payload: &buf[off..off + len] }, off + len)))
+        }
+    }
+}
+
+/// An incremental frame reassembler for stream transports.
+///
+/// Bytes arrive in arbitrary chunks (nonblocking reads split frames at
+/// any boundary); the assembler buffers them and yields complete frames
+/// as **borrowed** [`FrameView`]s — no per-frame payload allocation.
+/// Consumed bytes are compacted away lazily, so steady-state reassembly
+/// reuses one buffer.
+///
+/// Two feeding styles:
+/// - [`FrameAssembler::extend`] copies a chunk in (tests, simple loops);
+/// - [`FrameAssembler::read_space`] + [`FrameAssembler::commit`] expose
+///   the buffer's writable tail so `Read::read` can fill it directly —
+///   the socket path copies each byte exactly once, kernel to buffer.
+///
+/// ```
+/// use splitbft_types::wire::{frame, FrameAssembler};
+///
+/// let bytes = [frame(1, b"first"), frame(2, b"second")].concat();
+/// let mut asm = FrameAssembler::new();
+/// // Feed in awkward pieces: mid-header, mid-payload.
+/// asm.extend(&bytes[..7]);
+/// assert!(asm.next_frame().unwrap().is_none());
+/// asm.extend(&bytes[7..20]);
+/// let first = asm.next_frame().unwrap().unwrap();
+/// assert_eq!((first.kind, first.payload), (1, &b"first"[..]));
+/// asm.extend(&bytes[20..]);
+/// let second = asm.next_frame().unwrap().unwrap();
+/// assert_eq!((second.kind, second.payload), (2, &b"second"[..]));
+/// assert!(asm.next_frame().unwrap().is_none());
+/// ```
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    /// Consumed prefix: bytes in `buf[..start]` belong to already-yielded
+    /// frames and are reclaimed on the next compaction.
+    start: usize,
+    /// Valid bytes end here; `buf[end..]` is writable spare capacity.
+    end: usize,
+}
+
+impl FrameAssembler {
+    /// An empty assembler.
+    pub fn new() -> Self {
+        FrameAssembler::default()
+    }
+
+    /// Bytes buffered but not yet yielded as frames.
+    pub fn pending(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Moves the unconsumed window to the buffer's front when the dead
+    /// prefix dominates, bounding memory at ~2× the largest frame.
+    fn compact(&mut self) {
+        if self.start == 0 {
+            return;
+        }
+        if self.start == self.end {
+            self.start = 0;
+            self.end = 0;
+        } else if self.start >= self.end - self.start || self.start >= 64 * 1024 {
+            self.buf.copy_within(self.start..self.end, 0);
+            self.end -= self.start;
+            self.start = 0;
+        }
+    }
+
+    /// Exposes at least `min` writable bytes at the buffer's tail for a
+    /// direct `read(2)`-style fill; follow with [`FrameAssembler::commit`]
+    /// to declare how many were actually written.
+    pub fn read_space(&mut self, min: usize) -> &mut [u8] {
+        self.compact();
+        let needed = self.end + min.max(1);
+        if self.buf.len() < needed {
+            self.buf.resize(needed, 0);
+        }
+        &mut self.buf[self.end..]
+    }
+
+    /// Declares that `n` bytes of the slice returned by the last
+    /// [`FrameAssembler::read_space`] call now hold stream data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the exposed space — that would claim
+    /// uninitialized bytes as stream content.
+    pub fn commit(&mut self, n: usize) {
+        assert!(self.end + n <= self.buf.len(), "commit past exposed read space");
+        self.end += n;
+    }
+
+    /// Appends a chunk (copying it once into the buffer).
+    pub fn extend(&mut self, bytes: &[u8]) {
+        let space = self.read_space(bytes.len().max(1));
+        space[..bytes.len()].copy_from_slice(bytes);
+        self.commit(bytes.len());
+    }
+
+    /// Yields the next complete frame as a borrowed view, or `Ok(None)`
+    /// until more bytes arrive. Errors are sticky in practice: a framing
+    /// error (bad magic, version, oversized length) means the stream is
+    /// unrecoverable and the connection should be dropped.
+    pub fn next_frame(&mut self) -> Result<Option<FrameView<'_>>, WireError> {
+        match frame_bounds(&self.buf[self.start..self.end])? {
+            None => Ok(None),
+            Some((kind, off, len)) => {
+                let payload_start = self.start + off;
+                self.start += off + len;
+                Ok(Some(FrameView { kind, payload: &self.buf[payload_start..payload_start + len] }))
+            }
+        }
+    }
+}
+
 /// Asserts that a value encodes and decodes back to itself. Used pervasively
 /// in unit tests across the workspace.
 ///
@@ -609,6 +792,92 @@ mod tests {
 
         let bomb = FrameHeader { kind: 1, len: u32::MAX };
         assert_eq!(FrameHeader::parse(&bomb.encode()), Err(WireError::FrameTooLarge(u32::MAX)));
+    }
+
+    #[test]
+    fn parse_frame_yields_borrowed_payloads() {
+        let bytes = frame(4, b"payload");
+        let (view, consumed) = parse_frame(&bytes).unwrap().unwrap();
+        assert_eq!(view.kind, 4);
+        assert_eq!(view.payload, b"payload");
+        assert_eq!(consumed, bytes.len());
+        // The payload really borrows the input buffer (no copy).
+        assert_eq!(view.payload.as_ptr(), bytes[FRAME_HEADER_LEN..].as_ptr());
+    }
+
+    #[test]
+    fn parse_frame_reports_incomplete_prefixes_as_none() {
+        let bytes = frame(9, &[0xAB; 100]);
+        for cut in 0..bytes.len() {
+            assert_eq!(parse_frame(&bytes[..cut]).unwrap(), None, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn parse_frame_rejects_garbage_before_full_header() {
+        // One wrong byte in the magic is enough — no need to wait for the
+        // remaining 9 header bytes.
+        assert!(matches!(parse_frame(b"X"), Err(WireError::BadMagic(_))));
+        assert!(matches!(parse_frame(b"SBFX"), Err(WireError::BadMagic(_))));
+        let mut wrong_version = frame(0, b"");
+        wrong_version[4] = WIRE_VERSION + 1;
+        assert!(matches!(
+            parse_frame(&wrong_version),
+            Err(WireError::VersionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn assembler_reassembles_across_arbitrary_splits() {
+        let stream = [frame(1, b"alpha"), frame(2, b""), frame(3, &[7u8; 300])].concat();
+        // Feed one byte at a time — the worst split pattern.
+        let mut asm = FrameAssembler::new();
+        let mut got = Vec::new();
+        for byte in &stream {
+            asm.extend(std::slice::from_ref(byte));
+            while let Some(view) = asm.next_frame().unwrap() {
+                got.push((view.kind, view.payload.to_vec()));
+            }
+        }
+        assert_eq!(
+            got,
+            vec![(1, b"alpha".to_vec()), (2, Vec::new()), (3, vec![7u8; 300])]
+        );
+        assert_eq!(asm.pending(), 0);
+    }
+
+    #[test]
+    fn assembler_read_space_commit_matches_extend() {
+        let stream = [frame(5, b"direct"), frame(6, b"fill")].concat();
+        let mut asm = FrameAssembler::new();
+        // Simulate a socket read landing directly in the buffer.
+        let space = asm.read_space(stream.len());
+        space[..stream.len()].copy_from_slice(&stream);
+        asm.commit(stream.len());
+        let first = asm.next_frame().unwrap().unwrap();
+        assert_eq!((first.kind, first.payload), (5, &b"direct"[..]));
+        let second = asm.next_frame().unwrap().unwrap();
+        assert_eq!((second.kind, second.payload), (6, &b"fill"[..]));
+    }
+
+    #[test]
+    #[should_panic(expected = "commit past exposed read space")]
+    fn assembler_commit_past_space_panics() {
+        let mut asm = FrameAssembler::new();
+        asm.read_space(4);
+        asm.commit(usize::MAX);
+    }
+
+    #[test]
+    fn assembler_compacts_consumed_prefixes() {
+        let mut asm = FrameAssembler::new();
+        for round in 0..1_000 {
+            asm.extend(&frame(1, &[round as u8; 64]));
+            assert!(asm.next_frame().unwrap().is_some());
+        }
+        // 1000 × 74-byte frames passed through; the buffer must not have
+        // grown anywhere near the total volume.
+        assert!(asm.buf.len() < 16 * 1024, "buffer grew to {}", asm.buf.len());
     }
 
     #[test]

@@ -9,8 +9,8 @@
 
 use proptest::prelude::*;
 use splitbft_types::wire::{
-    decode, encode, frame, FrameHeader, WireError, FRAME_HEADER_LEN, FRAME_MAGIC, MAX_FRAME_LEN,
-    WIRE_VERSION,
+    decode, encode, frame, parse_frame, FrameAssembler, FrameHeader, WireError, FRAME_HEADER_LEN,
+    FRAME_MAGIC, MAX_FRAME_LEN, WIRE_VERSION,
 };
 use splitbft_types::ConsensusMessage;
 
@@ -120,5 +120,120 @@ proptest! {
         if header[..4] != FRAME_MAGIC {
             prop_assert!(FrameHeader::parse(&header).is_err());
         }
+    }
+
+    // --- zero-copy reassembly (the evented read path) -----------------
+
+    // A frame stream chopped at *random* byte boundaries — mid-magic,
+    // mid-length, mid-payload — reassembles into exactly the sent
+    // (kind, payload) sequence, whatever the chunking. Chunks are fed
+    // through `read_space`/`commit`, the same fill style the evented
+    // socket loop uses.
+    #[test]
+    fn split_read_reassembly_is_boundary_invariant(
+        frames in collection::vec(
+            (any::<u8>(), collection::vec(any::<u8>(), 0..96)),
+            1..12,
+        ),
+        cuts in collection::vec(1usize..32, 1..64),
+    ) {
+        let stream: Vec<u8> = frames
+            .iter()
+            .flat_map(|(kind, payload)| frame(*kind, payload))
+            .collect();
+
+        let mut asm = FrameAssembler::new();
+        let mut got: Vec<(u8, Vec<u8>)> = Vec::new();
+        let mut pos = 0usize;
+        let mut cut = cuts.iter().cycle();
+        while pos < stream.len() {
+            let take = (*cut.next().unwrap()).min(stream.len() - pos);
+            let space = asm.read_space(take);
+            space[..take].copy_from_slice(&stream[pos..pos + take]);
+            asm.commit(take);
+            pos += take;
+            while let Some(view) = asm.next_frame().expect("clean stream") {
+                got.push((view.kind, view.payload.to_vec()));
+            }
+        }
+        prop_assert_eq!(got, frames);
+        prop_assert_eq!(asm.pending(), 0, "no stray bytes after the last frame");
+    }
+
+    // The borrowed decode paths agree byte-for-byte with the owned one:
+    // `parse_frame`'s view, the assembler's view, and the payload
+    // region of the encoded frame are all identical, and a structured
+    // decode from the borrowed slice equals a decode from an owned copy.
+    #[test]
+    fn borrowed_decode_agrees_with_owned_decode(
+        kind in any::<u8>(),
+        value in collection::vec(any::<u64>(), 0..64),
+    ) {
+        let payload = encode(&value);
+        let framed = frame(kind, &payload);
+
+        let (view, consumed) = parse_frame(&framed).expect("own frame").expect("complete");
+        prop_assert_eq!(consumed, framed.len());
+        prop_assert_eq!(view.kind, kind);
+        prop_assert_eq!(view.payload, &payload[..]);
+        prop_assert_eq!(view.payload, &framed[FRAME_HEADER_LEN..]);
+
+        let mut asm = FrameAssembler::new();
+        asm.extend(&framed);
+        let assembled = asm.next_frame().expect("clean").expect("complete");
+        prop_assert_eq!(assembled.kind, kind);
+        prop_assert_eq!(assembled.payload, &payload[..]);
+
+        let borrowed: Vec<u64> = decode(assembled.payload).expect("borrowed decode");
+        let owned: Vec<u64> = decode(&assembled.payload.to_vec()).expect("owned decode");
+        prop_assert_eq!(&borrowed, &owned);
+        prop_assert_eq!(borrowed, value);
+    }
+
+    // Garbage streams fed in random chunks never panic the assembler:
+    // every prefix either yields frames, wants more bytes, or errors —
+    // and a framing error surfaces no later than the first full header.
+    #[test]
+    fn garbage_streams_never_panic_the_assembler(
+        garbage in collection::vec(any::<u8>(), 0..2048),
+        cuts in collection::vec(1usize..64, 1..32),
+    ) {
+        let mut asm = FrameAssembler::new();
+        let mut pos = 0usize;
+        let mut cut = cuts.iter().cycle();
+        let mut failed = false;
+        while pos < garbage.len() && !failed {
+            let take = (*cut.next().unwrap()).min(garbage.len() - pos);
+            asm.extend(&garbage[pos..pos + take]);
+            pos += take;
+            loop {
+                match asm.next_frame() {
+                    Ok(Some(_)) => continue,
+                    Ok(None) => break,
+                    Err(_) => {
+                        // The stream is condemned; a real connection
+                        // drops here.
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if !failed && garbage.len() >= FRAME_HEADER_LEN && garbage[..4] != FRAME_MAGIC {
+            prop_assert!(false, "a non-SBFT preamble must condemn the stream");
+        }
+    }
+
+    // A length bomb — a valid-looking header promising more than
+    // MAX_FRAME_LEN — is rejected as soon as the header is complete,
+    // before any payload arrives, and without growing the buffer toward
+    // the advertised length.
+    #[test]
+    fn length_bombs_rejected_at_the_header(excess in 1u32..100_000) {
+        let len = MAX_FRAME_LEN + excess;
+        let header = FrameHeader { kind: 3, len }.encode();
+        let mut asm = FrameAssembler::new();
+        asm.extend(&header);
+        prop_assert_eq!(asm.next_frame(), Err(WireError::FrameTooLarge(len)));
     }
 }
