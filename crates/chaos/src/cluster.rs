@@ -3,16 +3,19 @@
 //! Every replica is a real `splitbft-node serve` **subprocess** (the
 //! same binary the operator deploys) with a per-replica data directory
 //! and its stderr captured to a log file — `SIGKILL` means exactly what
-//! it means in production, and the recovery markers the runtime prints
-//! (`state-transfer: …`) survive the process to be parsed as rejoin
-//! evidence.
+//! it means in production. Rejoin evidence comes from each replica's
+//! structured event journal, polled over the `STATUS` frame kind on
+//! the client port ([`RejoinEvidence::from_events`]); the stderr logs
+//! remain for human post-mortems only.
 
 use splitbft_net::backend::TransportKind;
-use std::fs::{File, OpenOptions};
-use std::io::{self, Read, Seek, SeekFrom};
+use splitbft_types::StatusEvent;
+use std::fs::OpenOptions;
+use std::io;
 use std::net::{SocketAddr, TcpListener};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
 
 /// Everything needed to spawn one replica of the cluster.
 #[derive(Debug, Clone)]
@@ -158,6 +161,9 @@ impl ChaosCluster {
                 // FAULT_CONTROL frames (partitions, link rules); the
                 // serve default refuses them.
                 "--enable-fault-injection",
+                // And its STATUS admin verbs (graceful drain), gated
+                // the same way.
+                "--enable-status-admin",
             ])
             .stdout(Stdio::null())
             .stderr(Stdio::from(log))
@@ -180,6 +186,57 @@ impl ChaosCluster {
         if let Some(mut child) = self.children[id].take() {
             let _ = child.kill();
             let _ = child.wait();
+        }
+    }
+
+    /// Gracefully drains replica `id`: sends `SIGTERM` (via `kill(1)` —
+    /// the orchestrator crate forbids unsafe code, so no raw syscall)
+    /// and waits for the process to seal its checkpoint, flush its WAL,
+    /// and exit 0 within `timeout`.
+    ///
+    /// # Errors
+    ///
+    /// The replica not running, the signal failing to send, a nonzero
+    /// exit status, or the deadline passing (the victim is `SIGKILL`ed
+    /// then, so the cluster is never left with a zombie drainer).
+    pub fn drain(&mut self, id: usize, timeout: Duration) -> io::Result<()> {
+        let Some(child) = self.children[id].as_mut() else {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("replica {id} is not running"),
+            ));
+        };
+        let pid = child.id();
+        let sent = Command::new("kill").args(["-TERM", &pid.to_string()]).status()?;
+        if !sent.success() {
+            return Err(io::Error::new(
+                io::ErrorKind::Other,
+                format!("kill -TERM {pid} exited with {sent}"),
+            ));
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            match child.try_wait()? {
+                Some(status) if status.success() => {
+                    self.children[id] = None;
+                    return Ok(());
+                }
+                Some(status) => {
+                    self.children[id] = None;
+                    return Err(io::Error::new(
+                        io::ErrorKind::Other,
+                        format!("replica {id} exited with {status} instead of draining cleanly"),
+                    ));
+                }
+                None if Instant::now() >= deadline => {
+                    self.kill(id);
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        format!("replica {id} did not finish draining within {timeout:?}"),
+                    ));
+                }
+                None => std::thread::sleep(Duration::from_millis(50)),
+            }
         }
     }
 
@@ -213,76 +270,103 @@ fn non_utf8() -> io::Error {
     io::Error::new(io::ErrorKind::InvalidInput, "non-UTF-8 path")
 }
 
-/// A cursor over one replica's stderr log, yielding only the bytes
-/// appended since the last read — phase-scoped evidence scanning.
+/// A cursor over one replica's `STATUS` event journal, yielding only
+/// events recorded since the last read — phase-scoped evidence
+/// scanning, replacing the old stderr-log cursor.
+///
+/// Restart-aware: a respawned victim comes back with a fresh journal
+/// whose head restarts from zero. The orchestrator calls
+/// [`EventCursor::rewind`] when it respawns the victim (so the new
+/// incarnation's whole journal — `Recovered`, `CheckpointRestored`,
+/// `StateTransferApplied` — counts as phase evidence), and
+/// [`EventCursor::read_new`] additionally detects a head below the
+/// cursor and re-reads from the journal's start as a safety net.
 #[derive(Debug)]
-pub struct LogCursor {
-    path: PathBuf,
-    offset: u64,
+pub struct EventCursor {
+    addr: SocketAddr,
+    since: u64,
 }
 
-impl LogCursor {
-    /// A cursor starting at the log's current end (earlier incarnations'
-    /// output is skipped).
-    pub fn at_end(path: PathBuf) -> Self {
-        let offset = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
-        LogCursor { path, offset }
+impl EventCursor {
+    /// A cursor starting at the journal's current head (events from
+    /// before this phase are skipped). An unreachable replica — not
+    /// started yet, mid-crash — yields a cursor at zero, so its next
+    /// incarnation's whole journal counts.
+    pub fn at_head(addr: SocketAddr) -> Self {
+        let since = splitbft_net::status::fetch_snapshot(addr)
+            .map(|s| s.journal_head)
+            .unwrap_or(0);
+        EventCursor { addr, since }
     }
 
-    /// A cursor reading from the beginning.
-    pub fn from_start(path: PathBuf) -> Self {
-        LogCursor { path, offset: 0 }
+    /// Resets the cursor to the journal's start — called when the
+    /// replica is respawned, so the fresh incarnation's recovery events
+    /// are all captured.
+    pub fn rewind(&mut self) {
+        self.since = 0;
     }
 
-    /// Everything appended since the previous call (lossy UTF-8).
-    pub fn read_new(&mut self) -> String {
-        let Ok(mut file) = File::open(&self.path) else { return String::new() };
-        if file.seek(SeekFrom::Start(self.offset)).is_err() {
-            return String::new();
-        }
-        let mut bytes = Vec::new();
-        if file.read_to_end(&mut bytes).is_err() {
-            return String::new();
-        }
-        self.offset += bytes.len() as u64;
-        String::from_utf8_lossy(&bytes).into_owned()
+    /// Every event recorded since the previous call. Transient fetch
+    /// errors (the replica is down or mid-restart) yield no events and
+    /// leave the cursor unchanged for a later retry.
+    pub fn read_new(&mut self) -> Vec<StatusEvent> {
+        let (head, events) = match splitbft_net::status::fetch_events(self.addr, self.since) {
+            Ok((head, _)) if head < self.since => {
+                // The journal restarted under us (a respawn the
+                // orchestrator didn't announce): re-read it in full.
+                self.since = 0;
+                match splitbft_net::status::fetch_events(self.addr, 0) {
+                    Ok(r) => r,
+                    Err(_) => return Vec::new(),
+                }
+            }
+            Ok(r) => r,
+            Err(_) => return Vec::new(),
+        };
+        self.since = head;
+        events.into_iter().map(|(_, event)| event).collect()
     }
 }
 
-/// Rejoin evidence distilled from a replica's stderr markers.
+/// Rejoin evidence distilled from a replica's structured event journal
+/// (served over `STATUS` on the client port).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RejoinEvidence {
     /// Total messages fed through the state-transfer log-suffix path
-    /// (`state-transfer: … applied N suffix message(s) …`). Each is
-    /// re-verified by the protocol, so this counts what was *offered*.
+    /// ([`StatusEvent::StateTransferApplied`]). Each is re-verified by
+    /// the protocol, so this counts what was *offered*.
     pub suffix_messages_applied: u64,
     /// Execution progress the suffix applications actually bought (the
-    /// `(progress B -> A)` deltas summed) — the honest proof of a
-    /// log-path rejoin, since offered messages can be rejected.
+    /// events' `from_progress → to_progress` deltas summed) — the
+    /// honest proof of a log-path rejoin, since offered messages can be
+    /// rejected.
     pub suffix_progress: u64,
-    /// A peer checkpoint was restored (`state-transfer: … restored
-    /// checkpoint …`).
+    /// A peer (or local) checkpoint was restored
+    /// ([`StatusEvent::CheckpointRestored`]).
     pub checkpoint_restored: bool,
-    /// WAL events replayed by local crash recovery (`replica N:
-    /// recovered …, replayed N WAL events`).
+    /// WAL events replayed by local crash recovery
+    /// ([`StatusEvent::Recovered`]).
     pub wal_events_replayed: u64,
 }
 
 impl RejoinEvidence {
-    /// Parses the marker lines out of a log excerpt. Unknown lines are
-    /// ignored — the log also carries ordinary diagnostics.
-    pub fn parse(log: &str) -> Self {
+    /// Distills journal events (as `(index, event)` pairs from a
+    /// `STATUS` events query) into rejoin evidence. Events that carry
+    /// no recovery story (view changes, checkpoint seals, fault-plan
+    /// mutations, drains) are ignored.
+    pub fn from_events<'a>(events: impl IntoIterator<Item = &'a StatusEvent>) -> Self {
         let mut evidence = RejoinEvidence::default();
-        for line in log.lines() {
-            if let Some(rest) = line.strip_prefix("state-transfer: ") {
-                if rest.contains("restored checkpoint") {
-                    evidence.checkpoint_restored = true;
-                } else if let Some(n) = number_before(rest, " suffix message") {
-                    evidence.suffix_messages_applied += n;
-                    evidence.suffix_progress += progress_delta(rest).unwrap_or(0);
+        for event in events {
+            match event {
+                StatusEvent::StateTransferApplied { messages, from_progress, to_progress } => {
+                    evidence.suffix_messages_applied += messages;
+                    evidence.suffix_progress += to_progress.saturating_sub(*from_progress);
                 }
-            } else if let Some(n) = number_before(line, " WAL events") {
-                evidence.wal_events_replayed += n;
+                StatusEvent::CheckpointRestored { .. } => evidence.checkpoint_restored = true,
+                StatusEvent::Recovered { replayed_events, .. } => {
+                    evidence.wal_events_replayed += replayed_events;
+                }
+                _ => {}
             }
         }
         evidence
@@ -297,74 +381,54 @@ impl RejoinEvidence {
     }
 }
 
-/// The execution-progress delta from a suffix marker's trailing
-/// `(progress B -> A)`, saturating at zero.
-fn progress_delta(line: &str) -> Option<u64> {
-    let rest = &line[line.find("(progress ")? + "(progress ".len()..];
-    let (before, rest) = rest.split_once(" -> ")?;
-    let after = rest.split(')').next()?;
-    Some(after.trim().parse::<u64>().ok()?.saturating_sub(before.trim().parse().ok()?))
-}
-
-/// The integer immediately preceding `marker` in `line`, if any —
-/// `"applied 12 suffix message(s)"` → `12` for marker
-/// `" suffix message"`.
-fn number_before(line: &str, marker: &str) -> Option<u64> {
-    let end = line.find(marker)?;
-    let head = &line[..end];
-    let digits: String =
-        head.chars().rev().take_while(char::is_ascii_digit).collect::<Vec<_>>().into_iter().rev().collect();
-    digits.parse().ok()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn evidence_parses_the_runtime_markers() {
-        let log = "\
-replica 3: recovered checkpoint Some(40), replayed 7 WAL events
-state-transfer: replica 3 applied 12 suffix message(s) from replica 0 (progress 40 -> 43)
-state-transfer: replica 3 applied 3 suffix message(s) from replica 1 (progress 43 -> 43)
-state-transfer: replica 3 restored checkpoint seq=40 from 2 agreeing peer(s)
-replica 3 serving splitbft on 127.0.0.1:7103 (4 replicas, app Counter)
-";
-        let evidence = RejoinEvidence::parse(log);
+    fn evidence_distills_the_journal_events() {
+        let events = vec![
+            StatusEvent::Recovered { replayed_events: 7, checkpoint_seq: 40 },
+            StatusEvent::StateTransferApplied { messages: 12, from_progress: 40, to_progress: 43 },
+            StatusEvent::StateTransferApplied { messages: 3, from_progress: 43, to_progress: 43 },
+            StatusEvent::CheckpointRestored { seq: 40, agreeing_peers: 2 },
+            StatusEvent::ViewChange { view: 1 },
+        ];
+        let evidence = RejoinEvidence::from_events(&events);
         assert_eq!(evidence.suffix_messages_applied, 15);
         assert_eq!(evidence.suffix_progress, 3, "only real execution progress counts");
         assert!(evidence.checkpoint_restored);
         assert_eq!(evidence.wal_events_replayed, 7);
-
-        // Lines without the delta (older format / truncated) still
-        // count their messages, contributing zero progress.
-        let bare =
-            RejoinEvidence::parse("state-transfer: replica 1 applied 5 suffix message(s) from replica 0\n");
-        assert_eq!(bare.suffix_messages_applied, 5);
-        assert_eq!(bare.suffix_progress, 0);
     }
 
     #[test]
-    fn evidence_ignores_unrelated_noise() {
-        let evidence = RejoinEvidence::parse("error: something unrelated\nsuffix message\n");
-        assert_eq!(evidence, RejoinEvidence::default());
+    fn evidence_ignores_non_recovery_events() {
+        let events = vec![
+            StatusEvent::ViewChange { view: 2 },
+            StatusEvent::CheckpointSealed { seq: 20 },
+            StatusEvent::FaultPlanApplied,
+            StatusEvent::DrainRequested,
+        ];
+        assert_eq!(RejoinEvidence::from_events(&events), RejoinEvidence::default());
     }
 
     #[test]
-    fn log_cursor_yields_only_new_bytes() {
-        let dir = std::env::temp_dir().join(format!("splitbft-chaos-cursor-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("log");
-        std::fs::write(&path, "first\n").unwrap();
-        let mut cursor = LogCursor::from_start(path.clone());
-        assert_eq!(cursor.read_new(), "first\n");
-        assert_eq!(cursor.read_new(), "");
-        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
-        use std::io::Write as _;
-        file.write_all(b"second\n").unwrap();
-        drop(file);
-        assert_eq!(cursor.read_new(), "second\n");
-        let _ = std::fs::remove_dir_all(dir);
+    fn evidence_merges_across_excerpts() {
+        let mut a = RejoinEvidence {
+            suffix_messages_applied: 2,
+            suffix_progress: 1,
+            checkpoint_restored: false,
+            wal_events_replayed: 3,
+        };
+        a.merge(RejoinEvidence {
+            suffix_messages_applied: 4,
+            suffix_progress: 2,
+            checkpoint_restored: true,
+            wal_events_replayed: 0,
+        });
+        assert_eq!(a.suffix_messages_applied, 6);
+        assert_eq!(a.suffix_progress, 3);
+        assert!(a.checkpoint_restored);
+        assert_eq!(a.wal_events_replayed, 3);
     }
 }

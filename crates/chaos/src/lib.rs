@@ -12,9 +12,12 @@
 //! asserts the recovery story end to end:
 //!
 //! 1. **commits advance** — a quorum counter read strictly increased;
-//! 2. **the victim rejoins** — it executes a *fresh* request itself;
-//! 3. **how it rejoined is observable** — the runtime's
-//!    `state-transfer:` stderr markers are parsed into
+//! 2. **the victim rejoins** — its `STATUS` snapshot reports recovery
+//!    finished and execution progress caught up to the live peers'
+//!    frontier ([`probe::await_rejoin_via_status`]);
+//! 3. **how it rejoined is observable** — the victim's structured
+//!    event journal, polled over `STATUS` with a phase-scoped
+//!    [`cluster::EventCursor`], is distilled into
 //!    [`cluster::RejoinEvidence`], distinguishing the log-suffix path
 //!    from a checkpoint restore from pure WAL replay.
 //!
@@ -35,7 +38,7 @@ pub mod probe;
 pub mod report;
 pub mod schedule;
 
-pub use cluster::{ChaosCluster, ClusterSpec, LogCursor, RejoinEvidence};
+pub use cluster::{ChaosCluster, ClusterSpec, EventCursor, RejoinEvidence};
 pub use error::ChaosError;
 pub use report::{ChaosReport, GroupCommitDelta, GroupCommitSample, PhaseOutcome};
 pub use schedule::{FaultStep, Phase, Schedule};
@@ -350,9 +353,9 @@ pub fn run_scenario(config: &ChaosConfig, schedule: &Schedule) -> Result<ChaosRe
     let mut failure: Option<String> = None;
 
     'phases: for phase in &schedule.phases {
-        let mut log_cursor = phase
+        let mut event_cursor = phase
             .victim
-            .map(|v| LogCursor::at_end(cluster.log_path(v)));
+            .map(|v| EventCursor::at_head(cluster.addrs[v]));
         let commits_before = if live.iter().filter(|l| **l).count() >= quorum_live {
             probe::read_counter(
                 &cluster.addrs,
@@ -373,10 +376,26 @@ pub fn run_scenario(config: &ChaosConfig, schedule: &Schedule) -> Result<ChaosRe
                     cluster.kill(*replica);
                     live[*replica] = false;
                 }
+                FaultStep::Drain(replica) => {
+                    if let Err(e) = cluster.drain(*replica, config.rejoin_timeout) {
+                        failure = Some(format!(
+                            "{}: draining replica {replica} failed: {e}",
+                            phase.name
+                        ));
+                        break 'phases;
+                    }
+                    live[*replica] = false;
+                }
                 FaultStep::Start(replica) => {
                     live[*replica] = true;
-                    // A victim's fresh incarnation starts logging now;
-                    // scan from here so evidence is phase-scoped.
+                    // A victim's fresh incarnation starts a fresh event
+                    // journal; rewind so its recovery events all count
+                    // as this phase's evidence.
+                    if phase.victim == Some(*replica) {
+                        if let Some(cursor) = event_cursor.as_mut() {
+                            cursor.rewind();
+                        }
+                    }
                     if let Err(e) = cluster.start(*replica) {
                         failure = Some(format!(
                             "{}: starting replica {replica} failed: {e}",
@@ -414,11 +433,13 @@ pub fn run_scenario(config: &ChaosConfig, schedule: &Schedule) -> Result<ChaosRe
                     }
                 }
                 FaultStep::AwaitRejoin(replica) => {
-                    let ok = probe::await_executed_by(
+                    // STATUS-based with an explicit deadline: a direct
+                    // read of the victim's own recovery flag and
+                    // progress gauge, immune to the reply races the old
+                    // fresh-request probe could lose on loaded machines.
+                    let ok = probe::await_rejoin_via_status(
                         &cluster.addrs,
-                        config.seed,
-                        ReplicaId(*replica as u32),
-                        next_probe(),
+                        *replica,
                         config.rejoin_timeout,
                     );
                     rejoined = Some(rejoined.unwrap_or(true) && ok);
@@ -534,9 +555,9 @@ pub fn run_scenario(config: &ChaosConfig, schedule: &Schedule) -> Result<ChaosRe
         };
         let advanced = matches!((commits_before, commits_after), (Some(b), Some(a)) if a > b)
             || (commits_before.is_none() && commits_after.is_some());
-        let evidence = log_cursor
+        let evidence = event_cursor
             .as_mut()
-            .map(|c| RejoinEvidence::parse(&c.read_new()))
+            .map(|c| RejoinEvidence::from_events(&c.read_new()))
             .unwrap_or_default();
 
         let outcome = PhaseOutcome {

@@ -132,6 +132,47 @@ pub fn await_executed_by(
     rejoined
 }
 
+/// How far a victim's execution progress may trail the most advanced
+/// live peer and still count as rejoined — the same watermark the
+/// `/readyz` endpoint uses, so "the chaos run calls it rejoined" and
+/// "the node calls itself ready" agree.
+pub const REJOIN_PROGRESS_GAP: u64 = 128;
+
+/// Waits until replica `victim`'s `STATUS` snapshot proves it rejoined:
+/// it answers on its client port, reports recovery finished, has
+/// executed something, and its progress is within
+/// [`REJOIN_PROGRESS_GAP`] of the most advanced peer. Polls every
+/// 250 ms against an explicit deadline; returns `false` on timeout.
+///
+/// This replaces the old reply-race probe (issue a fresh request, wait
+/// for a reply carrying the victim's id) whose round could time out on
+/// a loaded machine even after the victim had fully caught up — the
+/// snapshot is a direct read of the victim's own gauges, so there is
+/// no race to lose.
+pub fn await_rejoin_via_status(addrs: &[SocketAddr], victim: usize, deadline: Duration) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if let Ok(snapshot) = splitbft_net::status::fetch_snapshot(addrs[victim]) {
+            let peer_frontier = addrs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != victim)
+                .filter_map(|(_, addr)| splitbft_net::status::fetch_snapshot(*addr).ok())
+                .map(|s| s.progress)
+                .max()
+                .unwrap_or(0);
+            if !snapshot.recovering
+                && snapshot.progress > 0
+                && snapshot.progress + REJOIN_PROGRESS_GAP >= peer_frontier
+            {
+                return true;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(250));
+    }
+    false
+}
+
 /// Base client id for the safety-monitor clients — distinct from the
 /// probe client band (64+) and the load-generator band (1000+) so
 /// their request streams never collide.

@@ -34,7 +34,10 @@
 //!   inversion without a view change;
 //! - [`duplicate_storm`] — deliver half the primary's frames to two
 //!   backups twice (and one backup's frames to the primary); every
-//!   handler must be idempotent under replayed traffic.
+//!   handler must be idempotent under replayed traffic;
+//! - [`drain_restart`] — gracefully drain (`SIGTERM`) + restart every
+//!   replica in sequence; each victim must seal a checkpoint, flush its
+//!   WAL, exit 0, and rejoin with zero lost committed requests.
 //!
 //! The last three degrade links with [`FaultStep::DegradeLink`] — the
 //! same live `FAULT_CONTROL` plane the partitions ride, but exercising
@@ -47,6 +50,14 @@ use std::time::Duration;
 pub enum FaultStep {
     /// `SIGKILL` the replica's process — no flush, no goodbye.
     Kill(usize),
+    /// `SIGTERM` the replica and wait for a *graceful* exit: it stops
+    /// admitting client requests, finishes in-flight batches, seals a
+    /// checkpoint, flushes its WAL, and exits 0. The opposite drill to
+    /// [`FaultStep::Kill`] — an upgrade, not a crash — and the safety
+    /// monitor's commit log doubles as the zero-lost-commits assertion
+    /// (a post-drain rollback would re-issue counter values and
+    /// register as a fork).
+    Drain(usize),
     /// (Re)start the replica's process from its data directory.
     Start(usize),
     /// Wait for the replica to execute a *fresh* request (observed by a
@@ -153,6 +164,7 @@ impl Schedule {
             "lossy-link" => Ok(lossy_link(n)),
             "reorder-under-load" => Ok(reorder_under_load(n)),
             "duplicate-storm" => Ok(duplicate_storm(n)),
+            "drain-restart" => Ok(drain_restart(n)),
             other => Err(format!(
                 "unknown scenario {other:?} (expected one of: {})",
                 Schedule::NAMES.join(", ")
@@ -173,6 +185,7 @@ impl Schedule {
         "lossy-link",
         "reorder-under-load",
         "duplicate-storm",
+        "drain-restart",
     ];
 }
 
@@ -282,6 +295,31 @@ pub fn staggered_start(n: usize) -> Schedule {
         expect_advance: true,
     });
     Schedule { scenario: "staggered-start".into(), start_all: false, byzantine: Vec::new(), phases }
+}
+
+/// Gracefully drain + restart every replica in id order — the
+/// "upgrade the fleet without losing a commit" drill. Each phase
+/// `SIGTERM`s its victim (which must seal a checkpoint, flush its WAL,
+/// and exit 0), lets the survivors commit through the gap, restarts the
+/// victim from its drained data directory, and awaits a full rejoin.
+/// The safety monitor's commit log asserts zero lost committed
+/// requests across every drain: a rollback would re-issue counter
+/// values and register as a fork.
+pub fn drain_restart(n: usize) -> Schedule {
+    let phases = (0..n)
+        .map(|replica| Phase {
+            name: format!("drain-replica-{replica}"),
+            victim: Some(replica),
+            steps: vec![
+                FaultStep::Drain(replica),
+                FaultStep::AwaitCommits(KILL_GAP_COMMITS),
+                FaultStep::Start(replica),
+                FaultStep::AwaitRejoin(replica),
+            ],
+            expect_advance: true,
+        })
+        .collect();
+    Schedule { scenario: "drain-restart".into(), start_all: true, byzantine: Vec::new(), phases }
 }
 
 /// The settle window for partition scenarios: generous multiples of the
@@ -620,6 +658,24 @@ mod tests {
             matches!(s, FaultStep::DegradeLink { from: 0, .. } | FaultStep::DegradeLink { to: 0, .. })
         });
         assert!(touches_primary, "duplicate-storm must replay primary traffic");
+    }
+
+    #[test]
+    fn drain_restart_drains_every_replica_gracefully() {
+        let schedule = drain_restart(4);
+        assert!(schedule.start_all);
+        assert_eq!(schedule.phases.len(), 4);
+        for (i, phase) in schedule.phases.iter().enumerate() {
+            assert_eq!(phase.victim, Some(i));
+            assert!(phase.steps.contains(&FaultStep::Drain(i)));
+            assert!(
+                !phase.steps.contains(&FaultStep::Kill(i)),
+                "a drain drill must never SIGKILL its victim"
+            );
+            assert!(phase.steps.contains(&FaultStep::Start(i)));
+            assert!(phase.steps.contains(&FaultStep::AwaitRejoin(i)));
+            assert!(phase.expect_advance);
+        }
     }
 
     #[test]

@@ -52,6 +52,12 @@ impl<A: Application + 'static> Protocol for SplitBftReplica<A> {
         SplitBftReplica::has_pending_requests(self)
     }
 
+    fn current_view(&self) -> u64 {
+        // The preparation compartment leads view changes; the other two
+        // follow, so its view is the replica's externally visible one.
+        self.views().0 .0
+    }
+
     fn drain_durable_events(&mut self) -> Vec<DurableEvent> {
         self.enable_durable_events();
         SplitBftReplica::drain_durable_events(self)

@@ -100,6 +100,44 @@ impl ShardingSummary {
     }
 }
 
+/// The cluster's final telemetry snapshot, summed across replicas
+/// (only measurable for self-orchestrated clusters, whose in-process
+/// nodes expose their metrics registries). Attached as the report's
+/// `metrics` section so a `BENCH_*.json` is self-contained: the
+/// observability story of the run travels with its numbers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSummary {
+    /// Total WAL fsyncs across every replica (`0` without a data dir).
+    pub fsyncs: u64,
+    /// Evented-backend outbound-ring refusals across every replica
+    /// (`0` on the blocking backend, which blocks instead of refusing).
+    pub ring_refusals: u64,
+    /// Peer reconnect attempts across every replica.
+    pub reconnects: u64,
+    /// Largest per-node inbound queue depth observed (max across
+    /// replicas, not a sum — depths don't add meaningfully).
+    pub queue_depth_high_water: u64,
+    /// Bytes received from peers across every replica.
+    pub bytes_in: u64,
+    /// Bytes sent to peers across every replica.
+    pub bytes_out: u64,
+}
+
+impl MetricsSummary {
+    /// The section as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"fsyncs": {}, "ring_refusals": {}, "reconnects": {}, "queue_depth_high_water": {}, "bytes_in": {}, "bytes_out": {}}}"#,
+            self.fsyncs,
+            self.ring_refusals,
+            self.reconnects,
+            self.queue_depth_high_water,
+            self.bytes_in,
+            self.bytes_out,
+        )
+    }
+}
+
 /// One complete measurement: configuration, counts, latency
 /// percentiles, and the per-window throughput series.
 #[derive(Debug, Clone)]
@@ -151,6 +189,10 @@ pub struct BenchReport {
     /// (the key is omitted from the JSON otherwise, keeping
     /// single-shard reports byte-identical to the pre-sharding schema).
     pub sharding: Option<ShardingSummary>,
+    /// Final node-telemetry snapshot, attached to self-orchestrated
+    /// runs (the key is omitted from the JSON otherwise — same
+    /// byte-compatibility rule as `sharding`).
+    pub metrics: Option<MetricsSummary>,
 }
 
 impl BenchReport {
@@ -203,6 +245,7 @@ impl BenchReport {
             window_counts: stats.windows.counts().to_vec(),
             durability: None,
             sharding: None,
+            metrics: None,
         }
     }
 
@@ -217,6 +260,13 @@ impl BenchReport {
     #[must_use]
     pub fn with_sharding(mut self, sharding: ShardingSummary) -> Self {
         self.sharding = Some(sharding);
+        self
+    }
+
+    /// Attaches the final node-telemetry snapshot (builder style).
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: MetricsSummary) -> Self {
+        self.metrics = Some(metrics);
         self
     }
 
@@ -258,6 +308,10 @@ impl BenchReport {
             None => String::new(),
             Some(s) => format!("  \"sharding\": {},\n", s.to_json()),
         };
+        let metrics = match &self.metrics {
+            None => String::new(),
+            Some(m) => format!("  \"metrics\": {},\n", m.to_json()),
+        };
         format!(
             concat!(
                 "{{\n",
@@ -278,6 +332,7 @@ impl BenchReport {
                 "  \"committed\": {committed},\n",
                 "  \"durability\": {durability},\n",
                 "{sharding}",
+                "{metrics}",
                 "  \"throughput_rps\": {throughput:.3},\n",
                 "  \"latency_us\": {{\"p50\": {p50}, \"p95\": {p95}, \"p99\": {p99}, \"max\": {max}, \"mean\": {mean:.1}}},\n",
                 "  \"window_secs\": {window_secs:.3},\n",
@@ -305,6 +360,7 @@ impl BenchReport {
             committed = self.committed,
             durability = durability,
             sharding = sharding,
+            metrics = metrics,
             throughput = self.throughput_rps,
             p50 = self.latency.p50_us,
             p95 = self.latency.p95_us,
@@ -603,6 +659,30 @@ mod tests {
         assert!(json.contains("\"per_shard_progress\": [3, 2]"));
         assert!(json.contains("\"baseline_rps\": 1.500"));
         assert!(json.contains("\"scaling_x\": 1.333"));
+    }
+
+    #[test]
+    fn metrics_section_is_omitted_until_attached() {
+        let json = sample_report().to_json();
+        assert!(
+            !json.contains("metrics"),
+            "reports without telemetry must stay byte-identical to the pre-metrics schema:\n{json}"
+        );
+        let with = sample_report().with_metrics(MetricsSummary {
+            fsyncs: 120,
+            ring_refusals: 3,
+            reconnects: 2,
+            queue_depth_high_water: 17,
+            bytes_in: 4096,
+            bytes_out: 8192,
+        });
+        let json = with.to_json();
+        assert!(json.contains("\"metrics\": {\"fsyncs\": 120"), "{json}");
+        assert!(json.contains("\"ring_refusals\": 3"));
+        assert!(json.contains("\"reconnects\": 2"));
+        assert!(json.contains("\"queue_depth_high_water\": 17"));
+        assert!(json.contains("\"bytes_in\": 4096"));
+        assert!(json.contains("\"bytes_out\": 8192"));
     }
 
     #[test]

@@ -24,6 +24,7 @@ use crate::fault::{FaultDecision, FaultPlan};
 use crate::host::{ClientSink, Event, Gauges, Host, PeerSink, MAX_DRAIN_BATCH};
 use crate::tcp::{BoundTcpNode, TcpClient, TcpNode, TcpNodeConfig};
 use crate::transport::{frame_kind, Protocol};
+use splitbft_obs::NodeTelemetry;
 use splitbft_types::wire::{encode, frame, parse_frame};
 use splitbft_types::{
     ClientId, FaultCommand, ReplicaId, Reply, Request, StateTransferRequest,
@@ -183,6 +184,24 @@ impl AnyNode {
         }
     }
 
+    /// This node's telemetry hub (counters, gauges, event journal).
+    pub fn telemetry(&self) -> Arc<NodeTelemetry> {
+        match self {
+            AnyNode::Blocking(n) => n.telemetry(),
+            AnyNode::Evented(n) => n.telemetry(),
+        }
+    }
+
+    /// Starts a graceful drain (see the concrete nodes' docs): stop
+    /// admitting requests, seal a checkpoint, flush the WAL. Poll
+    /// `telemetry().drained()`, then call [`AnyNode::shutdown`].
+    pub fn request_drain(&self) {
+        match self {
+            AnyNode::Blocking(n) => n.request_drain(),
+            AnyNode::Evented(n) => n.request_drain(),
+        }
+    }
+
     /// Stops the node and joins its threads.
     pub fn shutdown(self) {
         match self {
@@ -245,6 +264,12 @@ pub trait RunningNode: Send {
     fn shard_progress(&self) -> Vec<u64>;
     /// Per-shard breakdown of [`RunningNode::fsyncs`].
     fn shard_fsyncs(&self) -> Vec<u64>;
+    /// This node's telemetry hub (counters, gauges, event journal).
+    fn telemetry(&self) -> Arc<NodeTelemetry>;
+    /// Starts a graceful drain: stop admitting client requests, finish
+    /// in-flight batches, seal a checkpoint, flush the WAL. Poll
+    /// `telemetry().drained()` before [`RunningNode::shutdown`].
+    fn request_drain(&self);
     /// Stops the node and joins its threads.
     fn shutdown(self);
 }
@@ -330,6 +355,12 @@ impl RunningNode for TcpNode {
     fn shard_fsyncs(&self) -> Vec<u64> {
         TcpNode::shard_fsyncs(self)
     }
+    fn telemetry(&self) -> Arc<NodeTelemetry> {
+        TcpNode::telemetry(self)
+    }
+    fn request_drain(&self) {
+        TcpNode::request_drain(self)
+    }
     fn shutdown(self) {
         TcpNode::shutdown(self)
     }
@@ -410,6 +441,12 @@ impl RunningNode for EventedNode {
     fn shard_fsyncs(&self) -> Vec<u64> {
         EventedNode::shard_fsyncs(self)
     }
+    fn telemetry(&self) -> Arc<NodeTelemetry> {
+        EventedNode::telemetry(self)
+    }
+    fn request_drain(&self) {
+        EventedNode::request_drain(self)
+    }
     fn shutdown(self) {
         EventedNode::shutdown(self)
     }
@@ -435,6 +472,9 @@ enum BusMsg {
     /// Framed bytes — complete frames, parsed by the receiving node
     /// through the same [`parse_frame`] path the socket backends use.
     Frames(BusOrigin, Arc<Vec<u8>>),
+    /// Force a drain batch (graceful-drain nudge; the draining flag
+    /// itself lives on the node's telemetry).
+    Drain,
     /// Stop the node's loop.
     Shutdown,
 }
@@ -519,7 +559,7 @@ impl TransportBackend for InProcessBackend {
         protocol: P,
     ) -> io::Result<InProcessNode> {
         let BoundInProcessNode { id, addr, bus, tx, rx } = bound;
-        let gauges = Gauges::new();
+        let gauges = Gauges::new(NodeTelemetry::new(id.0));
         let loop_gauges = gauges.clone();
         let loop_bus = Arc::clone(&bus);
         let thread = std::thread::Builder::new()
@@ -568,6 +608,15 @@ impl RunningNode for InProcessNode {
     }
     fn shard_fsyncs(&self) -> Vec<u64> {
         self.gauges.shards.lock().expect("shard gauges").1.clone()
+    }
+    fn telemetry(&self) -> Arc<NodeTelemetry> {
+        Arc::clone(&self.gauges.telemetry)
+    }
+    fn request_drain(&self) {
+        self.gauges.telemetry.request_drain();
+        // Nudge the bus loop so the drain batch (and its seal) runs
+        // even on an otherwise idle node.
+        let _ = self.tx.send(BusMsg::Drain);
     }
     fn shutdown(mut self) {
         // The bus entry stays: sends to the dead channel fail silently
@@ -707,7 +756,14 @@ fn decode_bus_msg<P: Protocol>(
     clients: &mut BusClients,
     pending: &mut VecDeque<Event<P::Message>>,
 ) -> bool {
-    let BusMsg::Frames(origin, bytes) = msg else { return true };
+    let (origin, bytes) = match msg {
+        BusMsg::Frames(origin, bytes) => (origin, bytes),
+        BusMsg::Drain => {
+            pending.push_back(Event::Drain);
+            return false;
+        }
+        BusMsg::Shutdown => return true,
+    };
     if let BusOrigin::Client(id, reply_tx) = &origin {
         clients.replies.insert(*id, reply_tx.clone());
     }

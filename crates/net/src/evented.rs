@@ -42,6 +42,8 @@ use crate::host::{ClientSink, Event, Gauges, Host, PeerSink, MAX_DRAIN_BATCH};
 use crate::ring::FrameRing;
 use crate::tcp::TcpNodeConfig;
 use crate::transport::{frame_kind, write_value, BatchPolicy, Protocol};
+use splitbft_obs::NodeTelemetry;
+use splitbft_types::status::{StatusEvent, StatusRequest, StatusResponse, StatusVerb};
 use splitbft_types::wire::{decode, encode, frame, FrameAssembler};
 use splitbft_types::{
     ClientId, FaultCommand, ReplicaId, Reply, StateTransferRequest, StateTransferResponse,
@@ -131,6 +133,7 @@ pub struct EventedNode {
     progress: Arc<AtomicU64>,
     fsyncs: Arc<AtomicU64>,
     shard_gauges: Arc<Mutex<(Vec<u64>, Vec<u64>)>>,
+    telemetry: Arc<NodeTelemetry>,
 }
 
 impl std::fmt::Debug for EventedNode {
@@ -162,7 +165,8 @@ impl EventedNode {
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let gauges = Gauges::new();
+        let telemetry = NodeTelemetry::new(config.id.0);
+        let gauges = Gauges::new(Arc::clone(&telemetry));
         let progress = Arc::clone(&gauges.progress);
         let fsyncs = Arc::clone(&gauges.fsyncs);
         let shard_gauges = Arc::clone(&gauges.shards);
@@ -180,6 +184,7 @@ impl EventedNode {
             progress,
             fsyncs,
             shard_gauges,
+            telemetry,
         })
     }
 
@@ -216,6 +221,23 @@ impl EventedNode {
         self.shard_gauges.lock().expect("shard gauges").1.clone()
     }
 
+    /// This node's telemetry hub — counters, gauges, and the event
+    /// journal the `STATUS` frame and the metrics endpoint serve.
+    pub fn telemetry(&self) -> Arc<NodeTelemetry> {
+        Arc::clone(&self.telemetry)
+    }
+
+    /// Starts a graceful drain: new client requests are refused, and
+    /// once nothing is pending the loop seals a checkpoint and flushes
+    /// the WAL. Poll `telemetry().drained()`, then call
+    /// [`EventedNode::shutdown`]. Idempotent.
+    pub fn request_drain(&self) {
+        // The loop polls the draining flag every pass and feeds itself
+        // `Event::Drain` batches until the seal lands — no channel
+        // needed.
+        self.telemetry.request_drain();
+    }
+
     /// Stops the loop thread and joins it; every connection closes with
     /// it. The loop never blocks for more than its idle backoff, so no
     /// wake-up connection is needed.
@@ -250,6 +272,11 @@ struct Conn {
     staged: Vec<u8>,
     staged_pos: usize,
     dead: bool,
+    /// Close once the out ring and staged batch drain — used to deliver
+    /// a final frame (e.g. [`StatusResponse::Refused`]) before the
+    /// connection dies, mirroring the blocking backend's writer thread
+    /// draining its queue on exit.
+    close_when_drained: bool,
 }
 
 impl Conn {
@@ -262,6 +289,7 @@ impl Conn {
             staged: Vec::new(),
             staged_pos: 0,
             dead: false,
+            close_when_drained: false,
         }
     }
 }
@@ -272,6 +300,9 @@ struct OutLink {
     addr: SocketAddr,
     ring: FrameRing,
     conn: Option<TcpStream>,
+    /// Whether this link has ever held a connection — distinguishes the
+    /// first connect from a reconnect for the telemetry counter.
+    ever_connected: bool,
     staged: Vec<u8>,
     staged_pos: usize,
     next_attempt: Instant,
@@ -284,6 +315,7 @@ impl OutLink {
             addr,
             ring: FrameRing::new(PEER_RING_FRAMES, PEER_RING_BYTES),
             conn: None,
+            ever_connected: false,
             staged: Vec::new(),
             staged_pos: 0,
             next_attempt: Instant::now(),
@@ -298,6 +330,7 @@ impl OutLink {
 struct EventedPeers {
     local: ReplicaId,
     faults: Arc<FaultPlan>,
+    telemetry: Arc<NodeTelemetry>,
     links: HashMap<ReplicaId, OutLink>,
     /// Frames held back by a delay rule: `(deadline, destination,
     /// frame)`, released into the destination ring once due — frames
@@ -315,14 +348,20 @@ impl EventedPeers {
         match self.faults.decide(self.local, to) {
             FaultDecision::Deliver => {
                 if let Some(link) = self.links.get_mut(&to) {
-                    link.ring.push(framed);
+                    if !link.ring.push(framed) {
+                        self.telemetry.ring_refusals.inc();
+                    }
                 }
             }
             FaultDecision::Drop => {}
             FaultDecision::Duplicate => {
                 if let Some(link) = self.links.get_mut(&to) {
-                    link.ring.push(Arc::clone(&framed));
-                    link.ring.push(framed);
+                    if !link.ring.push(Arc::clone(&framed)) {
+                        self.telemetry.ring_refusals.inc();
+                    }
+                    if !link.ring.push(framed) {
+                        self.telemetry.ring_refusals.inc();
+                    }
                 }
             }
             FaultDecision::DeliverAfter(delay) => {
@@ -339,7 +378,9 @@ impl EventedPeers {
             if self.delayed[index].0 <= now {
                 let (_, to, framed) = self.delayed.remove(index);
                 if let Some(link) = self.links.get_mut(&to) {
-                    link.ring.push(framed);
+                    if !link.ring.push(framed) {
+                        self.telemetry.ring_refusals.inc();
+                    }
                 }
                 any = true;
             } else {
@@ -372,6 +413,7 @@ impl PeerSink for EventedPeers {
 struct EventedClients<'a> {
     conns: &'a mut Vec<Option<Conn>>,
     index: &'a HashMap<ClientId, usize>,
+    telemetry: &'a NodeTelemetry,
 }
 
 impl ClientSink for EventedClients<'_> {
@@ -381,7 +423,9 @@ impl ClientSink for EventedClients<'_> {
         // A full ring refuses the frame: at-most-once reply delivery,
         // the client's retry logic recovers (same as the blocking
         // backend's bounded writer queue).
-        conn.out.push(Arc::new(frame(frame_kind::REPLY, &encode(&reply))));
+        if !conn.out.push(Arc::new(frame(frame_kind::REPLY, &encode(&reply)))) {
+            self.telemetry.ring_refusals.inc();
+        }
     }
 }
 
@@ -390,6 +434,11 @@ enum Parsed<M> {
     Event(Event<M>),
     PeerHello(ReplicaId),
     ClientHello(ClientId),
+    /// A STATUS request: answered inline by `drain_conn`, which owns
+    /// the connection's reply ring and the telemetry hub.
+    Status(StatusRequest),
+    /// A fault command was applied; `drain_conn` journals the event.
+    Fault,
     Skip,
     Close,
 }
@@ -451,11 +500,20 @@ fn parse<P: Protocol>(
             match decode::<FaultCommand>(payload) {
                 Ok(cmd) => {
                     faults.apply(cmd);
-                    Parsed::Skip
+                    Parsed::Fault
                 }
                 Err(_) => Parsed::Close,
             }
         }
+        frame_kind::STATUS => match identity {
+            // Client connections only — same stance as the blocking
+            // backend (a peer sending STATUS is protocol garbage).
+            Identity::Client(_) => match decode::<StatusRequest>(payload) {
+                Ok(req) => Parsed::Status(req),
+                Err(_) => Parsed::Close,
+            },
+            _ => Parsed::Close,
+        },
         _ => Parsed::Skip, // tolerate unknown kinds from newer peers
     }
 }
@@ -470,6 +528,8 @@ fn drain_conn<P: Protocol>(
     client_index: &mut HashMap<ClientId, usize>,
     faults: &FaultPlan,
     fault_injection: bool,
+    status_admin: bool,
+    telemetry: &NodeTelemetry,
 ) -> bool {
     let mut activity = false;
     let space = conn.assembler.read_space(READ_CHUNK);
@@ -480,6 +540,7 @@ fn drain_conn<P: Protocol>(
         }
         Ok(n) => {
             conn.assembler.commit(n);
+            telemetry.bytes_in.add(n as u64);
             activity = true;
         }
         Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted) => {
@@ -509,6 +570,39 @@ fn drain_conn<P: Protocol>(
                 conn.identity = Identity::Client(id);
                 // A reconnecting client replaces its own old entry.
                 client_index.insert(id, slot);
+            }
+            Parsed::Status(req) => {
+                activity = true;
+                let response = match req.verb {
+                    StatusVerb::Snapshot => StatusResponse::Snapshot(telemetry.snapshot()),
+                    StatusVerb::Events { since } => StatusResponse::Events {
+                        head: telemetry.journal.head(),
+                        events: telemetry.journal.since(since),
+                    },
+                    StatusVerb::Drain if status_admin => {
+                        // The loop polls the draining flag every pass
+                        // and self-feeds `Event::Drain` until the seal
+                        // lands — no channel needed here.
+                        telemetry.request_drain();
+                        StatusResponse::DrainStarted
+                    }
+                    StatusVerb::Drain => {
+                        // Ungated admin verb: answer Refused, then close
+                        // once the frame drains (the ungated
+                        // fault-control stance, but with an explicit
+                        // refusal the caller can decode).
+                        conn.out.push(Arc::new(frame(
+                            frame_kind::STATUS,
+                            &encode(&StatusResponse::Refused),
+                        )));
+                        conn.close_when_drained = true;
+                        break;
+                    }
+                };
+                conn.out.push(Arc::new(frame(frame_kind::STATUS, &encode(&response))));
+            }
+            Parsed::Fault => {
+                telemetry.record_event(StatusEvent::FaultPlanApplied);
             }
             Parsed::Skip => {}
             Parsed::Close => {
@@ -556,7 +650,13 @@ fn restage(staged: &mut Vec<u8>, staged_pos: &mut usize, ring: &mut FrameRing, p
 /// peer's frame stream, and the at-most-once contract already covers
 /// the loss (same stance as the blocking outbox, which drops a batch
 /// after one failed reconnect cycle).
-fn flush_link(local: ReplicaId, link: &mut OutLink, policy: BatchPolicy, now: Instant) -> bool {
+fn flush_link(
+    local: ReplicaId,
+    link: &mut OutLink,
+    policy: BatchPolicy,
+    now: Instant,
+    telemetry: &NodeTelemetry,
+) -> bool {
     restage(&mut link.staged, &mut link.staged_pos, &mut link.ring, policy);
     if link.staged_pos >= link.staged.len() {
         return false;
@@ -567,6 +667,10 @@ fn flush_link(local: ReplicaId, link: &mut OutLink, policy: BatchPolicy, now: In
         }
         match connect_with_hello(local, link.addr) {
             Some(stream) => {
+                if link.ever_connected {
+                    telemetry.reconnects.add(1);
+                }
+                link.ever_connected = true;
                 link.conn = Some(stream);
                 link.backoff = RECONNECT_MIN;
             }
@@ -588,6 +692,7 @@ fn flush_link(local: ReplicaId, link: &mut OutLink, policy: BatchPolicy, now: In
             }
             Ok(n) => {
                 link.staged_pos += n;
+                telemetry.bytes_out.add(n as u64);
                 wrote = true;
                 if link.staged_pos >= link.staged.len() {
                     break;
@@ -644,11 +749,13 @@ fn event_loop<P: Protocol>(
     gauges: Gauges,
 ) {
     let id = config.id;
+    let telemetry = Arc::clone(&gauges.telemetry);
     let mut conns: Vec<Option<Conn>> = Vec::new();
     let mut client_index: HashMap<ClientId, usize> = HashMap::new();
     let mut peers = EventedPeers {
         local: id,
         faults: Arc::clone(&config.faults),
+        telemetry: Arc::clone(&telemetry),
         links: config
             .peers
             .iter()
@@ -711,11 +818,20 @@ fn event_loop<P: Protocol>(
                         &mut client_index,
                         &config.faults,
                         config.fault_injection,
+                        config.status_admin,
+                        &telemetry,
                     )
                 {
                     activity = true;
                 }
             }
+        }
+
+        // An active drain self-feeds: force a batch every pass until
+        // the epilogue in `finish_batch` seals the checkpoint and marks
+        // the node drained.
+        if telemetry.draining() && !telemetry.drained() {
+            events.push(Event::Drain);
         }
 
         // Protocol phase: this pass's events join the open drain batch.
@@ -734,10 +850,15 @@ fn event_loop<P: Protocol>(
                 || batch_events >= MAX_DRAIN_BATCH
                 || now >= *batch_deadline.get_or_insert(now + config.group_commit));
         if flush_now {
+            telemetry.queue_depth_high_water.record_max(batch_events as u64);
             host.finish_batch(
                 std::mem::take(&mut batch_outputs),
                 &mut peers,
-                &mut EventedClients { conns: &mut conns, index: &client_index },
+                &mut EventedClients {
+                    conns: &mut conns,
+                    index: &client_index,
+                    telemetry: &telemetry,
+                },
             );
             batch_events = 0;
             batch_deadline = None;
@@ -749,7 +870,7 @@ fn event_loop<P: Protocol>(
             activity = true;
         }
         for link in peers.links.values_mut() {
-            if flush_link(id, link, config.batch, now) {
+            if flush_link(id, link, config.batch, now, &telemetry) {
                 activity = true;
             }
         }
@@ -759,9 +880,16 @@ fn event_loop<P: Protocol>(
             }
         }
 
-        // Reap dead connections (dropping the socket closes it).
+        // Reap dead connections (dropping the socket closes it), plus
+        // refused-admin connections whose final frame has flushed.
         for slot in 0..conns.len() {
-            if conns[slot].as_ref().is_some_and(|c| c.dead) {
+            let reap = conns[slot].as_ref().is_some_and(|c| {
+                c.dead
+                    || (c.close_when_drained
+                        && c.out.is_empty()
+                        && c.staged_pos >= c.staged.len())
+            });
+            if reap {
                 let conn = conns[slot].take().expect("checked above");
                 if let Identity::Client(client) = conn.identity {
                     // Only our own registration: a reconnected client
@@ -798,7 +926,11 @@ fn event_loop<P: Protocol>(
         host.finish_batch(
             std::mem::take(&mut batch_outputs),
             &mut peers,
-            &mut EventedClients { conns: &mut conns, index: &client_index },
+            &mut EventedClients {
+                conns: &mut conns,
+                index: &client_index,
+                telemetry: &telemetry,
+            },
         );
     }
 }

@@ -15,9 +15,11 @@
 //! byte-identical on the wire across backends.
 
 use crate::transport::{frame_kind, Protocol, ProtocolOutput, WireMessage};
+use splitbft_obs::NodeTelemetry;
 use splitbft_types::wire::{decode, encode, frame};
 use splitbft_types::{
     ClientId, ReplicaId, Reply, Request, SeqNum, StateTransferRequest, StateTransferResponse,
+    StatusEvent,
 };
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -51,6 +53,12 @@ pub(crate) enum Event<M> {
     StateResponse(StateTransferResponse),
     /// View-change timer tick.
     Timeout,
+    /// A graceful drain was requested (SIGTERM or the STATUS admin
+    /// verb). The request itself is recorded on the node's telemetry
+    /// before this event is queued; the event exists only to force a
+    /// drain batch through [`Host::finish_batch`], where the drain
+    /// epilogue (seal + flush) runs once nothing is pending.
+    Drain,
     /// Stop hosting. Handled by the backend's drive loop, never by
     /// [`Host::handle`].
     Shutdown,
@@ -80,8 +88,10 @@ pub(crate) trait ClientSink {
 
 /// Shared gauges a backend exposes to orchestrators (benches, tests):
 /// mirrors of the hosted protocol's progress/fsync counters, updated by
-/// [`Host::finish_batch`] after every drain batch.
-#[derive(Debug, Clone, Default)]
+/// [`Host::finish_batch`] after every drain batch — plus the node's
+/// [`NodeTelemetry`] bundle, which the same batch epilogue publishes
+/// the full gauge set into.
+#[derive(Debug, Clone)]
 pub(crate) struct Gauges {
     /// Mirror of [`Protocol::progress`].
     pub(crate) progress: Arc<AtomicU64>,
@@ -91,11 +101,20 @@ pub(crate) struct Gauges {
     /// one lock because readers are occasional orchestrators, not hot
     /// paths.
     pub(crate) shards: Arc<Mutex<(Vec<u64>, Vec<u64>)>>,
+    /// The node's telemetry bundle (metrics registry, event journal,
+    /// lifecycle flags), shared with the transport layer and whatever
+    /// serves `/metrics` and `STATUS`.
+    pub(crate) telemetry: Arc<NodeTelemetry>,
 }
 
 impl Gauges {
-    pub(crate) fn new() -> Self {
-        Gauges::default()
+    pub(crate) fn new(telemetry: Arc<NodeTelemetry>) -> Self {
+        Gauges {
+            progress: Arc::default(),
+            fsyncs: Arc::default(),
+            shards: Arc::default(),
+            telemetry,
+        }
     }
 }
 
@@ -204,6 +223,11 @@ pub(crate) struct Host<P: Protocol> {
     /// too.
     state_requests: Vec<StateTransferRequest>,
     gauges: Gauges,
+    /// Last published view / seal count — change detectors for the
+    /// view-change counter and the journal's `ViewChange` /
+    /// `CheckpointSealed` events, compared once per drain batch.
+    last_view: u64,
+    last_seals: u64,
 }
 
 impl<P: Protocol> Host<P> {
@@ -222,7 +246,10 @@ impl<P: Protocol> Host<P> {
         if let Some(rec) = &mut recovery {
             rec.requested_at = Some(Instant::now());
             request_state(id, baseline, peers);
+            gauges.telemetry.set_recovering(true);
         }
+        let last_view = protocol.current_view();
+        let last_seals = protocol.checkpoint_seal_count();
         Host {
             id,
             protocol,
@@ -231,6 +258,8 @@ impl<P: Protocol> Host<P> {
             last_progress: baseline,
             state_requests: Vec::new(),
             gauges,
+            last_view,
+            last_seals,
         }
     }
 
@@ -257,7 +286,16 @@ impl<P: Protocol> Host<P> {
     ) -> Vec<ProtocolOutput<P::Message>> {
         match event {
             Event::Peer(msg) => self.protocol.on_message(msg),
-            Event::Requests(requests) => self.protocol.on_client_requests(requests),
+            Event::Requests(requests) => {
+                if self.gauges.telemetry.draining() {
+                    // Draining: stop admitting new client requests. The
+                    // client's retry logic finds another replica (or the
+                    // restarted one).
+                    return Vec::new();
+                }
+                self.protocol.on_client_requests(requests)
+            }
+            Event::Drain => Vec::new(),
             Event::StateRequest(req) => {
                 self.state_requests.push(req);
                 Vec::new()
@@ -267,7 +305,12 @@ impl<P: Protocol> Host<P> {
                 // f + 1 agreement (the backend already pinned the id to
                 // the connection's hello).
                 Some(rec) if rec.active && peers.is_peer(resp.replica) => {
-                    apply_state_response(self.id, &mut self.protocol, rec, resp)
+                    apply_state_response(
+                        &mut self.protocol,
+                        rec,
+                        resp,
+                        &self.gauges.telemetry,
+                    )
                 }
                 _ => Vec::new(),
             },
@@ -284,6 +327,7 @@ impl<P: Protocol> Host<P> {
                         if progress > rec.baseline {
                             rec.active = false;
                             rec.responses.clear();
+                            self.gauges.telemetry.set_recovering(false);
                         } else if rec.may_request() {
                             rec.baseline = progress;
                             rec.requested_at = Some(Instant::now());
@@ -316,19 +360,59 @@ impl<P: Protocol> Host<P> {
         clients: &mut impl ClientSink,
     ) {
         outputs.extend(self.protocol.flush_durable());
+        // Graceful-drain epilogue: once a drain was requested, no new
+        // requests are admitted (see [`Host::handle`]); the first batch
+        // that ends with nothing pending seals a final checkpoint and
+        // flushes the WAL, then marks the drain complete so the
+        // backend's serve loop can exit 0.
+        let telemetry = Arc::clone(&self.gauges.telemetry);
+        if telemetry.draining()
+            && !telemetry.drained()
+            && !self.protocol.has_pending_requests()
+        {
+            outputs.extend(self.protocol.drain_seal());
+            outputs.extend(self.protocol.flush_durable());
+            telemetry.complete_drain();
+        }
         for output in outputs {
             route(output, peers, clients);
         }
         for req in self.state_requests.drain(..) {
             answer_state_request(self.id, &self.protocol, &req, peers);
         }
-        self.gauges.progress.store(self.protocol.progress(), Ordering::SeqCst);
+        let progress = self.protocol.progress();
+        self.gauges.progress.store(progress, Ordering::SeqCst);
         self.gauges.fsyncs.store(self.protocol.durable_fsyncs(), Ordering::SeqCst);
+        let shard_progress = self.protocol.shard_progress();
+        let shard_fsyncs = self.protocol.shard_fsyncs();
         {
             let mut shards = self.gauges.shards.lock().expect("shard gauges");
-            shards.0 = self.protocol.shard_progress();
-            shards.1 = self.protocol.shard_fsyncs();
+            shards.0 = shard_progress.clone();
+            shards.1 = shard_fsyncs.clone();
         }
+
+        // Publish the batch's telemetry: single atomic stores on the
+        // pre-registered handles, plus change detection for the
+        // view-change counter and the journal events.
+        telemetry.progress.set(progress);
+        telemetry.fsyncs.set(self.protocol.durable_fsyncs());
+        telemetry.wal_bytes.set(self.protocol.wal_bytes());
+        telemetry.pending_requests.set(self.protocol.pending_request_count());
+        let view = self.protocol.current_view();
+        telemetry.view.set(view);
+        if view > self.last_view {
+            telemetry.view_changes.add(view - self.last_view);
+            telemetry.record_event(StatusEvent::ViewChange { view });
+            self.last_view = view;
+        }
+        let seals = self.protocol.checkpoint_seal_count();
+        telemetry.checkpoint_seals.set(seals);
+        if seals > self.last_seals {
+            telemetry.record_event(StatusEvent::CheckpointSealed { seq: progress });
+            self.last_seals = seals;
+        }
+        telemetry.set_shard_gauges(&shard_progress, &shard_fsyncs);
+        telemetry.set_shard_views(&self.protocol.shard_views());
     }
 }
 
@@ -368,17 +452,25 @@ fn answer_state_request<P: Protocol>(
 /// until `agreement` peers vouch for the same `(seq, digest)`, then
 /// restored and the suffixes replayed.
 ///
-/// Progress is reported on stderr as stable `state-transfer:` marker
-/// lines, which fault-injection orchestrators (`splitbft-chaos`) parse
-/// to distinguish a log-suffix rejoin from a checkpoint restore.
+/// Progress is recorded as typed journal events
+/// ([`StatusEvent::StateTransferApplied`],
+/// [`StatusEvent::CheckpointRestored`]) which fault-injection
+/// orchestrators (`splitbft-chaos`) poll over the `STATUS` frame to
+/// distinguish a log-suffix rejoin from a checkpoint restore.
 fn apply_state_response<P: Protocol>(
-    id: ReplicaId,
     protocol: &mut P,
     rec: &mut Recovery,
     resp: StateTransferResponse,
+    telemetry: &NodeTelemetry,
 ) -> Vec<ProtocolOutput<P::Message>> {
     let before = protocol.progress();
-    let mut outputs = feed_suffix(id, protocol, &resp);
+    // Every offered peer checkpoint raises the catch-up watermark:
+    // `/readyz` stays 503 until this node's progress closes to within
+    // the gap of the best checkpoint any peer has shown it.
+    if let Some(cp) = &resp.checkpoint {
+        telemetry.catchup_target.record_max(cp.seq.0);
+    }
+    let mut outputs = feed_suffix(protocol, &resp, telemetry);
     rec.responses.insert(resp.replica, resp);
 
     // Checkpoint agreement: group by (seq, digest), newest qualifying
@@ -414,17 +506,17 @@ fn apply_state_response<P: Protocol>(
             })
             .count();
         if protocol.restore_checkpoint(&agreed).is_ok() {
-            eprintln!(
-                "state-transfer: replica {} restored checkpoint seq={seq} from {agreeing} agreeing peer(s)",
-                id.0
-            );
+            telemetry.record_event(StatusEvent::CheckpointRestored {
+                seq,
+                agreeing_peers: agreeing as u64,
+            });
             // Replay every stored suffix on top of the restored state:
             // what was out of the watermark window before the restore
             // lands now.
             let responses: Vec<StateTransferResponse> =
                 rec.responses.values().cloned().collect();
             for r in &responses {
-                outputs.extend(feed_suffix(id, protocol, r));
+                outputs.extend(feed_suffix(protocol, r, telemetry));
             }
             rec.responses.clear();
         }
@@ -448,9 +540,9 @@ fn apply_state_response<P: Protocol>(
 /// Feeds one response's suffix messages through the protocol's normal
 /// verifying message path, collecting any outputs for routing.
 fn feed_suffix<P: Protocol>(
-    id: ReplicaId,
     protocol: &mut P,
     resp: &StateTransferResponse,
+    telemetry: &NodeTelemetry,
 ) -> Vec<ProtocolOutput<P::Message>> {
     let Ok(msgs) = decode::<Vec<P::Message>>(&resp.suffix) else {
         return Vec::new(); // malformed suffix: ignore the responder
@@ -464,16 +556,15 @@ fn feed_suffix<P: Protocol>(
     for msg in msgs {
         outputs.extend(protocol.on_message(msg));
     }
-    // Logged *after* feeding, with the execution progress the suffix
+    // Recorded *after* feeding, with the execution progress the suffix
     // actually bought — acceptance is protocol-internal (each message
     // re-verifies like network input), so the progress delta, not the
     // count, is the honest rejoin evidence.
-    eprintln!(
-        "state-transfer: replica {} applied {count} suffix message(s) from replica {} (progress {before} -> {})",
-        id.0,
-        resp.replica.0,
-        protocol.progress(),
-    );
+    telemetry.record_event(StatusEvent::StateTransferApplied {
+        messages: count as u64,
+        from_progress: before,
+        to_progress: protocol.progress(),
+    });
     outputs
 }
 
@@ -607,7 +698,7 @@ mod tests {
             ReplicaId(0),
             CatchUp { progress: 0 },
             Some(RecoveryPolicy { agreement }),
-            Gauges::new(),
+            Gauges::new(NodeTelemetry::new(0)),
             peers,
         )
     }
@@ -708,7 +799,7 @@ mod tests {
     #[test]
     fn finish_batch_publishes_gauges_and_answers_deferred_requests() {
         let mut peers = Peers::new(&[1]);
-        let gauges = Gauges::new();
+        let gauges = Gauges::new(NodeTelemetry::new(0));
         let mut host = Host::new(
             ReplicaId(0),
             CatchUp { progress: 0 },
@@ -729,11 +820,104 @@ mod tests {
 
         host.finish_batch(Vec::new(), &mut peers, &mut NoClients);
         assert_eq!(gauges.progress.load(Ordering::SeqCst), 42);
+        assert_eq!(gauges.telemetry.progress.get(), 42, "telemetry mirrors the batch");
         // CatchUp has no checkpoint and no suffix to offer, so the
         // deferred request is answered with silence — but a protocol
         // with state would have been consulted only now, after the
         // batch's flush point (covered end-to-end by the conformance
         // and chaos suites).
         assert!(peers.frames.is_empty());
+    }
+
+    /// A protocol that counts the client requests it is handed and
+    /// reports one durable seal once drained — enough to observe the
+    /// host's drain gating and epilogue.
+    struct Drainable {
+        requests_seen: usize,
+        pending: bool,
+        seals: u64,
+        sealed_on_drain: bool,
+    }
+
+    impl Protocol for Drainable {
+        type Message = u64;
+
+        fn on_message(&mut self, _msg: u64) -> Vec<ProtocolOutput<u64>> {
+            Vec::new()
+        }
+
+        fn on_client_requests(&mut self, requests: Vec<Request>) -> Vec<ProtocolOutput<u64>> {
+            self.requests_seen += requests.len();
+            Vec::new()
+        }
+
+        fn on_timeout(&mut self) -> Vec<ProtocolOutput<u64>> {
+            Vec::new()
+        }
+
+        fn has_pending_requests(&self) -> bool {
+            self.pending
+        }
+
+        fn checkpoint_seal_count(&self) -> u64 {
+            self.seals
+        }
+
+        fn drain_seal(&mut self) -> Vec<ProtocolOutput<u64>> {
+            self.sealed_on_drain = true;
+            self.seals += 1;
+            Vec::new()
+        }
+    }
+
+    fn request(n: u64) -> Request {
+        Request {
+            id: splitbft_types::RequestId {
+                client: ClientId(7),
+                timestamp: splitbft_types::Timestamp(n),
+            },
+            op: bytes::Bytes::new(),
+            encrypted: false,
+            auth: [0; 32],
+        }
+    }
+
+    /// The drain contract at the hosting layer: requests accepted before
+    /// the drain execute, requests arriving after are refused, and the
+    /// first idle batch seals + completes the drain (journaled).
+    #[test]
+    fn drain_refuses_new_requests_then_seals_and_completes() {
+        let mut peers = Peers::new(&[1]);
+        let gauges = Gauges::new(NodeTelemetry::new(0));
+        let protocol =
+            Drainable { requests_seen: 0, pending: true, seals: 0, sealed_on_drain: false };
+        let mut host = Host::new(ReplicaId(0), protocol, None, gauges.clone(), &mut peers);
+
+        host.handle(Event::Requests(vec![request(1)]), &mut peers);
+        assert_eq!(host.protocol.requests_seen, 1, "pre-drain requests are admitted");
+
+        gauges.telemetry.request_drain();
+        host.handle(Event::Requests(vec![request(2)]), &mut peers);
+        assert_eq!(host.protocol.requests_seen, 1, "post-drain requests are refused");
+
+        // Still pending: the batch must NOT complete the drain yet.
+        host.finish_batch(Vec::new(), &mut peers, &mut NoClients);
+        assert!(!gauges.telemetry.drained(), "in-flight work holds the drain open");
+        assert!(!host.protocol.sealed_on_drain);
+
+        // The in-flight batch finishes; the next drain batch seals.
+        host.protocol.pending = false;
+        host.handle(Event::Drain, &mut peers);
+        host.finish_batch(Vec::new(), &mut peers, &mut NoClients);
+        assert!(host.protocol.sealed_on_drain, "drain epilogue forces a seal");
+        assert!(gauges.telemetry.drained());
+        let events: Vec<StatusEvent> =
+            gauges.telemetry.journal.since(0).into_iter().map(|(_, e)| e).collect();
+        assert!(events.contains(&StatusEvent::DrainRequested));
+        assert!(events.contains(&StatusEvent::DrainCompleted));
+        assert!(
+            events.contains(&StatusEvent::CheckpointSealed { seq: 0 }),
+            "the drain seal is journaled: {events:?}"
+        );
     }
 }

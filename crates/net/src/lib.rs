@@ -43,6 +43,7 @@ mod host;
 pub mod link;
 mod ring;
 pub mod runtime;
+pub mod status;
 pub mod tcp;
 pub mod transport;
 
@@ -54,5 +55,8 @@ pub use evented::{BoundEventedNode, EventedNode};
 pub use fault::{broadcast_fault_command, send_fault_command, FaultDecision, FaultPlan};
 pub use link::{LinkFate, LinkModel, NetConfig};
 pub use runtime::{NodeHandle, NodeInput, ThreadedCluster};
+pub use status::{
+    await_event, fetch_events, fetch_snapshot, request_drain, send_status_request, STATUS_CLIENT,
+};
 pub use tcp::{BoundTcpNode, PeerAddr, TcpClient, TcpNode, TcpNodeConfig};
 pub use transport::{BatchPolicy, PeerOutbox, Protocol, ProtocolOutput, WireMessage};

@@ -28,10 +28,11 @@ use crate::host::{ClientSink, Event, Gauges, Host, PeerSink, MAX_DRAIN_BATCH};
 use crate::transport::{
     frame_kind, read_frame, read_value, write_value, BatchPolicy, PeerOutbox, Protocol,
 };
-use splitbft_types::wire::decode;
+use splitbft_obs::NodeTelemetry;
+use splitbft_types::wire::{decode, encode, frame, FRAME_HEADER_LEN};
 use splitbft_types::{
     ClientId, FaultCommand, ReplicaId, Reply, Request, StateTransferRequest,
-    StateTransferResponse,
+    StateTransferResponse, StatusEvent, StatusRequest, StatusResponse, StatusVerb,
 };
 
 pub use crate::host::RecoveryPolicy;
@@ -52,13 +53,24 @@ use std::time::{Duration, Instant};
 /// node.
 const CLIENT_REPLY_QUEUE: usize = 1024;
 
+/// One frame queued toward a connected client's writer thread: either a
+/// protocol [`Reply`] (framed by the writer) or a pre-framed raw buffer
+/// (`STATUS` responses, built on the reader thread). One queue per
+/// connection keeps the single-writer invariant: only the writer thread
+/// ever writes the socket, so frames never interleave.
+#[derive(Debug)]
+enum ClientFrame {
+    Reply(Reply),
+    Raw(Arc<Vec<u8>>),
+}
+
 /// A connected client's reply lane. The generation token distinguishes
 /// a stale connection's teardown from a reconnected client's fresh
 /// registration under the same [`ClientId`].
 #[derive(Debug)]
 struct ClientEntry {
     generation: u64,
-    replies: SyncSender<Reply>,
+    replies: SyncSender<ClientFrame>,
 }
 
 type ClientRegistry = Arc<Mutex<HashMap<ClientId, ClientEntry>>>;
@@ -116,6 +128,14 @@ pub struct TcpNodeConfig {
     /// connection sending `FAULT_CONTROL` is closed as protocol
     /// garbage and the plan stays untouched.
     pub fault_injection: bool,
+    /// Honor `STATUS` **admin** verbs (graceful drain). **Off by
+    /// default** for the same reason as `fault_injection`: the frame is
+    /// unauthenticated, and an arbitrary connecting client must not be
+    /// able to drain a production node. Read-only `STATUS` verbs
+    /// (snapshot, event journal) are always served; with the flag off,
+    /// an admin verb is answered with `StatusResponse::Refused` and the
+    /// connection is closed.
+    pub status_admin: bool,
 }
 
 impl TcpNodeConfig {
@@ -132,6 +152,7 @@ impl TcpNodeConfig {
             group_commit: Duration::ZERO,
             faults: FaultPlan::shared(u64::from(id.0)),
             fault_injection: false,
+            status_admin: false,
         }
     }
 }
@@ -173,6 +194,7 @@ pub struct TcpNode {
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     send_shutdown_event: Box<dyn Fn() + Send>,
+    send_drain_event: Box<dyn Fn() + Send>,
     timer_stop: Option<Sender<()>>,
     threads: Vec<JoinHandle<()>>,
     conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
@@ -189,6 +211,9 @@ pub struct TcpNode {
     /// single-element vectors for unsharded protocols. Behind one lock
     /// because readers are occasional orchestrators, not hot paths.
     shard_gauges: Arc<Mutex<(Vec<u64>, Vec<u64>)>>,
+    /// The node's telemetry bundle: registry, event journal, lifecycle
+    /// flags. Shared with whatever serves `/metrics`.
+    telemetry: Arc<NodeTelemetry>,
 }
 
 impl std::fmt::Debug for TcpNode {
@@ -224,20 +249,23 @@ impl TcpNode {
         let clients: ClientRegistry = Arc::new(Mutex::new(HashMap::new()));
         let (events_tx, events_rx) = channel::<Event<P::Message>>();
         let mut threads = Vec::new();
+        let telemetry = NodeTelemetry::new(config.id.0);
 
         // Outboxes toward every other replica, all consulting the node's
-        // shared fault plan on their send paths.
+        // shared fault plan on their send paths and feeding the node's
+        // bytes-out / reconnect counters.
         let mut outboxes: HashMap<ReplicaId, PeerOutbox> = HashMap::new();
         for peer in &config.peers {
             if peer.id != config.id {
                 outboxes.insert(
                     peer.id,
-                    PeerOutbox::spawn_with_faults(
+                    PeerOutbox::spawn_observed(
                         config.id,
                         peer.id,
                         peer.addr,
                         config.batch,
                         Arc::clone(&config.faults),
+                        Some(Arc::clone(&telemetry)),
                     ),
                 );
             }
@@ -253,6 +281,8 @@ impl TcpNode {
             let events_tx = events_tx.clone();
             let faults = Arc::clone(&config.faults);
             let fault_injection = config.fault_injection;
+            let status_admin = config.status_admin;
+            let telemetry = Arc::clone(&telemetry);
             let id = config.id;
             threads.push(
                 std::thread::Builder::new()
@@ -267,6 +297,8 @@ impl TcpNode {
                             events_tx,
                             faults,
                             fault_injection,
+                            status_admin,
+                            telemetry,
                         )
                     })
                     .expect("spawn accept loop"),
@@ -298,7 +330,7 @@ impl TcpNode {
         }
 
         // Core loop: the only thread touching protocol state.
-        let gauges = Gauges::new();
+        let gauges = Gauges::new(Arc::clone(&telemetry));
         let progress = Arc::clone(&gauges.progress);
         let fsyncs = Arc::clone(&gauges.fsyncs);
         let shard_gauges = Arc::clone(&gauges.shards);
@@ -326,6 +358,7 @@ impl TcpNode {
             );
         }
 
+        let drain_events_tx = events_tx.clone();
         Ok(TcpNode {
             id: config.id,
             local_addr,
@@ -335,6 +368,9 @@ impl TcpNode {
             send_shutdown_event: Box::new(move || {
                 let _ = events_tx.send(Event::Shutdown);
             }),
+            send_drain_event: Box::new(move || {
+                let _ = drain_events_tx.send(Event::Drain);
+            }),
             timer_stop,
             threads,
             conn_threads,
@@ -342,6 +378,7 @@ impl TcpNode {
             progress,
             fsyncs,
             shard_gauges,
+            telemetry,
         })
     }
 
@@ -382,6 +419,23 @@ impl TcpNode {
         self.shard_gauges.lock().expect("shard gauges").1.clone()
     }
 
+    /// The node's telemetry bundle (metrics registry, event journal,
+    /// lifecycle flags). Hand it to
+    /// [`splitbft_obs::MetricsServer::serve`] to expose `/metrics`.
+    pub fn telemetry(&self) -> Arc<NodeTelemetry> {
+        Arc::clone(&self.telemetry)
+    }
+
+    /// Requests a graceful drain (the SIGTERM path; the `STATUS` admin
+    /// verb does the same over the wire): the node stops admitting
+    /// client requests, finishes in-flight batches, seals a checkpoint,
+    /// and flushes the WAL. Poll `telemetry().drained()` for
+    /// completion, then call [`TcpNode::shutdown`] and exit 0.
+    pub fn request_drain(&self) {
+        self.telemetry.request_drain();
+        (self.send_drain_event)();
+    }
+
     /// Stops every thread and closes every connection, then joins them.
     pub fn shutdown(mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
@@ -415,6 +469,8 @@ fn accept_loop<P: Protocol>(
     events_tx: Sender<Event<P::Message>>,
     faults: Arc<FaultPlan>,
     fault_injection: bool,
+    status_admin: bool,
+    telemetry: Arc<NodeTelemetry>,
 ) {
     // Generation counter for connections accepted by this node; tags
     // registry entries so teardown of a stale connection never clobbers
@@ -436,6 +492,7 @@ fn accept_loop<P: Protocol>(
         let inbound_cleanup = Arc::clone(&inbound);
         let threads_for_reader = Arc::clone(&conn_threads);
         let faults = Arc::clone(&faults);
+        let telemetry = Arc::clone(&telemetry);
         // shutdown() unblocks readers by closing the registered stream
         // clones, after which they exit on read error and are joined.
         if let Ok(handle) = std::thread::Builder::new().name("conn-reader".into()).spawn(move || {
@@ -448,6 +505,8 @@ fn accept_loop<P: Protocol>(
                 shutdown,
                 faults,
                 fault_injection,
+                status_admin,
+                telemetry,
             );
             // Deregister so long-running nodes don't accumulate dead fds.
             inbound_cleanup.lock().expect("inbound registry").remove(&generation);
@@ -461,12 +520,17 @@ fn accept_loop<P: Protocol>(
     }
 }
 
-/// Sends replies to one connected client from a bounded queue. Runs on
-/// its own thread so a slow client never blocks the core loop; overflow
-/// and write errors drop replies (the client's retry logic recovers).
-fn client_writer(mut stream: TcpStream, replies: Receiver<Reply>) {
-    while let Ok(reply) = replies.recv() {
-        if write_value(&mut stream, frame_kind::REPLY, &reply).is_err() {
+/// Sends replies (and pre-framed `STATUS` responses) to one connected
+/// client from a bounded queue. Runs on its own thread so a slow client
+/// never blocks the core loop; overflow and write errors drop frames
+/// (the client's retry logic recovers).
+fn client_writer(mut stream: TcpStream, replies: Receiver<ClientFrame>) {
+    while let Ok(queued) = replies.recv() {
+        let result = match queued {
+            ClientFrame::Reply(reply) => write_value(&mut stream, frame_kind::REPLY, &reply),
+            ClientFrame::Raw(framed) => io::Write::write_all(&mut stream, &framed),
+        };
+        if result.is_err() {
             break;
         }
     }
@@ -483,8 +547,11 @@ fn read_connection<P: Protocol>(
     shutdown: Arc<AtomicBool>,
     faults: Arc<FaultPlan>,
     fault_injection: bool,
+    status_admin: bool,
+    telemetry: Arc<NodeTelemetry>,
 ) -> io::Result<()> {
     let (kind, hello) = read_frame(&mut stream)?;
+    telemetry.bytes_in.add((FRAME_HEADER_LEN + hello.len()) as u64);
     // For replica connections, the hello-claimed peer id. State-transfer
     // frames are only honored on peer connections and only when their
     // embedded replica id matches the hello, so one connection cannot
@@ -492,6 +559,9 @@ fn read_connection<P: Protocol>(
     // the same trust boundary as the rest of the transport; protocol
     // payloads carry their own signatures/MACs).
     let mut peer_id: Option<ReplicaId> = None;
+    // The connection's writer lane, kept on the reader so `STATUS`
+    // responses can be answered in-line (client connections only).
+    let mut status_lane: Option<SyncSender<ClientFrame>> = None;
     let registered_client = match kind {
         frame_kind::PEER_HELLO => {
             peer_id = Some(
@@ -502,7 +572,7 @@ fn read_connection<P: Protocol>(
         frame_kind::CLIENT_HELLO => {
             let client: ClientId = decode(&hello)
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-            let (reply_tx, reply_rx) = sync_channel::<Reply>(CLIENT_REPLY_QUEUE);
+            let (reply_tx, reply_rx) = sync_channel::<ClientFrame>(CLIENT_REPLY_QUEUE);
             let writer_stream = stream.try_clone()?;
             if let Ok(handle) = std::thread::Builder::new()
                 .name("client-writer".into())
@@ -510,6 +580,7 @@ fn read_connection<P: Protocol>(
             {
                 conn_threads.lock().expect("conn thread registry").push(handle);
             }
+            status_lane = Some(reply_tx.clone());
             // A reconnecting client replaces its own old entry; the old
             // writer exits when its sender is dropped here.
             clients
@@ -529,6 +600,7 @@ fn read_connection<P: Protocol>(
     let result = (|| -> io::Result<()> {
         loop {
             let (kind, payload) = read_frame(&mut stream)?;
+            telemetry.bytes_in.add((FRAME_HEADER_LEN + payload.len()) as u64);
             if shutdown.load(Ordering::SeqCst) {
                 return Ok(());
             }
@@ -574,6 +646,51 @@ fn read_connection<P: Protocol>(
                     let cmd: FaultCommand = decode(&payload)
                         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
                     faults.apply(cmd);
+                    telemetry.record_event(StatusEvent::FaultPlanApplied);
+                    continue;
+                }
+                frame_kind::STATUS => {
+                    // Observability queries and admin verbs, answered
+                    // in-line through the connection's writer lane so
+                    // responses never interleave with replies. Only
+                    // client connections carry a lane; a peer sending
+                    // STATUS is protocol garbage.
+                    let Some(lane) = &status_lane else {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            "STATUS on a peer connection",
+                        ));
+                    };
+                    let req: StatusRequest = decode(&payload)
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                    let response = match req.verb {
+                        StatusVerb::Snapshot => StatusResponse::Snapshot(telemetry.snapshot()),
+                        StatusVerb::Events { since } => StatusResponse::Events {
+                            head: telemetry.journal.head(),
+                            events: telemetry.journal.since(since),
+                        },
+                        StatusVerb::Drain if status_admin => {
+                            telemetry.request_drain();
+                            let _ = events_tx.send(Event::Drain);
+                            StatusResponse::DrainStarted
+                        }
+                        StatusVerb::Drain => {
+                            // Ungated admin verb: answer Refused, then
+                            // close the connection — the FAULT_CONTROL
+                            // stance. The writer drains its queue before
+                            // exiting, so the refusal still reaches the
+                            // caller.
+                            let framed =
+                                Arc::new(frame(frame_kind::STATUS, &encode(&StatusResponse::Refused)));
+                            let _ = lane.try_send(ClientFrame::Raw(framed));
+                            return Err(io::Error::new(
+                                io::ErrorKind::PermissionDenied,
+                                "status admin verbs are not enabled on this node",
+                            ));
+                        }
+                    };
+                    let framed = Arc::new(frame(frame_kind::STATUS, &encode(&response)));
+                    let _ = lane.try_send(ClientFrame::Raw(framed));
                     continue;
                 }
                 _ => continue, // tolerate unknown kinds from newer peers
@@ -619,13 +736,23 @@ impl PeerSink for HashMap<ReplicaId, PeerOutbox> {
 /// The blocking backend's client path: hand each reply to the client's
 /// writer thread without blocking the core loop. A full queue or a gone
 /// client drops the reply (the client's own timeout/retry logic
-/// recovers).
-impl ClientSink for ClientRegistry {
+/// recovers); refused frames count into the node's ring-refusal
+/// telemetry, same as the evented backend's bounded rings.
+struct BlockingClients {
+    registry: ClientRegistry,
+    telemetry: Arc<NodeTelemetry>,
+}
+
+impl ClientSink for BlockingClients {
     fn reply(&mut self, to: ClientId, reply: Reply) {
-        let mut registry = self.lock().expect("client registry");
+        let mut registry = self.registry.lock().expect("client registry");
         if let Some(entry) = registry.get(&to) {
-            if let Err(TrySendError::Disconnected(_)) = entry.replies.try_send(reply) {
-                registry.remove(&to);
+            match entry.replies.try_send(ClientFrame::Reply(reply)) {
+                Err(TrySendError::Disconnected(_)) => {
+                    registry.remove(&to);
+                }
+                Err(TrySendError::Full(_)) => self.telemetry.ring_refusals.inc(),
+                Ok(()) => {}
             }
         }
     }
@@ -645,7 +772,9 @@ fn core_loop<P: Protocol>(
     // timer, and the state-transfer client (see `crate::host`); this
     // loop only moves events in and batches out.
     let mut peers = outboxes;
-    let mut clients = clients;
+    let queue_depth_high_water = gauges.telemetry.queue_depth_high_water.clone();
+    let mut clients =
+        BlockingClients { registry: clients, telemetry: Arc::clone(&gauges.telemetry) };
     let mut host = Host::new(id, protocol, recovery, gauges, &mut peers);
 
     'main: while let Ok(first) = events_rx.recv() {
@@ -682,6 +811,7 @@ fn core_loop<P: Protocol>(
                 Err(TryRecvError::Disconnected) => None,
             };
         }
+        queue_depth_high_water.record_max(drained as u64);
         host.finish_batch(outputs, &mut peers, &mut clients);
         if stop {
             break 'main;
@@ -1096,6 +1226,12 @@ mod tests {
         fn on_timeout(&mut self) -> Vec<ProtocolOutput<u64>> {
             Vec::new()
         }
+
+        // Replies are produced synchronously, so nothing is ever
+        // pending — lets the drain test reach the sealed state.
+        fn has_pending_requests(&self) -> bool {
+            false
+        }
     }
 
     #[test]
@@ -1168,6 +1304,76 @@ mod tests {
             std::thread::sleep(Duration::from_millis(5));
         }
         assert!(faults.is_active(), "an opted-in node applies the command");
+        node.shutdown();
+    }
+
+    #[test]
+    fn status_snapshot_and_events_serve_without_any_gate() {
+        let config =
+            TcpNodeConfig::new(ReplicaId(3), "127.0.0.1:0".parse().unwrap(), Vec::new());
+        let node = TcpNode::spawn(config, EchoProtocol { id: ReplicaId(3) }).unwrap();
+        let addr = node.local_addr();
+
+        // Commit one request so the snapshot has something to report.
+        let mut client =
+            TcpClient::connect(ClientId(7), &[addr], Duration::from_secs(5)).unwrap();
+        let request = Request {
+            id: RequestId { client: ClientId(7), timestamp: Timestamp(1) },
+            op: bytes::Bytes::from_static(b"ping"),
+            encrypted: false,
+            auth: [0u8; 32],
+        };
+        client.send_to(0, &[request]).unwrap();
+        client.replies().recv_timeout(Duration::from_secs(5)).unwrap();
+
+        let snapshot = crate::status::fetch_snapshot(addr).unwrap();
+        assert_eq!(snapshot.version, splitbft_types::status::SNAPSHOT_VERSION);
+        assert_eq!(snapshot.replica, 3);
+        assert!(snapshot.bytes_in > 0, "the request frame must be counted");
+        assert!(!snapshot.draining);
+
+        let (head, events) = crate::status::fetch_events(addr, 0).unwrap();
+        assert_eq!(head as usize, events.len(), "a fresh journal starts at zero");
+
+        client.close();
+        node.shutdown();
+    }
+
+    #[test]
+    fn status_drain_requires_explicit_opt_in() {
+        // Default node: the Drain verb is refused and the connection
+        // closed — same stance as FAULT_CONTROL, but with a decodable
+        // refusal so operators see *why*.
+        let config =
+            TcpNodeConfig::new(ReplicaId(0), "127.0.0.1:0".parse().unwrap(), Vec::new());
+        let node = TcpNode::spawn(config, EchoProtocol { id: ReplicaId(0) }).unwrap();
+        let err = crate::status::request_drain(node.local_addr())
+            .expect_err("an ungated node must refuse the drain verb");
+        assert!(
+            matches!(
+                err.kind(),
+                io::ErrorKind::PermissionDenied | io::ErrorKind::UnexpectedEof
+            ),
+            "refusal surfaces as PermissionDenied (or EOF if the close wins the race): {err}"
+        );
+        let snapshot = crate::status::fetch_snapshot(node.local_addr()).unwrap();
+        assert!(!snapshot.draining, "a refused drain must not start");
+        node.shutdown();
+
+        // Opted-in node: the drain runs to completion — checkpoint
+        // sealed, journal evidence recorded, snapshot flags flipped.
+        let mut config =
+            TcpNodeConfig::new(ReplicaId(0), "127.0.0.1:0".parse().unwrap(), Vec::new());
+        config.status_admin = true;
+        let node = TcpNode::spawn(config, EchoProtocol { id: ReplicaId(0) }).unwrap();
+        let addr = node.local_addr();
+        crate::status::request_drain(addr).unwrap();
+        crate::status::await_event(addr, 0, Duration::from_secs(10), |event| {
+            matches!(event, StatusEvent::DrainCompleted)
+        })
+        .unwrap();
+        let snapshot = crate::status::fetch_snapshot(addr).unwrap();
+        assert!(snapshot.draining && snapshot.drained);
         node.shutdown();
     }
 

@@ -27,6 +27,7 @@
 //! (tokio) from crates.io; both stacks stay on `std::net` and keep the
 //! TCB free of unsafe executor code.
 
+use splitbft_obs::NodeTelemetry;
 use splitbft_types::wire::{
     decode, encode, frame, Decode, Encode, FrameHeader, FRAME_HEADER_LEN,
 };
@@ -226,6 +227,56 @@ pub trait Protocol: Send + 'static {
     fn shard_fsyncs(&self) -> Vec<u64> {
         vec![self.durable_fsyncs()]
     }
+
+    // --- observability hooks ------------------------------------------------
+    //
+    // Read-only probes feeding the telemetry plane (`splitbft-obs`).
+    // All default to "nothing to report" so existing protocols and the
+    // test doubles in this crate keep compiling unchanged; hosts poll
+    // them once per drain batch, never on a per-message hot path.
+
+    /// The protocol's current view number (the first compartment's view
+    /// for multi-compartment protocols). Protocols without a view notion
+    /// keep the default `0`.
+    fn current_view(&self) -> u64 {
+        0
+    }
+
+    /// Number of client requests accepted but not yet executed. The
+    /// default derives a 0/1 signal from
+    /// [`Protocol::has_pending_requests`]; protocols that track an exact
+    /// count should override.
+    fn pending_request_count(&self) -> u64 {
+        u64::from(self.has_pending_requests())
+    }
+
+    /// Current write-ahead-log length in bytes — `0` for non-durable
+    /// protocols.
+    fn wal_bytes(&self) -> u64 {
+        0
+    }
+
+    /// Monotone count of durable checkpoints sealed to disk — `0` for
+    /// non-durable protocols.
+    fn checkpoint_seal_count(&self) -> u64 {
+        0
+    }
+
+    /// Per-shard breakdown of [`Protocol::current_view`]. The default is
+    /// the single-group view; a sharded combinator returns one entry per
+    /// inner instance.
+    fn shard_views(&self) -> Vec<u64> {
+        vec![self.current_view()]
+    }
+
+    /// Graceful-drain epilogue: force a checkpoint seal and WAL flush so
+    /// the node's durable state is complete before it exits. Called once
+    /// by the host after a drain request once no requests are pending;
+    /// any outputs returned are routed like a normal batch. Non-durable
+    /// protocols keep the default no-op.
+    fn drain_seal(&mut self) -> Vec<ProtocolOutput<Self::Message>> {
+        Vec::new()
+    }
 }
 
 /// Frame discriminators used by the socket transport (the `kind` byte of
@@ -254,6 +305,15 @@ pub mod frame_kind {
     /// (`TcpNodeConfig::fault_injection`) — everyone else closes the
     /// connection.
     pub const FAULT_CONTROL: u8 = 8;
+    /// An observability query or admin verb on a client connection;
+    /// payload: `StatusRequest`, answered with one `StatusResponse`
+    /// frame of the same kind (see [`crate::status`]). Read-only verbs
+    /// (snapshot, event-journal suffix) are always served; admin verbs
+    /// (drain) are honored only by nodes launched with
+    /// `TcpNodeConfig::status_admin` — everyone else answers
+    /// `StatusResponse::Refused` and closes the connection, mirroring
+    /// the `FAULT_CONTROL` gate.
+    pub const STATUS: u8 = 9;
 }
 
 fn wire_to_io(e: splitbft_types::wire::WireError) -> io::Error {
@@ -386,12 +446,28 @@ impl PeerOutbox {
         policy: BatchPolicy,
         faults: Arc<crate::fault::FaultPlan>,
     ) -> Self {
+        Self::spawn_observed(local, peer, addr, policy, faults, None)
+    }
+
+    /// Like [`PeerOutbox::spawn_with_faults`], additionally feeding the
+    /// node's telemetry: bytes written to this link count into
+    /// `bytes_out`, and every successful re-establishment of a
+    /// previously-connected link counts into `reconnects` (the first
+    /// connection of a link's life is not a *re*-connect).
+    pub fn spawn_observed(
+        local: ReplicaId,
+        peer: ReplicaId,
+        addr: SocketAddr,
+        policy: BatchPolicy,
+        faults: Arc<crate::fault::FaultPlan>,
+        telemetry: Option<Arc<NodeTelemetry>>,
+    ) -> Self {
         let (tx, rx) = channel::<Arc<Vec<u8>>>();
         let closed = Arc::new(AtomicBool::new(false));
         let closed_worker = Arc::clone(&closed);
         let worker = std::thread::Builder::new()
             .name(format!("outbox-{}-to-{}", local.0, peer.0))
-            .spawn(move || outbox_worker(local, addr, rx, closed_worker, policy))
+            .spawn(move || outbox_worker(local, addr, rx, closed_worker, policy, telemetry))
             .expect("spawn outbox worker");
         PeerOutbox {
             local,
@@ -510,8 +586,9 @@ fn outbox_worker(
     rx: Receiver<Arc<Vec<u8>>>,
     closed: Arc<AtomicBool>,
     policy: BatchPolicy,
+    telemetry: Option<Arc<NodeTelemetry>>,
 ) {
-    let mut conn: Option<TcpStream> = None;
+    let mut link = Link { conn: None, ever_connected: false, telemetry };
     'main: loop {
         // Block for the first message of the next batch.
         let first = match rx.recv() {
@@ -548,39 +625,57 @@ fn outbox_worker(
                 }
                 Err(()) => {
                     // Flush this final batch, then exit.
-                    flush(&mut conn, local, addr, &batch, &closed);
+                    flush(&mut link, local, addr, &batch, &closed);
                     break 'main;
                 }
             }
         }
-        flush(&mut conn, local, addr, &batch, &closed);
+        flush(&mut link, local, addr, &batch, &closed);
         if closed.load(Ordering::SeqCst) {
             break;
         }
     }
 }
 
+/// One outbox worker's connection state plus the telemetry it feeds.
+struct Link {
+    conn: Option<TcpStream>,
+    /// Whether this link ever connected — distinguishes the first
+    /// connection of its life from a *re*-connect for the counter.
+    ever_connected: bool,
+    telemetry: Option<Arc<NodeTelemetry>>,
+}
+
 /// Writes `batch` to the peer, reconnecting if needed. One reconnect
 /// cycle per batch: a batch that fails on a fresh connection is dropped.
 fn flush(
-    conn: &mut Option<TcpStream>,
+    link: &mut Link,
     local: ReplicaId,
     addr: SocketAddr,
     batch: &[u8],
     closed: &AtomicBool,
 ) {
     for _attempt in 0..2 {
-        if conn.is_none() {
-            *conn = connect_with_hello(local, addr, closed);
-            if conn.is_none() {
+        if link.conn.is_none() {
+            link.conn = connect_with_hello(local, addr, closed);
+            if link.conn.is_none() {
                 return; // closed while reconnecting
             }
+            if let Some(telemetry) = &link.telemetry {
+                if link.ever_connected {
+                    telemetry.reconnects.add(1);
+                }
+            }
+            link.ever_connected = true;
         }
-        let stream = conn.as_mut().expect("connection established above");
+        let stream = link.conn.as_mut().expect("connection established above");
         if stream.write_all(batch).and_then(|()| stream.flush()).is_ok() {
+            if let Some(telemetry) = &link.telemetry {
+                telemetry.bytes_out.add(batch.len() as u64);
+            }
             return;
         }
-        *conn = None; // stale connection: reconnect and retry once
+        link.conn = None; // stale connection: reconnect and retry once
     }
 }
 

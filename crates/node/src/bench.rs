@@ -38,8 +38,9 @@ use crate::{
 };
 use splitbft_loadgen::driver::{self, DriverConfig, LoadMode};
 use splitbft_loadgen::report::{
-    BatchSummary, BenchReport, RateSweepReport, ShardingSummary, SweepPoint,
+    BatchSummary, BenchReport, MetricsSummary, RateSweepReport, ShardingSummary, SweepPoint,
 };
+use splitbft_obs::{MetricsServer, NodeTelemetry};
 use splitbft_loadgen::workload::Workload;
 use splitbft_net::backend::{AnyBound, AnyNode, TransportKind};
 use splitbft_net::tcp::PeerAddr;
@@ -126,6 +127,31 @@ impl LocalCluster {
         out
     }
 
+    /// One node's telemetry handle (for serving `/metrics` during a
+    /// self-orchestrated run).
+    pub fn node_telemetry(&self, id: usize) -> std::sync::Arc<NodeTelemetry> {
+        self.nodes[id].telemetry()
+    }
+
+    /// The cluster's final telemetry snapshot for the report's
+    /// `metrics` section: counters summed across replicas, the inbound
+    /// queue-depth high-water taken as the max (depths don't add
+    /// meaningfully).
+    pub fn metrics_summary(&self) -> MetricsSummary {
+        let mut out = MetricsSummary::default();
+        for node in &self.nodes {
+            let snapshot = node.telemetry().snapshot();
+            out.fsyncs += snapshot.fsyncs;
+            out.ring_refusals += snapshot.ring_refusals;
+            out.reconnects += snapshot.reconnects;
+            out.queue_depth_high_water =
+                out.queue_depth_high_water.max(snapshot.queue_depth_high_water);
+            out.bytes_in += snapshot.bytes_in;
+            out.bytes_out += snapshot.bytes_out;
+        }
+        out
+    }
+
     /// Stops every node and joins their threads.
     pub fn shutdown(self) {
         for node in self.nodes {
@@ -193,6 +219,11 @@ pub struct BenchInvocation {
     pub drain_timeout: Duration,
     /// First load-generator client id.
     pub client_id_base: u32,
+    /// Serve replica 0's telemetry over HTTP for the run's duration
+    /// (`--metrics-addr`): Prometheus text at `/metrics` plus
+    /// `/healthz` and `/readyz`, so an operator (or the CI smoke job)
+    /// can scrape a live bench. Self-orchestrated clusters only.
+    pub metrics_addr: Option<SocketAddr>,
 }
 
 /// Parses `5s`, `500ms`, or a plain number of seconds.
@@ -217,7 +248,7 @@ const KNOWN_FLAGS: &[&str] = &[
     "--batch-frames", "--batch-bytes", "--batch-linger-us", "--sweep-batch-frames",
     "--timeout-ms", "--out", "--name", "--window-ms", "--retry-ms", "--drain-secs",
     "--client-base", "--data-dir", "--sweep-rate", "--wal-group-commit-us", "--shards",
-    "--transport",
+    "--transport", "--metrics-addr",
 ];
 
 /// Parses the `bench` subcommand's arguments.
@@ -379,6 +410,13 @@ pub fn parse_args(args: &[String]) -> Result<BenchInvocation, String> {
         retry_every: Duration::from_millis(parse_flag(args, "--retry-ms", 1_000u64)?.max(1)),
         drain_timeout: Duration::from_secs(parse_flag(args, "--drain-secs", 15u64)?),
         client_id_base: parse_flag(args, "--client-base", 1_000u32)?,
+        metrics_addr: match flag(args, "--metrics-addr") {
+            None => None,
+            Some(addr) => Some(
+                addr.parse()
+                    .map_err(|_| format!("--metrics-addr must be host:port, got {addr:?}"))?,
+            ),
+        },
     })
 }
 
@@ -563,6 +601,7 @@ fn run_measurement(
         byzantine: None,
         shards,
         fault_injection: false,
+        status_admin: false,
         transport,
     };
 
@@ -592,6 +631,24 @@ fn run_measurement(
             };
             (Some(cluster), file)
         }
+    };
+
+    // Live telemetry for the run: replica 0's gauges over HTTP, so an
+    // operator (or the CI smoke job) can scrape a bench in flight.
+    let metrics_server = match (&cluster, invocation.metrics_addr) {
+        (Some(cluster), Some(addr)) => {
+            let server = MetricsServer::serve(addr, cluster.node_telemetry(0))?;
+            eprintln!(
+                "bench: metrics on http://{}/metrics (health: /healthz, /readyz)",
+                server.local_addr()
+            );
+            Some(server)
+        }
+        (None, Some(_)) => {
+            eprintln!("bench: --metrics-addr ignored (external cluster has no local telemetry)");
+            None
+        }
+        _ => None,
     };
 
     let result = (|| -> io::Result<BenchReport> {
@@ -664,10 +721,16 @@ fn run_measurement(
         }))
     })();
 
-    // Self-orchestrated durable runs report the durability plane's
-    // cost: fsync totals come from the in-process nodes' gauges.
+    // Self-orchestrated runs close with the nodes' own gauges: every
+    // report carries a final telemetry snapshot (so BENCH_*.json is
+    // self-contained evidence), and durable runs additionally report
+    // the durability plane's fsync cost.
     let result = result.map(|report| match &cluster {
-        Some(cluster) if invocation.data_dir.is_some() => {
+        Some(cluster) => {
+            let report = report.with_metrics(cluster.metrics_summary());
+            if invocation.data_dir.is_none() {
+                return report;
+            }
             let fsyncs = cluster.fsyncs();
             let completed = report.completed;
             report.with_durability(splitbft_loadgen::report::DurabilitySummary {
@@ -676,8 +739,11 @@ fn run_measurement(
                 fsyncs_per_completed: (completed > 0).then(|| fsyncs as f64 / completed as f64),
             })
         }
-        _ => report,
+        None => report,
     });
+    if let Some(server) = metrics_server {
+        server.shutdown();
+    }
     if let Some(cluster) = cluster {
         cluster.shutdown();
     }

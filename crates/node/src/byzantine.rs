@@ -278,6 +278,33 @@ where
     fn durable_fsyncs(&self) -> u64 {
         self.inner.durable_fsyncs()
     }
+
+    fn current_view(&self) -> u64 {
+        self.inner.current_view()
+    }
+
+    fn pending_request_count(&self) -> u64 {
+        self.inner.pending_request_count()
+    }
+
+    fn wal_bytes(&self) -> u64 {
+        self.inner.wal_bytes()
+    }
+
+    fn checkpoint_seal_count(&self) -> u64 {
+        self.inner.checkpoint_seal_count()
+    }
+
+    fn shard_views(&self) -> Vec<u64> {
+        self.inner.shard_views()
+    }
+
+    fn drain_seal(&mut self) -> Vec<ProtocolOutput<P::Message>> {
+        // Drain-time sealing is local bookkeeping; the byzantine lens
+        // only distorts network outputs, which `mutate` still covers.
+        let outputs = self.inner.drain_seal();
+        self.mutate(outputs)
+    }
 }
 
 #[cfg(test)]

@@ -79,7 +79,7 @@ use splitbft_pbft::{ClientEvent, PbftClient, Replica as PbftReplica};
 use splitbft_shard::{ShardMember, ShardRouter, Sharded};
 use splitbft_store::{replica_sealing_identity, DurableProtocol};
 use splitbft_tee::{CostModel, ExecMode};
-use splitbft_types::{ClientId, ClusterConfig, ReplicaId, Reply, ShardId};
+use splitbft_types::{ClientId, ClusterConfig, ReplicaId, Reply, ShardId, StatusEvent};
 use std::fmt;
 use std::io;
 use std::net::SocketAddr;
@@ -199,6 +199,12 @@ pub struct NodeOptions {
     /// connecting client install drop rules or partitions; the chaos
     /// harness passes the flag to the clusters it spawns.
     pub fault_injection: bool,
+    /// Honor `STATUS` admin verbs — today, graceful drain
+    /// (`--enable-status-admin` on the CLI). Off by default for the
+    /// same reason as `fault_injection`: any connecting client could
+    /// otherwise shut the replica down. Read-only `STATUS` queries
+    /// (snapshot, events) are always served.
+    pub status_admin: bool,
     /// Which socket backend serves this node (`transport` in the
     /// cluster file, `--transport` on the CLI): `blocking` — the
     /// thread-per-connection runtime — or `evented` — the
@@ -217,6 +223,7 @@ impl Default for NodeOptions {
             byzantine: None,
             shards: 1,
             fault_injection: false,
+            status_admin: false,
             transport: TransportKind::default(),
         }
     }
@@ -482,6 +489,7 @@ pub fn start_replica_on(
     config.batch = options.batch;
     config.timeout_every = options.timeout_every;
     config.fault_injection = options.fault_injection;
+    config.status_admin = options.status_admin;
     let durability = match &options.data_dir {
         None => None,
         Some(base) => {
@@ -579,9 +587,26 @@ fn start_durable<P: Protocol>(
             let durable = DurableProtocol::recover(protocol, &dir, identity)?
                 .with_group_commit(group_commit);
             log_recovery(bound.id(), None, &durable);
-            bound.start(config, durable)
+            let recovered = recovered_event(&durable);
+            let node = bound.start(config, durable)?;
+            if let Some(event) = recovered {
+                node.telemetry().record_event(event);
+            }
+            Ok(node)
         }
     }
+}
+
+/// The journal event describing what a [`DurableProtocol::recover`]
+/// found on disk, or `None` when the directory was fresh. Recovery
+/// happens before the node starts, so the caller records this on the
+/// node's telemetry right after `bound.start`.
+fn recovered_event<P: Protocol>(durable: &DurableProtocol<P>) -> Option<StatusEvent> {
+    let report = durable.recovery_report();
+    report.recovered_anything().then(|| StatusEvent::Recovered {
+        replayed_events: report.replayed_events as u64,
+        checkpoint_seq: report.restored_checkpoint.map_or(0, |s| s.0),
+    })
 }
 
 /// Logs one replica's (or one shard's) recovery outcome, if anything
@@ -641,6 +666,7 @@ fn host_shards<P: Protocol>(
         Some(Durability { dir, group_commit }) => {
             let identity = replica_sealing_identity(seed, bound.id());
             let mut instances = Vec::with_capacity(sharding.shards as usize);
+            let mut recovered = Vec::new();
             for s in 0..sharding.shards {
                 let shard_dir = dir.join(format!("shard-{s}"));
                 let member = ShardMember::new(ShardId(s), make());
@@ -663,9 +689,14 @@ fn host_shards<P: Protocol>(
                     ));
                 }
                 log_recovery(bound.id(), Some(ShardId(s)), &durable);
+                recovered.extend(recovered_event(&durable));
                 instances.push(durable);
             }
-            bound.start(config, Sharded::new(router, instances))
+            let node = bound.start(config, Sharded::new(router, instances))?;
+            for event in recovered {
+                node.telemetry().record_event(event);
+            }
+            Ok(node)
         }
     }
 }

@@ -20,9 +20,38 @@ use splitbft_node::{
     apply_batch_flags, apply_durability_flags, bench, chaos, cli_flag as flag,
     parse_cluster_toml, run_client, run_replica, ClusterFile, NodeOptions, ProtocolKind,
 };
+use splitbft_obs::MetricsServer;
 use splitbft_types::{ClientId, ReplicaId};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
+
+/// Set by the `SIGTERM` handler; the serve loop polls it and turns the
+/// signal into a graceful drain (stop admitting requests, finish
+/// in-flight batches, seal a checkpoint, flush the WAL, exit 0).
+static TERMINATE: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_sigterm(_signum: i32) {
+    // Async-signal-safe: one relaxed store, nothing else.
+    TERMINATE.store(true, Ordering::Relaxed);
+}
+
+/// Installs the `SIGTERM` handler via the libc `signal(2)` entry point.
+/// The workspace has no `libc` crate, so the binary declares the symbol
+/// itself; this is the only unsafe-adjacent code in the repo and it
+/// lives in the binary, outside every `#![forbid(unsafe_code)]` crate.
+fn install_sigterm_handler() {
+    #[cfg(unix)]
+    {
+        const SIGTERM: i32 = 15;
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        unsafe {
+            signal(SIGTERM, on_sigterm);
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -52,7 +81,8 @@ USAGE:
                          [--timeout-ms <ms>] [--batch-frames <n>]
                          [--batch-bytes <n>] [--batch-linger-us <us>]
                          [--shards <n>] [--transport blocking|evented]
-                         [--enable-fault-injection]
+                         [--enable-fault-injection] [--enable-status-admin]
+                         [--metrics-addr <host:port>]
     splitbft-node client --config <cluster.toml> [--protocol <p>] [--client <id>]
                          [--op <bytes>] [--requests <n>] [--timeout-secs <s>]
     splitbft-node bench  (--protocol <p> | --compare) [--config <cluster.toml>]
@@ -68,7 +98,8 @@ USAGE:
     splitbft-node chaos  --scenario rolling-restart|repeated-kill|primary-kill|
                                     staggered-start|partition-primary|asymmetric-link|
                                     equivocate-under-load|concurrent-victim|
-                                    lossy-link|reorder-under-load|duplicate-storm
+                                    lossy-link|reorder-under-load|duplicate-storm|
+                                    drain-restart
                          (--protocol <p> | --compare) [--replicas <n>] [--rounds <n>]
                          [--clients <n>] [--pipeline <n>] [--timeout-ms <ms>]
                          [--wal-group-commit-us <us>] [--rejoin-secs <s>]
@@ -86,6 +117,12 @@ plus peer state transfer. `--wal-group-commit-us` shares one WAL fsync
 across each core-loop drain batch. `--enable-fault-injection` lets the
 replica honor unauthenticated FAULT_CONTROL frames (partitions, lossy
 links); it is for chaos harnesses only — never pass it in production.
+`--enable-status-admin` likewise gates the STATUS admin verbs (graceful
+drain) — read-only STATUS queries are always served. `--metrics-addr`
+serves Prometheus text at /metrics plus /healthz and /readyz on that
+address. SIGTERM drains gracefully: the replica stops admitting client
+requests, finishes in-flight batches, seals a checkpoint, flushes the
+WAL, and exits 0.
 `--transport` picks the socket backend: `blocking` (thread-per-
 connection, the default) or `evented` (one readiness loop per node);
 both speak the same wire format. `bench --transport blocking,evented`
@@ -133,6 +170,9 @@ fn options_from(args: &[String], file: &ClusterFile) -> Result<NodeOptions, Stri
     if args.iter().any(|a| a == "--enable-fault-injection") {
         options.fault_injection = true;
     }
+    if args.iter().any(|a| a == "--enable-status-admin") {
+        options.status_admin = true;
+    }
     apply_durability_flags(args, &mut options)?;
     apply_batch_flags(args, &mut options.batch)?;
     Ok(options)
@@ -148,15 +188,44 @@ fn serve(args: &[String]) -> ExitCode {
         let options = options_from(args, &file)?;
         let node =
             run_replica(&file, protocol, ReplicaId(id), &options).map_err(|e| e.to_string())?;
+        // Keep the metrics server alive for the process lifetime; it
+        // reads the same telemetry handle the node writes.
+        let _metrics = match flag(args, "--metrics-addr") {
+            None => None,
+            Some(addr) => {
+                let addr = addr
+                    .parse()
+                    .map_err(|_| format!("--metrics-addr must be host:port, got {addr:?}"))?;
+                let server =
+                    MetricsServer::serve(addr, node.telemetry()).map_err(|e| e.to_string())?;
+                println!(
+                    "replica {id} metrics on http://{}/metrics (health: /healthz, /readyz)",
+                    server.local_addr(),
+                );
+                Some(server)
+            }
+        };
         println!(
             "replica {id} serving {protocol} on {} ({} replicas, app {:?})",
             node.local_addr(),
             file.n(),
             file.app,
         );
-        // Serve until killed: the node's own threads do all the work.
+        install_sigterm_handler();
+        // Serve until SIGTERM (or an admin drain over STATUS): the
+        // node's own threads do all the work; this loop only watches
+        // for the drain-and-exit conditions.
+        let telemetry = node.telemetry();
         loop {
-            std::thread::park();
+            std::thread::sleep(Duration::from_millis(50));
+            if TERMINATE.load(Ordering::Relaxed) && !telemetry.draining() {
+                eprintln!("replica {id}: SIGTERM — draining (no new requests, sealing checkpoint)");
+                node.request_drain();
+            }
+            if telemetry.drained() {
+                eprintln!("replica {id}: drain complete — WAL flushed, checkpoint sealed; exiting");
+                return Ok(());
+            }
         }
     };
     run_to_exit(run())

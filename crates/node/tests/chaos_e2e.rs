@@ -20,8 +20,14 @@
 //! - **concurrent victims, splitbft n=7 (f=2)**: a single partition
 //!   cuts two replicas at once; the five-replica side keeps committing
 //!   (exactly `2f + 1`) and commits resume within budget after heal.
+//! - **drain restart, splitbft**: every replica is SIGTERM'd in turn
+//!   and must exit 0 *gracefully* — stop admitting, finish in-flight,
+//!   seal, flush — then restart and rejoin, with the safety monitor
+//!   proving zero lost committed requests across every drain.
 //!
-//! The three-protocol rolling-restart matrix runs in CI's `chaos` job;
+//! Rejoin detection and rejoin evidence come from the victims' `STATUS`
+//! snapshots and event journals, not stderr grepping. The
+//! three-protocol rolling-restart matrix runs in CI's `chaos` job;
 //! keeping one scenario per protocol family here bounds `cargo test`
 //! wall-clock.
 
@@ -99,6 +105,41 @@ fn splitbft_rolling_restart_rejoins_via_the_log_suffix_path() {
     let text = std::fs::read_to_string(&path).expect("read report back");
     assert!(text.contains("\"schema\": \"splitbft-chaos/v1\""));
     assert!(text.contains("\"scenario\": \"rolling-restart\""));
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn splitbft_drain_restart_loses_no_committed_requests() {
+    let _guard = serial();
+    let config = config_for("splitbft", "drain", 4, 2);
+    let schedule = schedule::drain_restart(4);
+    let report = run_scenario(&config, &schedule).expect("drain restart must complete");
+
+    assert!(report.ok(), "a phase assertion failed:\n{}", report.to_json());
+    assert_eq!(report.phases.len(), 4, "one graceful cycle per replica");
+    for phase in &report.phases {
+        // The drain step itself fails the phase unless the victim
+        // exited 0 within the budget, so `ok` already covers the
+        // graceful part; rejoin proves the restart side.
+        assert_eq!(phase.rejoined, Some(true), "{} victim never rejoined", phase.name);
+    }
+    // The point of the scenario: everything the monitor saw accepted
+    // (an f + 1 matching quorum) survived every SIGTERM — a lost
+    // committed increment would re-issue its counter value after the
+    // restart and register as a fork.
+    assert!(
+        report.safety_commits > 0,
+        "the safety monitor committed nothing — the zero-loss check never engaged"
+    );
+    assert!(
+        report.safety_violations.is_empty(),
+        "committed request lost (or forked) across a graceful drain:\n{:?}",
+        report.safety_violations
+    );
+
+    let out = config.root.parent().expect("temp root").to_path_buf();
+    let path = report.write_to(&out).expect("write report");
+    assert!(path.ends_with("BENCH_chaos_drain-restart_splitbft.json"));
     let _ = std::fs::remove_file(path);
 }
 

@@ -1,0 +1,391 @@
+//! Allocation-light latency and throughput recording.
+//!
+//! The hot path of a recorder must not allocate per sample, or the
+//! measurement perturbs the measured system. [`LatencyHistogram`] is a
+//! fixed-size log-bucketed histogram (exact below 32 µs, then 32
+//! sub-buckets per power of two — ≤ ~3 % relative bucket width across
+//! the full `u64` microsecond range), recorded into with two integer
+//! operations per sample. [`AtomicHistogram`] is the same bucket layout
+//! over atomic cells for recorders shared across threads.
+//! [`Windows`] tracks completions per fixed time window for the
+//! per-window throughput series in `BENCH_*.json` reports.
+//!
+//! This module started life in `splitbft-loadgen`; it moved here so the
+//! node-side metrics registry and the load generator share one bucket
+//! scheme (loadgen re-exports these types unchanged).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Values below this many microseconds get one exact bucket each.
+const LINEAR_CUTOFF: u64 = 32;
+/// Sub-buckets per power-of-two octave above the linear range.
+const SUB_BUCKETS: u64 = 32;
+/// `log2(SUB_BUCKETS)`.
+const SUB_SHIFT: u32 = 5;
+/// Total bucket count covering all of `u64`.
+const NUM_BUCKETS: usize = (LINEAR_CUTOFF as usize) + (64 - SUB_SHIFT as usize) * 32;
+
+/// A log-bucketed latency histogram over microsecond samples.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn bucket_index(micros: u64) -> usize {
+    if micros < LINEAR_CUTOFF {
+        micros as usize
+    } else {
+        let exp = 63 - micros.leading_zeros(); // floor(log2), >= SUB_SHIFT
+        let sub = ((micros >> (exp - SUB_SHIFT)) - SUB_BUCKETS) as usize;
+        LINEAR_CUTOFF as usize + (exp - SUB_SHIFT) as usize * SUB_BUCKETS as usize + sub
+    }
+}
+
+/// The smallest value mapping to bucket `index` (the value a percentile
+/// query reports; under-approximates by at most one bucket width).
+fn bucket_floor(index: usize) -> u64 {
+    if index < LINEAR_CUTOFF as usize {
+        index as u64
+    } else {
+        let octave = (index - LINEAR_CUTOFF as usize) / SUB_BUCKETS as usize;
+        let sub = ((index - LINEAR_CUTOFF as usize) % SUB_BUCKETS as usize) as u64;
+        let exp = SUB_SHIFT + octave as u32;
+        (1u64 << exp) + (sub << (exp - SUB_SHIFT))
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram { counts: vec![0; NUM_BUCKETS], count: 0, sum: 0, max: 0 }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Duration) {
+        let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.counts[bucket_index(micros)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(micros);
+        self.max = self.max.max(micros);
+    }
+
+    /// Folds another histogram into this one (used to merge per-client
+    /// recorders after a run).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded sample, in microseconds.
+    pub fn max_us(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of all samples, in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) in microseconds, resolved to the
+    /// lower bound of its bucket. Returns 0 for an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank == self.count {
+            return self.max; // the tail is tracked exactly
+        }
+        let mut seen = 0u64;
+        for (index, &n) in self.counts.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // The max is exact; prefer it for the tail bucket.
+                return bucket_floor(index).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// The same bucket layout as [`LatencyHistogram`] over atomic cells, so
+/// several threads can record without a lock and any thread can take a
+/// consistent-enough snapshot.
+///
+/// Recording increments the bucket *before* the total count, and
+/// [`AtomicHistogram::snapshot`] reads the total *before* the buckets,
+/// so a snapshot's per-bucket sum is never below its total — no sample
+/// is ever half-visible as "counted but bucketless".
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AtomicHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        AtomicHistogram {
+            counts: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one latency sample (lock-free; callable from any thread).
+    pub fn record(&self, latency: Duration) {
+        let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.counts[bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(micros, Ordering::Relaxed);
+        self.max.fetch_max(micros, Ordering::Relaxed);
+        // Last, so concurrent snapshots never see a count without its
+        // bucket (release pairs with the acquire load in `snapshot`).
+        self.count.fetch_add(1, Ordering::Release);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Acquire)
+    }
+
+    /// Copies the current state into a plain [`LatencyHistogram`] for
+    /// percentile queries and merging.
+    pub fn snapshot(&self) -> LatencyHistogram {
+        let count = self.count.load(Ordering::Acquire);
+        let sum = self.sum.load(Ordering::Relaxed);
+        let max = self.max.load(Ordering::Relaxed);
+        let counts: Vec<u64> = self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        // Clamp the bucket sum down to `count`: samples recorded during
+        // the copy may have hit a bucket but not yet the total.
+        let mut extra = counts.iter().sum::<u64>().saturating_sub(count);
+        let mut counts = counts;
+        for cell in counts.iter_mut().rev() {
+            if extra == 0 {
+                break;
+            }
+            let take = (*cell).min(extra);
+            *cell -= take;
+            extra -= take;
+        }
+        LatencyHistogram { counts, count, sum, max }
+    }
+}
+
+/// Completions per fixed wall-clock window since the run started — the
+/// per-window throughput series of a bench report.
+#[derive(Debug, Clone)]
+pub struct Windows {
+    window: Duration,
+    counts: Vec<u64>,
+}
+
+impl Windows {
+    /// An empty series with the given window length.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero window.
+    pub fn new(window: Duration) -> Self {
+        assert!(!window.is_zero(), "window must be positive");
+        Windows { window, counts: Vec::new() }
+    }
+
+    /// Records one completion at `elapsed` since the run started.
+    pub fn record(&mut self, elapsed: Duration) {
+        let index = (elapsed.as_nanos() / self.window.as_nanos()) as usize;
+        if index >= self.counts.len() {
+            self.counts.resize(index + 1, 0);
+        }
+        self.counts[index] += 1;
+    }
+
+    /// Folds another series (same window length) into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window lengths differ.
+    pub fn merge(&mut self, other: &Windows) {
+        assert_eq!(self.window, other.window, "cannot merge different window lengths");
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+    }
+
+    /// The window length.
+    pub fn window(&self) -> Duration {
+        self.window
+    }
+
+    /// Completions per window, in time order.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_contiguous_and_monotone() {
+        let mut last = 0;
+        for v in 0..100_000u64 {
+            let b = bucket_index(v);
+            assert!(b == last || b == last + 1, "bucket jump at {v}");
+            last = b;
+            assert!(bucket_floor(b) <= v, "floor({b}) > {v}");
+        }
+        // The largest possible sample still lands inside the table.
+        assert!(bucket_index(u64::MAX) < NUM_BUCKETS);
+    }
+
+    #[test]
+    fn bucket_relative_error_bounded() {
+        for v in [100u64, 1_000, 10_000, 1_000_000, 123_456_789] {
+            let floor = bucket_floor(bucket_index(v));
+            assert!(floor <= v);
+            let error = (v - floor) as f64 / (v as f64);
+            assert!(error < 1.0 / 32.0 + 1e-9, "error too large at {v}");
+        }
+    }
+
+    #[test]
+    fn percentiles_of_uniform_ramp() {
+        let mut h = LatencyHistogram::new();
+        for us in 1..=1000u64 {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.percentile(0.50);
+        let p99 = h.percentile(0.99);
+        // Bucketed answers land within one bucket (~3 %) of the truth.
+        assert!((470..=500).contains(&p50), "p50 = {p50}");
+        assert!((950..=990).contains(&p99), "p99 = {p99}");
+        assert_eq!(h.percentile(1.0), 1000);
+        assert_eq!(h.max_us(), 1000);
+        assert!((h.mean_us() - 500.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut whole = LatencyHistogram::new();
+        for us in 1..=500u64 {
+            a.record(Duration::from_micros(us));
+            whole.record(Duration::from_micros(us));
+        }
+        for us in 501..=1000u64 {
+            b.record(Duration::from_micros(us));
+            whole.record(Duration::from_micros(us));
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        for q in [0.5, 0.9, 0.99] {
+            assert_eq!(a.percentile(q), whole.percentile(q));
+        }
+    }
+
+    #[test]
+    fn windows_accumulate_and_merge() {
+        let mut w = Windows::new(Duration::from_secs(1));
+        w.record(Duration::from_millis(100));
+        w.record(Duration::from_millis(900));
+        w.record(Duration::from_millis(1500));
+        assert_eq!(w.counts(), &[2, 1]);
+
+        let mut other = Windows::new(Duration::from_secs(1));
+        other.record(Duration::from_millis(2500));
+        w.merge(&other);
+        assert_eq!(w.counts(), &[2, 1, 1]);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.max_us(), 0);
+        assert_eq!(h.mean_us(), 0.0);
+    }
+
+    #[test]
+    fn atomic_histogram_matches_sequential_recording() {
+        let atomic = AtomicHistogram::new();
+        let mut plain = LatencyHistogram::new();
+        for us in 1..=1000u64 {
+            atomic.record(Duration::from_micros(us));
+            plain.record(Duration::from_micros(us));
+        }
+        let snap = atomic.snapshot();
+        assert_eq!(snap.count(), plain.count());
+        assert_eq!(snap.max_us(), plain.max_us());
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(snap.percentile(q), plain.percentile(q));
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing_and_never_tears() {
+        use std::sync::Arc;
+        let hist = Arc::new(AtomicHistogram::new());
+        let threads = 8;
+        let per_thread = 10_000u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let hist = Arc::clone(&hist);
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        hist.record(Duration::from_micros(1 + (t * per_thread + i) % 5_000));
+                    }
+                });
+            }
+            // Snapshots taken mid-run must always be internally
+            // consistent: bucket sum equals count (no torn reads).
+            for _ in 0..50 {
+                let snap = hist.snapshot();
+                let bucket_sum: u64 = snap.counts.iter().sum();
+                assert_eq!(bucket_sum, snap.count(), "torn snapshot");
+                std::thread::yield_now();
+            }
+        });
+        let final_snap = hist.snapshot();
+        assert_eq!(final_snap.count(), threads * per_thread, "dropped samples");
+        let bucket_sum: u64 = final_snap.counts.iter().sum();
+        assert_eq!(bucket_sum, final_snap.count());
+    }
+}

@@ -1,0 +1,199 @@
+//! A minimal HTTP/1.1 endpoint for metrics and health probes.
+//!
+//! Serves exactly three paths from one listener thread:
+//!
+//! - `GET /metrics` — the node registry rendered as Prometheus text
+//!   exposition format (version 0.0.4).
+//! - `GET /healthz` — liveness: `200 ok` whenever the process answers.
+//! - `GET /readyz` — readiness per [`NodeTelemetry::ready`]: `200` when
+//!   recovered, caught up within the watermark gap, and not draining;
+//!   `503` otherwise.
+//!
+//! The build environment has no HTTP crate and must not grow one: this
+//! handles one tiny request per connection over blocking `std::net`
+//! sockets, which is exactly enough for a scrape loop and health
+//! probes. Connections are served sequentially — a scraper and a
+//! health checker produce a few requests per second, far below any
+//! level where that matters.
+
+use crate::telemetry::NodeTelemetry;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running metrics endpoint; dropping it leaves the thread running
+/// until [`MetricsServer::shutdown`] is called (the node owns it for
+/// its whole life).
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (port 0 lets the OS pick) and starts serving
+    /// `telemetry` on a background thread.
+    pub fn serve(addr: SocketAddr, telemetry: Arc<NodeTelemetry>) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_thread = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("metrics-http".into())
+            .spawn(move || serve_loop(listener, telemetry, stop_thread))?;
+        Ok(MetricsServer { addr, stop, handle: Some(handle) })
+    }
+
+    /// The bound address (resolved port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener thread and joins it.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn serve_loop(listener: TcpListener, telemetry: Arc<NodeTelemetry>, stop: Arc<AtomicBool>) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else { break };
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let _ = answer(stream, &telemetry);
+    }
+}
+
+/// Reads one request head and writes one response. Any parse trouble
+/// gets a 400 and the connection closes either way.
+fn answer(mut stream: TcpStream, telemetry: &NodeTelemetry) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    let path = match read_request_path(&mut stream) {
+        Some(path) => path,
+        None => {
+            return respond(&mut stream, 400, "text/plain", "bad request\n");
+        }
+    };
+    match path.as_str() {
+        "/metrics" => {
+            let body = telemetry.render_prometheus();
+            respond(&mut stream, 200, "text/plain; version=0.0.4", &body)
+        }
+        "/healthz" => respond(&mut stream, 200, "text/plain", "ok\n"),
+        "/readyz" => {
+            if telemetry.ready() {
+                respond(&mut stream, 200, "text/plain", "ready\n")
+            } else {
+                let detail = if telemetry.draining() {
+                    "not ready: draining\n"
+                } else if telemetry.recovering() {
+                    "not ready: recovering\n"
+                } else {
+                    "not ready: catching up\n"
+                };
+                respond(&mut stream, 503, "text/plain", detail)
+            }
+        }
+        _ => respond(&mut stream, 404, "text/plain", "not found\n"),
+    }
+}
+
+/// Reads up to the end of the request head and returns the request
+/// path, or `None` if the head never materializes or is not a GET.
+fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+    let mut head = Vec::with_capacity(256);
+    let mut buf = [0u8; 256];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+        if head.len() > 8192 {
+            return None; // oversized head
+        }
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => head.extend_from_slice(&buf[..n]),
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    let request_line = head.lines().next()?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next()?;
+    let path = parts.next()?;
+    if method != "GET" {
+        return None;
+    }
+    // Strip any query string; probes sometimes append cache-busters.
+    Some(path.split('?').next().unwrap_or(path).to_string())
+}
+
+fn respond(stream: &mut TcpStream, code: u16, content_type: &str, body: &str) -> io::Result<()> {
+    let reason = match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    };
+    let head = format!(
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let code: u16 =
+            response.split_whitespace().nth(1).expect("status code").parse().unwrap();
+        let body = response.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
+        (code, body)
+    }
+
+    #[test]
+    fn serves_metrics_health_and_readiness() {
+        let telemetry = NodeTelemetry::new(5);
+        telemetry.progress.set(321);
+        let server =
+            MetricsServer::serve("127.0.0.1:0".parse().unwrap(), Arc::clone(&telemetry))
+                .unwrap();
+        let addr = server.local_addr();
+
+        let (code, body) = get(addr, "/metrics");
+        assert_eq!(code, 200);
+        assert!(body.contains("splitbft_progress 321"), "{body}");
+
+        assert_eq!(get(addr, "/healthz").0, 200);
+        assert_eq!(get(addr, "/readyz").0, 200, "fresh node is ready");
+
+        telemetry.set_recovering(true);
+        let (code, body) = get(addr, "/readyz");
+        assert_eq!(code, 503);
+        assert!(body.contains("recovering"));
+        telemetry.set_recovering(false);
+
+        telemetry.request_drain();
+        let (code, body) = get(addr, "/readyz");
+        assert_eq!(code, 503);
+        assert!(body.contains("draining"));
+
+        assert_eq!(get(addr, "/nope").0, 404);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,44 @@
+//! The observability plane of the SplitBFT reproduction.
+//!
+//! Deployed replicas used to be blind boxes whose only runtime signal
+//! was stderr marker lines. This crate gives every layer one shared
+//! telemetry surface:
+//!
+//! - [`registry`] — a lock-free metrics registry: registration takes a
+//!   short-lived lock, but every *update* is a single relaxed atomic
+//!   operation on a pre-registered [`registry::Metric`] handle, so hot
+//!   paths (socket readers, the core loop, ring bookkeeping) never
+//!   contend. The registry renders itself as Prometheus exposition
+//!   text.
+//! - [`hist`] — the log-bucketed latency histogram (generalized out of
+//!   `splitbft-loadgen`, which now re-exports it) plus a lock-free
+//!   [`hist::AtomicHistogram`] variant for concurrent recorders.
+//! - [`journal`] — a bounded, structured event journal of typed
+//!   [`splitbft_types::StatusEvent`]s: the replacement for the stderr
+//!   marker protocol, queryable over the `STATUS` frame kind.
+//! - [`telemetry`] — [`telemetry::NodeTelemetry`]: the per-node bundle
+//!   of registry handles, journal, and lifecycle flags (recovering /
+//!   draining / drained) that the transport backends feed and the
+//!   `STATUS` frame and HTTP endpoint serve.
+//! - [`http`] — a minimal `std::net` HTTP server exposing `/metrics`
+//!   (Prometheus text), `/healthz`, and `/readyz` (ready = recovered
+//!   and caught up within a watermark gap, and not draining).
+//!
+//! The crate deliberately depends only on `splitbft-types` so every
+//! layer — transport, store, shard combinator, node binary, load
+//! generator — can feed the same registry without dependency cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod http;
+pub mod journal;
+pub mod registry;
+pub mod telemetry;
+
+pub use hist::{AtomicHistogram, LatencyHistogram, Windows};
+pub use http::MetricsServer;
+pub use journal::EventJournal;
+pub use registry::{Metric, MetricKind, Registry, Sample};
+pub use telemetry::NodeTelemetry;

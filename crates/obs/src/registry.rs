@@ -1,0 +1,394 @@
+//! A lock-free metrics registry with Prometheus text rendering.
+//!
+//! Registration (`counter` / `gauge`) takes a short-lived mutex and
+//! hands back a [`Metric`]: a cloneable handle around one shared
+//! `AtomicU64` cell. Every *update* on the handle is a single relaxed
+//! atomic operation — no lock, no allocation — so socket readers, the
+//! core loop, and ring bookkeeping can all feed the registry from their
+//! hot paths. Registering the same `(name, labels)` pair twice returns
+//! the same cell, so independent layers can share a series without
+//! coordinating.
+//!
+//! [`Registry::render_prometheus`] emits the [Prometheus exposition
+//! format] (text, version 0.0.4): one `# HELP` / `# TYPE` header per
+//! metric name, label values escaped per the spec (backslash, double
+//! quote, newline).
+//!
+//! [Prometheus exposition format]:
+//!     https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Whether a series is a monotone counter or a settable gauge. Only
+/// affects rendering (`# TYPE`) and reader expectations; both are
+/// backed by the same atomic cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically non-decreasing (use [`Metric::inc`]/[`Metric::add`]).
+    Counter,
+    /// Instantaneous value (use [`Metric::set`]/[`Metric::record_max`]).
+    Gauge,
+}
+
+/// A cloneable handle to one registered series. All operations are
+/// lock-free single atomic instructions.
+#[derive(Debug, Clone)]
+pub struct Metric {
+    cell: Arc<AtomicU64>,
+}
+
+impl Metric {
+    /// A handle not attached to any registry (a null sink for layers
+    /// run without telemetry).
+    pub fn detached() -> Self {
+        Metric { cell: Arc::new(AtomicU64::new(0)) }
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Sets the value (gauges).
+    pub fn set(&self, v: u64) {
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the value to `v` if it is higher (high-water marks).
+    pub fn record_max(&self, v: u64) {
+        self.cell.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// One registered series with its metadata.
+#[derive(Debug)]
+struct Entry {
+    name: String,
+    labels: Vec<(String, String)>,
+    help: String,
+    kind: MetricKind,
+    cell: Arc<AtomicU64>,
+}
+
+/// A point-in-time reading of one series (see [`Registry::snapshot`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sample {
+    /// Metric name.
+    pub name: String,
+    /// Label pairs, in registration order.
+    pub labels: Vec<(String, String)>,
+    /// Counter or gauge.
+    pub kind: MetricKind,
+    /// The value at snapshot time.
+    pub value: u64,
+}
+
+/// The registry: a set of named atomic series.
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers (or finds) an unlabeled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Metric {
+        self.register(MetricKind::Counter, name, &[], help)
+    }
+
+    /// Registers (or finds) an unlabeled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Metric {
+        self.register(MetricKind::Gauge, name, &[], help)
+    }
+
+    /// Registers (or finds) a labeled counter.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Metric {
+        self.register(MetricKind::Counter, name, labels, help)
+    }
+
+    /// Registers (or finds) a labeled gauge.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Metric {
+        self.register(MetricKind::Gauge, name, labels, help)
+    }
+
+    fn register(
+        &self,
+        kind: MetricKind,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+    ) -> Metric {
+        let mut entries = self.entries.lock().expect("metrics registry");
+        if let Some(entry) = entries.iter().find(|e| {
+            e.name == name
+                && e.labels.len() == labels.len()
+                && e.labels.iter().zip(labels).all(|(a, b)| a.0 == b.0 && a.1 == b.1)
+        }) {
+            return Metric { cell: Arc::clone(&entry.cell) };
+        }
+        let cell = Arc::new(AtomicU64::new(0));
+        entries.push(Entry {
+            name: name.to_string(),
+            labels: labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            help: help.to_string(),
+            kind,
+            cell: Arc::clone(&cell),
+        });
+        Metric { cell }
+    }
+
+    /// Reads every registered series at once.
+    pub fn snapshot(&self) -> Vec<Sample> {
+        let entries = self.entries.lock().expect("metrics registry");
+        entries
+            .iter()
+            .map(|e| Sample {
+                name: e.name.clone(),
+                labels: e.labels.clone(),
+                kind: e.kind,
+                value: e.cell.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Renders every series in the Prometheus text exposition format
+    /// (version 0.0.4). Series sharing a name emit one `# HELP` /
+    /// `# TYPE` header and stay grouped together regardless of
+    /// registration interleaving.
+    pub fn render_prometheus(&self) -> String {
+        let entries = self.entries.lock().expect("metrics registry");
+        let mut out = String::new();
+        let mut rendered: Vec<&str> = Vec::new();
+        for (index, entry) in entries.iter().enumerate() {
+            if rendered.contains(&entry.name.as_str()) {
+                continue;
+            }
+            rendered.push(&entry.name);
+            let type_name = match entry.kind {
+                MetricKind::Counter => "counter",
+                MetricKind::Gauge => "gauge",
+            };
+            let _ = writeln!(out, "# HELP {} {}", entry.name, escape_help(&entry.help));
+            let _ = writeln!(out, "# TYPE {} {}", entry.name, type_name);
+            for sibling in entries[index..].iter().filter(|e| e.name == entry.name) {
+                out.push_str(&sibling.name);
+                if !sibling.labels.is_empty() {
+                    out.push('{');
+                    for (i, (key, value)) in sibling.labels.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{key}=\"{}\"", escape_label_value(value));
+                    }
+                    out.push('}');
+                }
+                let _ = writeln!(out, " {}", sibling.cell.load(Ordering::Relaxed));
+            }
+        }
+        out
+    }
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline must be backslash-escaped.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Escapes a `# HELP` text: backslash and newline (quotes are legal
+/// there).
+fn escape_help(help: &str) -> String {
+    let mut out = String::with_capacity(help.len());
+    for c in help.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_and_labels_share_one_cell() {
+        let registry = Registry::new();
+        let a = registry.counter("splitbft_test_total", "a test counter");
+        let b = registry.counter("splitbft_test_total", "a test counter");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(registry.snapshot().len(), 1);
+
+        let labeled = registry.counter_with("splitbft_test_total", &[("shard", "0")], "t");
+        labeled.inc();
+        assert_eq!(a.get(), 3, "a labeled series is a distinct cell");
+        assert_eq!(registry.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn concurrent_updates_lose_nothing() {
+        let registry = Arc::new(Registry::new());
+        let metric = registry.counter("splitbft_concurrent_total", "hammered");
+        let threads = 8u64;
+        let per_thread = 50_000u64;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let metric = metric.clone();
+                s.spawn(move || {
+                    for _ in 0..per_thread {
+                        metric.inc();
+                    }
+                });
+            }
+            // Mid-run snapshots never see a torn or decreasing value.
+            let mut last = 0u64;
+            for _ in 0..100 {
+                let now = metric.get();
+                assert!(now >= last, "counter went backwards: {last} -> {now}");
+                last = now;
+                std::thread::yield_now();
+            }
+        });
+        assert_eq!(metric.get(), threads * per_thread);
+    }
+
+    #[test]
+    fn snapshots_of_counters_are_monotone() {
+        let registry = Arc::new(Registry::new());
+        let metric = registry.counter("splitbft_mono_total", "monotone");
+        std::thread::scope(|s| {
+            let registry2 = Arc::clone(&registry);
+            let hammer = s.spawn(move || {
+                for _ in 0..100_000 {
+                    metric.inc();
+                }
+            });
+            let mut last = 0u64;
+            while !hammer.is_finished() {
+                let snap = registry2.snapshot();
+                let value = snap.iter().find(|s| s.name == "splitbft_mono_total").unwrap().value;
+                assert!(value >= last);
+                last = value;
+            }
+        });
+    }
+
+    #[test]
+    fn prometheus_rendering_groups_and_escapes() {
+        let registry = Registry::new();
+        registry.gauge("splitbft_view", "current view").set(3);
+        registry
+            .counter_with("splitbft_shard_progress", &[("shard", "0")], "per-shard progress")
+            .add(10);
+        // Interleave another name between two series of the same name.
+        registry.counter("splitbft_fsyncs_total", "wal fsyncs").add(7);
+        registry
+            .counter_with("splitbft_shard_progress", &[("shard", "1")], "per-shard progress")
+            .add(20);
+        let tricky = registry.gauge_with(
+            "splitbft_annotated",
+            &[("note", "a\\b \"quoted\"\nnewline")],
+            "escaping probe",
+        );
+        tricky.set(1);
+
+        let text = registry.render_prometheus();
+        assert!(text.contains("# HELP splitbft_view current view\n"));
+        assert!(text.contains("# TYPE splitbft_view gauge\n"));
+        assert!(text.contains("splitbft_view 3\n"));
+        assert!(text.contains("# TYPE splitbft_fsyncs_total counter\n"));
+        assert!(text.contains("splitbft_shard_progress{shard=\"0\"} 10\n"));
+        assert!(text.contains("splitbft_shard_progress{shard=\"1\"} 20\n"));
+        assert!(
+            text.contains("splitbft_annotated{note=\"a\\\\b \\\"quoted\\\"\\nnewline\"} 1\n"),
+            "label escaping: {text}"
+        );
+        // One TYPE header per name even with interleaved registration.
+        assert_eq!(text.matches("# TYPE splitbft_shard_progress").count(), 1);
+        // No raw newline may survive inside a label value.
+        for line in text.lines() {
+            assert!(!line.is_empty() || text.ends_with('\n'));
+        }
+    }
+
+    #[test]
+    fn high_water_gauge_only_rises() {
+        let registry = Registry::new();
+        let hw = registry.gauge("splitbft_queue_depth_high_water", "queue depth high-water");
+        hw.record_max(5);
+        hw.record_max(3);
+        assert_eq!(hw.get(), 5);
+        hw.record_max(9);
+        assert_eq!(hw.get(), 9);
+    }
+
+    #[test]
+    fn escaping_properties_hold_for_arbitrary_strings() {
+        use proptest::{any, collection, Strategy};
+        let mut rng = proptest::rng_for("escaping_properties_hold_for_arbitrary_strings");
+        let strategy = collection::vec(any::<u8>(), 0..64)
+            .prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned());
+        for _ in 0..256 {
+            let input = strategy.generate(&mut rng);
+            let escaped = escape_label_value(&input);
+            // Escaped output never contains a raw newline or an
+            // unescaped quote, so the rendered line stays one line and
+            // the quoting stays balanced.
+            assert!(!escaped.contains('\n'));
+            let mut chars = escaped.chars().peekable();
+            while let Some(c) = chars.next() {
+                if c == '\\' {
+                    let next = chars.next().expect("dangling backslash");
+                    assert!(matches!(next, '\\' | '"' | 'n'), "bad escape \\{next}");
+                } else {
+                    assert_ne!(c, '"', "unescaped quote");
+                }
+            }
+            // Unescaping restores the input exactly (round-trip).
+            let mut unescaped = String::new();
+            let mut chars = escaped.chars();
+            while let Some(c) = chars.next() {
+                if c == '\\' {
+                    match chars.next() {
+                        Some('\\') => unescaped.push('\\'),
+                        Some('"') => unescaped.push('"'),
+                        Some('n') => unescaped.push('\n'),
+                        other => panic!("bad escape: {other:?}"),
+                    }
+                } else {
+                    unescaped.push(c);
+                }
+            }
+            assert_eq!(unescaped, input);
+        }
+    }
+}

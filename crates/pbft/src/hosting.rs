@@ -59,6 +59,10 @@ impl<A: Application + 'static> Protocol for Replica<A> {
         Replica::has_pending_requests(self)
     }
 
+    fn current_view(&self) -> u64 {
+        self.view().0
+    }
+
     fn drain_durable_events(&mut self) -> Vec<DurableEvent> {
         self.enable_durable_events();
         Replica::drain_durable_events(self)

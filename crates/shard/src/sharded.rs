@@ -229,6 +229,36 @@ impl<P: Protocol> Protocol for Sharded<P> {
     fn shard_fsyncs(&self) -> Vec<u64> {
         self.shards.iter().map(Protocol::durable_fsyncs).collect()
     }
+
+    fn current_view(&self) -> u64 {
+        // The scalar gauge reports shard 0; the full per-group picture
+        // is `shard_views`.
+        self.shards.first().map_or(0, |s| s.current_view())
+    }
+
+    fn pending_request_count(&self) -> u64 {
+        self.shards.iter().map(Protocol::pending_request_count).sum()
+    }
+
+    fn wal_bytes(&self) -> u64 {
+        self.shards.iter().map(Protocol::wal_bytes).sum()
+    }
+
+    fn checkpoint_seal_count(&self) -> u64 {
+        self.shards.iter().map(Protocol::checkpoint_seal_count).sum()
+    }
+
+    fn shard_views(&self) -> Vec<u64> {
+        self.shards.iter().map(Protocol::current_view).collect()
+    }
+
+    fn drain_seal(&mut self) -> Vec<ProtocolOutput<Self::Message>> {
+        let mut outputs = Vec::new();
+        for (index, instance) in self.shards.iter_mut().enumerate() {
+            outputs.extend(Self::tag(ShardId(index as u32), instance.drain_seal()));
+        }
+        outputs
+    }
 }
 
 /// The composite sequence number: the sum of the member checkpoints'
@@ -385,6 +415,26 @@ impl<P: Protocol> Protocol for ShardMember<P> {
 
     fn durable_fsyncs(&self) -> u64 {
         self.inner.durable_fsyncs()
+    }
+
+    fn current_view(&self) -> u64 {
+        self.inner.current_view()
+    }
+
+    fn pending_request_count(&self) -> u64 {
+        self.inner.pending_request_count()
+    }
+
+    fn wal_bytes(&self) -> u64 {
+        self.inner.wal_bytes()
+    }
+
+    fn checkpoint_seal_count(&self) -> u64 {
+        self.inner.checkpoint_seal_count()
+    }
+
+    fn drain_seal(&mut self) -> Vec<ProtocolOutput<Self::Message>> {
+        self.inner.drain_seal()
     }
 }
 

@@ -162,6 +162,9 @@ pub struct DurableProtocol<P: Protocol> {
     pending_stable: Option<SeqNum>,
     /// Monotone count of WAL fsyncs (the group-commit metric).
     fsyncs: u64,
+    /// Monotone count of checkpoints sealed to disk since startup
+    /// (excludes the one recovery restored).
+    seals: u64,
 }
 
 impl<P: Protocol> DurableProtocol<P> {
@@ -221,6 +224,7 @@ impl<P: Protocol> DurableProtocol<P> {
             dirty: false,
             pending_stable: None,
             fsyncs: 0,
+            seals: 0,
         };
         if this.sealed_seq > 0 {
             // A crash between sealing and GC leaves a long log; compact
@@ -350,6 +354,7 @@ impl<P: Protocol> DurableProtocol<P> {
         match self.checkpoints.save(&cp) {
             Ok(_) => {
                 self.sealed_seq = cp.seq.0;
+                self.seals += 1;
                 self.gc(cp.seq);
             }
             Err(e) => {
@@ -428,6 +433,37 @@ impl<P: Protocol> Protocol for DurableProtocol<P> {
         self.inner.has_pending_requests()
     }
 
+    fn current_view(&self) -> u64 {
+        self.inner.current_view()
+    }
+
+    fn pending_request_count(&self) -> u64 {
+        self.inner.pending_request_count()
+    }
+
+    fn wal_bytes(&self) -> u64 {
+        self.wal.len()
+    }
+
+    fn checkpoint_seal_count(&self) -> u64 {
+        self.seals
+    }
+
+    fn shard_views(&self) -> Vec<u64> {
+        self.inner.shard_views()
+    }
+
+    fn drain_seal(&mut self) -> Vec<ProtocolOutput<Self::Message>> {
+        let outputs = self.inner.drain_seal();
+        // Even without a newly stabilized checkpoint, a drain wants the
+        // latest durable one sealed and the log compacted, so a restart
+        // after the drain replays as little WAL as possible.
+        self.persist();
+        self.sync_and_seal();
+        self.seal_and_gc();
+        self.finish(outputs)
+    }
+
     // The wrapper consumes the inner protocol's durable events itself,
     // so it deliberately presents *no* durable events of its own
     // (`drain_durable_events` keeps the empty default): stacking two
@@ -449,6 +485,7 @@ impl<P: Protocol> Protocol for DurableProtocol<P> {
             match self.checkpoints.save(cp) {
                 Ok(_) => {
                     self.sealed_seq = cp.seq.0;
+                    self.seals += 1;
                     self.gc(cp.seq);
                 }
                 Err(e) => eprintln!(

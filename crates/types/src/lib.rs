@@ -26,6 +26,10 @@
 //! - [`fault`] — the chaos plane's control vocabulary: runtime
 //!   [`FaultCommand`]s steering per-link fault rules and named
 //!   partitions on the transport.
+//! - [`status`] — the telemetry plane's vocabulary: versioned
+//!   [`NodeSnapshot`]s, typed journal [`StatusEvent`]s, and the
+//!   [`StatusRequest`]/[`StatusResponse`] pair served on the `STATUS`
+//!   frame kind.
 //! - [`shard`] — the sharding plane's vocabulary: [`ShardId`], the
 //!   shard-tagged [`ShardEnvelope`] multiplexing N consensus groups
 //!   over one transport, and the deterministic [`shard_for_key`] hash.
@@ -57,6 +61,7 @@ pub mod fault;
 pub mod ids;
 pub mod message;
 pub mod shard;
+pub mod status;
 pub mod wire;
 
 pub use compartment::CompartmentKind;
@@ -72,3 +77,6 @@ pub use message::{
     Signed, ViewChange,
 };
 pub use shard::{shard_for_key, ShardEnvelope, ShardId};
+pub use status::{
+    NodeSnapshot, StatusEvent, StatusRequest, StatusResponse, StatusVerb, SNAPSHOT_VERSION,
+};
